@@ -1,0 +1,63 @@
+package openmeta
+
+import (
+	"testing"
+
+	"openmeta/internal/bench"
+	"openmeta/internal/core"
+	"openmeta/internal/machine"
+	"openmeta/internal/pbio"
+)
+
+// BenchmarkTable8Fanout measures event-backbone delivery with increasing
+// subscriber counts (the introduction's scalability claim). Each iteration
+// runs a full broker + N subscribers + one publisher episode.
+func BenchmarkTable8Fanout(b *testing.B) {
+	cfg := bench.Quick()
+	cfg.Messages = 50
+	cfg.Trials = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Table8(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable9RegistrationScaling measures registration cost growth with
+// field count, parse and register separated.
+func BenchmarkTable9RegistrationScaling(b *testing.B) {
+	docs := map[string][]byte{}
+	for _, n := range []int{8, 64} {
+		ctx, err := pbio.NewContext(machine.Sparc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		doc := bench.SyntheticSchema(n)
+		if _, err := core.RegisterDocument(ctx, doc); err != nil {
+			b.Fatal(err)
+		}
+		docs[nameFor(n)] = doc
+	}
+	for name, doc := range docs {
+		doc := doc
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ctx, err := pbio.NewContext(machine.Sparc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.RegisterDocument(ctx, doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func nameFor(n int) string {
+	if n == 8 {
+		return "fields=8"
+	}
+	return "fields=64"
+}

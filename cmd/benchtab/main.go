@@ -1,0 +1,71 @@
+// Command benchtab regenerates the paper's evaluation artifacts as printed
+// tables: Table 1 (format registration costs) plus the quantitative claims
+// of §1, §5 and §6 expressed as Tables 2-7 (wire-format comparison, NDR vs
+// XDR, end-to-end latency, discovery amortization, receiver conversion, and
+// the format-cache ablation). See EXPERIMENTS.md for the paper-vs-measured
+// discussion of every table.
+//
+// Usage:
+//
+//	benchtab                # all tables, quick configuration
+//	benchtab -table 1       # a single table
+//	benchtab -full          # slower, tighter medians
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"openmeta/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchtab", flag.ContinueOnError)
+	table := fs.Int("table", 0, "table number to run (0 = all)")
+	full := fs.Bool("full", false, "use the slower, tighter configuration")
+	trials := fs.Int("trials", 0, "override trial count")
+	msgs := fs.Int("messages", 0, "override message count for end-to-end tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := bench.Quick()
+	if *full {
+		cfg = bench.Full()
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *msgs > 0 {
+		cfg.Messages = *msgs
+	}
+
+	if *table != 0 {
+		gen, ok := bench.ByID(*table)
+		if !ok {
+			return fmt.Errorf("no such table %d (1-7)", *table)
+		}
+		tbl, err := gen(cfg)
+		if err != nil {
+			return err
+		}
+		return tbl.Write(os.Stdout)
+	}
+	tables, err := bench.All(cfg)
+	if err != nil {
+		return err
+	}
+	for _, tbl := range tables {
+		if err := tbl.Write(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

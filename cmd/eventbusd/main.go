@@ -1,0 +1,48 @@
+// Command eventbusd runs the event backbone broker of the paper's
+// application scenario (Figure 1): publishers announce structured
+// information streams and push NDR records; subscribers receive the records
+// together with the format metadata needed to decode them, exchanged once
+// per connection.
+//
+// Usage:
+//
+//	eventbusd -addr :8701
+//
+// The broker exits cleanly on SIGINT/SIGTERM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"openmeta/internal/eventbus"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "eventbusd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("eventbusd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8701", "listen address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	broker, err := eventbus.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("eventbusd: event backbone listening on %s\n", broker.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("eventbusd: shutting down")
+	return broker.Close()
+}

@@ -1,0 +1,90 @@
+// Command metaserver runs a metadata repository: the "publicly known
+// intranet server" of the paper's §4.4, serving XML Schema message
+// descriptions over HTTP so applications can discover formats at run time.
+//
+// Usage:
+//
+//	metaserver -addr :8700 -dir ./schemas          # serve *.xsd from a directory
+//	metaserver -addr :8700 -builtin                # serve the airline scenario schemas
+//
+// Documents are validated on load; GET /schemas/ lists names, GET
+// /schemas/<name> returns a document with an ETag for revalidation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"openmeta/internal/airline"
+	"openmeta/internal/discovery"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "metaserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("metaserver", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8700", "listen address")
+	dir := fs.String("dir", "", "directory of <name>.xsd schema documents to serve")
+	builtin := fs.Bool("builtin", false, "serve the built-in airline scenario schemas")
+	writable := fs.Bool("writable", false, "accept PUT/DELETE so streams can publish their own metadata")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	repo := discovery.NewRepository()
+	repo.SetWritable(*writable)
+	loaded := 0
+	if *builtin {
+		for name, doc := range airline.Schemas() {
+			if err := repo.Put(name, doc); err != nil {
+				return fmt.Errorf("builtin schema %s: %w", name, err)
+			}
+			loaded++
+		}
+	}
+	if *dir != "" {
+		entries, err := os.ReadDir(*dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".xsd") {
+				continue
+			}
+			raw, err := os.ReadFile(filepath.Join(*dir, e.Name()))
+			if err != nil {
+				return err
+			}
+			name := strings.TrimSuffix(e.Name(), ".xsd")
+			if err := repo.Put(name, string(raw)); err != nil {
+				return fmt.Errorf("schema %s: %w", name, err)
+			}
+			loaded++
+		}
+	}
+	if loaded == 0 && !*writable {
+		return fmt.Errorf("no schemas loaded; pass -dir and/or -builtin (or -writable for an empty, publishable repository)")
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("metaserver: serving %d schemas at http://%s%s\n",
+		loaded, ln.Addr(), discovery.SchemaPathPrefix)
+	for _, n := range repo.Names() {
+		fmt.Printf("  %s\n", n)
+	}
+	srv := &http.Server{Handler: repo.Handler()}
+	return srv.Serve(ln)
+}

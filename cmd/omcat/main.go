@@ -1,0 +1,112 @@
+// Command omcat dumps self-describing PBIO record files: the formats they
+// carry and the records themselves, decoded through the file's own
+// metadata — no schema or program knowledge needed, on any machine,
+// regardless of the writer's architecture.
+//
+// Usage:
+//
+//	omcat records.pbio             # one line per record
+//	omcat -xml records.pbio        # records as XML text messages
+//	omcat -formats records.pbio    # only the formats (IOField dump)
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"openmeta/internal/machine"
+	"openmeta/internal/pbio"
+	"openmeta/internal/xmlwire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "omcat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("omcat", flag.ContinueOnError)
+	asXML := fs.Bool("xml", false, "print records as XML text messages")
+	formatsOnly := fs.Bool("formats", false, "print only the file's formats")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New("usage: omcat [-xml|-formats] <file.pbio>")
+	}
+	ctx, err := pbio.NewContext(machine.Native)
+	if err != nil {
+		return err
+	}
+	fr, err := pbio.OpenFile(fs.Arg(0), ctx)
+	if err != nil {
+		return err
+	}
+	defer fr.Close()
+
+	seen := make(map[pbio.FormatID]bool)
+	count := 0
+	for {
+		f, rec, err := fr.ReadValue()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("record %d: %w", count+1, err)
+		}
+		count++
+		if !seen[f.ID] {
+			seen[f.ID] = true
+			fmt.Fprintf(out, "# format %q (id %s, origin %s %s, %d bytes fixed)\n",
+				f.Name, f.ID, f.Arch.Name, f.Arch.Order, f.Size)
+			if *formatsOnly {
+				for _, io := range f.IOFields() {
+					fmt.Fprintf(out, "#   { %q, %q, %d, %d }\n", io.Name, io.Type, io.Size, io.Offset)
+				}
+			}
+		}
+		if *formatsOnly {
+			continue
+		}
+		if *asXML {
+			text, err := xmlwire.EncodeRecord(f, rec)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%s\n", text)
+			continue
+		}
+		fmt.Fprintf(out, "%s: %s\n", f.Name, oneLine(f, rec))
+	}
+	fmt.Fprintf(out, "# %d records, %d formats\n", count, len(seen))
+	return nil
+}
+
+// oneLine renders a record compactly with fields in format order.
+func oneLine(f *pbio.Format, rec pbio.Record) string {
+	keys := make([]string, 0, len(rec))
+	for i := range f.Fields {
+		if _, ok := rec[f.Fields[i].Name]; ok {
+			keys = append(keys, f.Fields[i].Name)
+		}
+	}
+	sort.SliceStable(keys, func(i, j int) bool {
+		fi, _ := f.FieldByName(keys[i])
+		fj, _ := f.FieldByName(keys[j])
+		return fi.Offset < fj.Offset
+	})
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%v", k, rec[k])
+	}
+	return s
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"openmeta/internal/machine"
+	"openmeta/internal/pbio"
+)
+
+func writeTestFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "r.pbio")
+	ctx, err := pbio.NewContext(machine.Sparc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ctx.RegisterSpec("Evt", []pbio.FieldSpec{
+		{Name: "id", Kind: pbio.Int, CType: machine.CInt},
+		{Name: "msg", Kind: pbio.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := pbio.CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fw.Close()
+	for i := 0; i < 3; i++ {
+		if err := fw.WriteValue(f, pbio.Record{"id": i + 1, "msg": "hello"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+func TestOmcatDefault(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{writeTestFile(t)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		`# format "Evt"`,
+		"origin sparc big-endian",
+		"Evt: id=1 msg=hello",
+		"Evt: id=3 msg=hello",
+		"# 3 records, 1 formats",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestOmcatXML(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-xml", writeTestFile(t)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "<Evt><id>2</id><msg>hello</msg></Evt>") {
+		t.Errorf("output = %s", out.String())
+	}
+}
+
+func TestOmcatFormats(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-formats", writeTestFile(t)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, `{ "id", "integer", 4, 0 }`) {
+		t.Errorf("output = %s", got)
+	}
+	if strings.Contains(got, "id=1") {
+		t.Error("-formats printed record contents")
+	}
+}
+
+func TestOmcatErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "nope.pbio")}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,96 @@
+// Command omsub subscribes to event backbone streams and prints arriving
+// records, decoding them entirely from the wire's format metadata. With
+// -fields it requests a format-scoped slice of the stream (§4.4 of the
+// paper): the broker projects every record and hidden fields never arrive.
+//
+// Usage:
+//
+//	omsub -broker 127.0.0.1:8701 -stream faa.asd.departures
+//	omsub -broker 127.0.0.1:8701 -stream faa.asd.departures -fields cntrID,fltNum
+//	omsub -broker 127.0.0.1:8701 -list
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"openmeta/internal/eventbus"
+	"openmeta/internal/machine"
+	"openmeta/internal/pbio"
+	"openmeta/internal/xmlwire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "omsub:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("omsub", flag.ContinueOnError)
+	broker := fs.String("broker", "127.0.0.1:8701", "broker address")
+	stream := fs.String("stream", "", "stream to subscribe to (repeatable via commas)")
+	fields := fs.String("fields", "", "comma-separated field scope (format-scoping)")
+	list := fs.Bool("list", false, "list streams and exit")
+	asXML := fs.Bool("xml", false, "print records as XML text messages")
+	count := fs.Int("n", 0, "exit after n records (0 = run until killed)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, err := pbio.NewContext(machine.Native)
+	if err != nil {
+		return err
+	}
+	sub, err := eventbus.DialSubscriber(*broker, ctx)
+	if err != nil {
+		return err
+	}
+	defer sub.Close()
+
+	if *list {
+		names, err := sub.Streams()
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return nil
+	}
+	if *stream == "" {
+		return errors.New("-stream is required (or -list)")
+	}
+	for _, name := range strings.Split(*stream, ",") {
+		if *fields != "" {
+			if err := sub.SubscribeFields(name, strings.Split(*fields, ",")...); err != nil {
+				return err
+			}
+		} else if err := sub.Subscribe(name); err != nil {
+			return err
+		}
+	}
+	for n := 0; *count == 0 || n < *count; n++ {
+		ev, err := sub.Next()
+		if err != nil {
+			return err
+		}
+		rec, err := ev.Decode()
+		if err != nil {
+			return err
+		}
+		if *asXML {
+			text, err := xmlwire.EncodeRecord(ev.Format, rec)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s %s\n", ev.Stream, text)
+			continue
+		}
+		fmt.Printf("%s [%s] %v\n", ev.Stream, ev.Format.Name, rec)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+// Command xml2wire is the paper's tool as a CLI: it discovers XML Schema
+// message metadata (from a file or a URL), binds it to a target
+// architecture, and dumps the resulting PBIO metadata — the IOField lists of
+// the paper's Figures 5, 8 and 11 — plus layout and format-ID information.
+//
+// Usage:
+//
+//	xml2wire -file schema.xsd [-arch x86-64] [-verbose]
+//	xml2wire -url http://host/schemas/ASDOffEvent
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"openmeta/internal/core"
+	"openmeta/internal/discovery"
+	"openmeta/internal/machine"
+	"openmeta/internal/pbio"
+	"openmeta/internal/xmlschema"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xml2wire:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("xml2wire", flag.ContinueOnError)
+	file := fs.String("file", "", "schema document on the local file system")
+	url := fs.String("url", "", "schema document URL (remote discovery)")
+	archName := fs.String("arch", machine.Native.Name,
+		fmt.Sprintf("target architecture %v", machine.ArchNames()))
+	verbose := fs.Bool("verbose", false, "also print layout details and wire metadata size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*file == "") == (*url == "") {
+		return errors.New("exactly one of -file or -url is required")
+	}
+	arch, err := machine.ArchByName(*archName)
+	if err != nil {
+		return err
+	}
+
+	var schema *xmlschema.Schema
+	switch {
+	case *file != "":
+		raw, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		schema, err = xmlschema.ParseString(string(raw))
+		if err != nil {
+			return err
+		}
+	default:
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		schema, err = discovery.FetchURL(ctx, nil, *url)
+		if err != nil {
+			return err
+		}
+	}
+
+	pctx, err := pbio.NewContext(arch)
+	if err != nil {
+		return err
+	}
+	set, err := core.RegisterSchema(pctx, schema)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "arch: %s (%s, %d-byte pointers)\n\n",
+		arch.Name, arch.Order, arch.PointerSize)
+	for _, f := range set.Formats {
+		fmt.Fprintf(out, "IOField %sFields[] = {\n", f.Name)
+		for _, io := range f.IOFields() {
+			fmt.Fprintf(out, "    { %q, %q, %d, %d },\n", io.Name, io.Type, io.Size, io.Offset)
+		}
+		fmt.Fprintf(out, "};\n")
+		fmt.Fprintf(out, "/* sizeof(%s) = %d, align %d, format id %s */\n\n",
+			f.Name, f.Size, f.Align, f.ID)
+		if *verbose {
+			meta := pbio.MarshalMeta(f)
+			fmt.Fprintf(out, "/* wire metadata: %d bytes */\n\n", len(meta))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"openmeta/internal/discovery"
+)
+
+const testSchema = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrID" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:integer" />
+    <xsd:element name="eta" type="xsd:unsigned-long" minOccurs="0" maxOccurs="*" />
+  </xsd:complexType>
+</xsd:schema>`
+
+func writeSchema(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "s.xsd")
+	if err := os.WriteFile(path, []byte(testSchema), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunFile(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-file", writeSchema(t), "-arch", "sparc", "-verbose"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"arch: sparc (big-endian, 4-byte pointers)",
+		`IOField ASDOffEventFields[] = {`,
+		`{ "cntrID", "string", 4, 0 }`,
+		`{ "eta", "unsigned integer[eta_count]", 4, 8 }`,
+		`{ "eta_count", "integer", 4, 12 }`,
+		"sizeof(ASDOffEvent) = 16",
+		"wire metadata:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunURL(t *testing.T) {
+	repo := discovery.NewRepository()
+	if err := repo.Put("ASDOffEvent", testSchema); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(repo.Handler())
+	defer srv.Close()
+	var out strings.Builder
+	err := run([]string{"-url", srv.URL + "/schemas/ASDOffEvent", "-arch", "x86-64"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "little-endian, 8-byte pointers") {
+		t.Errorf("output = %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no source flags accepted")
+	}
+	if err := run([]string{"-file", "x", "-url", "y"}, &out); err == nil {
+		t.Error("both source flags accepted")
+	}
+	if err := run([]string{"-file", writeSchema(t), "-arch", "vax"}, &out); err == nil {
+		t.Error("unknown arch accepted")
+	}
+	if err := run([]string{"-file", filepath.Join(t.TempDir(), "missing.xsd")}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.xsd")
+	if err := os.WriteFile(bad, []byte("<junk/>"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-file", bad}, &out); err == nil {
+		t.Error("invalid schema accepted")
+	}
+}

@@ -1,0 +1,110 @@
+// Self-describing record files: PBIO is Portable Binary I/O — the same NDR
+// encoding that crosses networks persists to files, with format metadata
+// embedded so the file is readable on any machine, years later, without
+// the writing program. This example writes a day of synthetic flight and
+// weather events (as a big-endian 32-bit machine would have), then reads
+// the file back with no compiled-in knowledge of its formats, and finally
+// shows cmd/omcat-style format discovery on the file.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+
+	"openmeta/internal/airline"
+	"openmeta/internal/core"
+	"openmeta/internal/machine"
+	"openmeta/internal/pbio"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "openmeta-fileio")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "ops.pbio")
+
+	// --- Writer: a capture process on a simulated SPARC -----------------
+	wctx, err := pbio.NewContext(machine.Sparc)
+	if err != nil {
+		return err
+	}
+	flightSet, err := core.RegisterDocument(wctx, []byte(airline.FlightSchema))
+	if err != nil {
+		return err
+	}
+	weatherSet, err := core.RegisterDocument(wctx, []byte(airline.WeatherSchema))
+	if err != nil {
+		return err
+	}
+	flights := airline.NewFlightGen(7)
+	weather := airline.NewWeatherGen(7)
+
+	fw, err := pbio.CreateFile(path)
+	if err != nil {
+		return err
+	}
+	const nEach = 4
+	for i := 0; i < nEach; i++ {
+		if err := fw.WriteValue(flightSet.Root(), flights.Next()); err != nil {
+			return err
+		}
+		if err := fw.WriteValue(weatherSet.Root(), weather.Next()); err != nil {
+			return err
+		}
+	}
+	if err := fw.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records (%d bytes) to %s\n", 2*nEach, info.Size(), path)
+
+	// --- Reader: a different machine, no prior format knowledge ---------
+	rctx, err := pbio.NewContext(machine.Native)
+	if err != nil {
+		return err
+	}
+	fr, err := pbio.OpenFile(path, rctx)
+	if err != nil {
+		return err
+	}
+	defer fr.Close()
+
+	formats := map[string]int{}
+	for {
+		f, rec, err := fr.ReadValue()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		formats[f.Name]++
+		switch f.Name {
+		case "ASDOffEvent":
+			fmt.Printf("  flight  %v%v %v->%v\n", rec["arln"], rec["fltNum"], rec["org"], rec["dest"])
+		case "WeatherObs":
+			fmt.Printf("  weather %v %.1fC\n", rec["station"], rec["tempC"])
+		}
+	}
+	fmt.Printf("file carried its own metadata: ")
+	for name, n := range formats {
+		fmt.Printf("%s x%d (origin %s)  ", name, n, machine.Sparc.Name)
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,3 @@
+module openmeta
+
+go 1.22

@@ -1,0 +1,243 @@
+// Package airline provides the data model of the paper's motivating
+// application — an airline operational information system (Figure 1) — and
+// deterministic synthetic generators for its information streams.
+//
+// The real system consumes FAA aircraft movement feeds, NOAA weather
+// streams and periodic data-mining results; none of those are publicly
+// replayable, so this package substitutes seeded synthetic streams with the
+// same message formats (the ASDOff structures of Appendix A, plus weather
+// and reservation-mining formats in the same style). DESIGN.md records the
+// substitution.
+package airline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"openmeta/internal/pbio"
+)
+
+// Schema documents for the scenario's streams, as they would be published
+// on the metadata repository. FlightSchema is the paper's Figure 9
+// (Structure B) document, verbatim in content.
+const (
+	// FlightSchema describes ASDOff flight movement events.
+	FlightSchema = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema"
+    targetNamespace="http://www.cc.gatech.edu/~pmw/schemas">
+  <xsd:annotation>
+    <xsd:documentation>ASDOff</xsd:documentation>
+  </xsd:annotation>
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrID" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:integer" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsigned-long" minOccurs="5" maxOccurs="5" />
+    <xsd:element name="eta" type="xsd:unsigned-long" minOccurs="0" maxOccurs="*" />
+  </xsd:complexType>
+</xsd:schema>`
+
+	// WeatherSchema describes station observations streamed from remote
+	// sources.
+	WeatherSchema = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema"
+    targetNamespace="http://www.cc.gatech.edu/~pmw/schemas">
+  <xsd:annotation>
+    <xsd:documentation>Surface weather observation</xsd:documentation>
+  </xsd:annotation>
+  <xsd:complexType name="WeatherObs">
+    <xsd:element name="station" type="xsd:string" />
+    <xsd:element name="tempC" type="xsd:double" />
+    <xsd:element name="dewPointC" type="xsd:double" />
+    <xsd:element name="windKts" type="xsd:integer" />
+    <xsd:element name="windDir" type="xsd:integer" />
+    <xsd:element name="gusts" type="xsd:integer" minOccurs="0" maxOccurs="*" />
+    <xsd:element name="remarks" type="xsd:string" />
+  </xsd:complexType>
+</xsd:schema>`
+
+	// MiningSchema describes periodic data-mining results over the
+	// corporate reservation store.
+	MiningSchema = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema"
+    targetNamespace="http://www.cc.gatech.edu/~pmw/schemas">
+  <xsd:annotation>
+    <xsd:documentation>Load-factor trend mined from reservations</xsd:documentation>
+  </xsd:annotation>
+  <xsd:complexType name="RouteStat">
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="loadFactor" type="xsd:double" />
+    <xsd:element name="bookings" type="xsd:integer" />
+  </xsd:complexType>
+  <xsd:complexType name="LoadTrend">
+    <xsd:element name="windowStart" type="xsd:unsigned-long" />
+    <xsd:element name="windowEnd" type="xsd:unsigned-long" />
+    <xsd:element name="routes" type="RouteStat" minOccurs="0" maxOccurs="*" />
+  </xsd:complexType>
+</xsd:schema>`
+)
+
+// Stream names used on the event backbone.
+const (
+	FlightStream  = "faa.asd.departures"
+	WeatherStream = "noaa.surface.obs"
+	MiningStream  = "corp.mining.loadtrend"
+)
+
+// Schemas returns the compiled-in schema documents keyed by the name under
+// which a metadata repository would serve them. The map doubles as the
+// fault-tolerant fallback source of §3.3.
+func Schemas() map[string]string {
+	return map[string]string{
+		"ASDOffEvent": FlightSchema,
+		"WeatherObs":  WeatherSchema,
+		"LoadTrend":   MiningSchema,
+	}
+}
+
+// Flight mirrors Structure B (Figure 7) as a Go type for binding examples.
+type Flight struct {
+	CntrID string `pbio:"cntrID"`
+	Arln   string `pbio:"arln"`
+	FltNum int32  `pbio:"fltNum"`
+	Equip  string `pbio:"equip"`
+	Org    string `pbio:"org"`
+	Dest   string `pbio:"dest"`
+	Off    [5]uint32
+	Eta    []uint32
+}
+
+var (
+	centers  = []string{"ZTL", "ZJX", "ZME", "ZID", "ZDC", "ZNY", "ZOB"}
+	airlines = []string{"DL", "AA", "UA", "WN", "FL", "NW"}
+	aircraft = []string{"B757", "B737", "MD88", "A320", "CRJ2", "B767"}
+	airports = []string{"ATL", "MCO", "DFW", "ORD", "LGA", "BOS", "IAD", "MIA", "MSP", "DTW"}
+	stations = []string{"KATL", "KMCO", "KDFW", "KORD", "KLGA", "KBOS"}
+)
+
+// FlightGen deterministically generates ASDOff flight events.
+type FlightGen struct {
+	rng *rand.Rand
+	seq int32
+}
+
+// NewFlightGen returns a generator seeded for reproducible streams.
+func NewFlightGen(seed int64) *FlightGen {
+	return &FlightGen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next flight event as a generic record.
+func (g *FlightGen) Next() pbio.Record {
+	f := g.NextFlight()
+	eta := make([]uint64, len(f.Eta))
+	for i, v := range f.Eta {
+		eta[i] = uint64(v)
+	}
+	off := make([]uint64, len(f.Off))
+	for i, v := range f.Off {
+		off[i] = uint64(v)
+	}
+	return pbio.Record{
+		"cntrID": f.CntrID, "arln": f.Arln, "fltNum": int64(f.FltNum),
+		"equip": f.Equip, "org": f.Org, "dest": f.Dest,
+		"off": off, "eta": eta,
+	}
+}
+
+// NextFlight returns the next flight event as a typed struct.
+func (g *FlightGen) NextFlight() Flight {
+	g.seq++
+	r := g.rng
+	org := airports[r.Intn(len(airports))]
+	dest := airports[r.Intn(len(airports))]
+	for dest == org {
+		dest = airports[r.Intn(len(airports))]
+	}
+	var off [5]uint32
+	base := uint32(r.Intn(86400))
+	for i := range off {
+		off[i] = base + uint32(i*60)
+	}
+	eta := make([]uint32, r.Intn(6))
+	for i := range eta {
+		eta[i] = base + 3600 + uint32(r.Intn(7200))
+	}
+	return Flight{
+		CntrID: centers[r.Intn(len(centers))],
+		Arln:   airlines[r.Intn(len(airlines))],
+		FltNum: 100 + g.seq%8900,
+		Equip:  aircraft[r.Intn(len(aircraft))],
+		Org:    org,
+		Dest:   dest,
+		Off:    off,
+		Eta:    eta,
+	}
+}
+
+// WeatherGen deterministically generates surface observations.
+type WeatherGen struct {
+	rng *rand.Rand
+}
+
+// NewWeatherGen returns a generator seeded for reproducible streams.
+func NewWeatherGen(seed int64) *WeatherGen {
+	return &WeatherGen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next observation as a generic record.
+func (g *WeatherGen) Next() pbio.Record {
+	r := g.rng
+	temp := -10 + r.Float64()*45
+	gusts := make([]int64, r.Intn(4))
+	wind := int64(r.Intn(40))
+	for i := range gusts {
+		gusts[i] = wind + int64(5+r.Intn(20))
+	}
+	return pbio.Record{
+		"station":   stations[r.Intn(len(stations))],
+		"tempC":     temp,
+		"dewPointC": temp - r.Float64()*10,
+		"windKts":   wind,
+		"windDir":   int64(r.Intn(360)),
+		"gusts":     gusts,
+		"remarks":   fmt.Sprintf("AO2 SLP%03d", r.Intn(1000)),
+	}
+}
+
+// MiningGen deterministically generates load-trend mining results.
+type MiningGen struct {
+	rng    *rand.Rand
+	window uint64
+}
+
+// NewMiningGen returns a generator seeded for reproducible streams.
+func NewMiningGen(seed int64) *MiningGen {
+	return &MiningGen{rng: rand.New(rand.NewSource(seed)), window: 946684800}
+}
+
+// Next returns the next mining result as a generic record. The nested
+// routes array exercises composed formats end to end.
+func (g *MiningGen) Next() pbio.Record {
+	r := g.rng
+	start := g.window
+	g.window += 3600
+	routes := make([]pbio.Record, 1+r.Intn(8))
+	for i := range routes {
+		org := airports[r.Intn(len(airports))]
+		dest := airports[r.Intn(len(airports))]
+		routes[i] = pbio.Record{
+			"org": org, "dest": dest,
+			"loadFactor": 0.4 + r.Float64()*0.6,
+			"bookings":   int64(50 + r.Intn(250)),
+		}
+	}
+	return pbio.Record{
+		"windowStart": start,
+		"windowEnd":   g.window,
+		"routes":      routes,
+	}
+}

@@ -1,0 +1,169 @@
+package airline
+
+import (
+	"reflect"
+	"testing"
+
+	"openmeta/internal/core"
+	"openmeta/internal/machine"
+	"openmeta/internal/pbio"
+)
+
+func TestSchemasAllRegister(t *testing.T) {
+	for name, doc := range Schemas() {
+		t.Run(name, func(t *testing.T) {
+			ctx, err := pbio.NewContext(machine.Native)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set, err := core.RegisterDocument(ctx, []byte(doc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := set.Lookup(name); !ok {
+				t.Errorf("schema %q does not define a type of that name", name)
+			}
+		})
+	}
+}
+
+func TestFlightGenDeterministic(t *testing.T) {
+	a, b := NewFlightGen(7), NewFlightGen(7)
+	for i := 0; i < 50; i++ {
+		if !reflect.DeepEqual(a.Next(), b.Next()) {
+			t.Fatalf("generation %d diverged", i)
+		}
+	}
+	c := NewFlightGen(8)
+	same := true
+	a2 := NewFlightGen(7)
+	for i := 0; i < 10; i++ {
+		if !reflect.DeepEqual(a2.Next(), c.Next()) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestFlightEventsEncode(t *testing.T) {
+	ctx, _ := pbio.NewContext(machine.Sparc)
+	set, err := core.RegisterDocument(ctx, []byte(FlightSchema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := set.Root()
+	gen := NewFlightGen(42)
+	for i := 0; i < 100; i++ {
+		rec := gen.Next()
+		data, err := f.Encode(rec)
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		out, err := f.Decode(data)
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if out["org"] == out["dest"] {
+			t.Errorf("event %d: origin == destination (%v)", i, out["org"])
+		}
+		if out["fltNum"].(int64) < 100 {
+			t.Errorf("event %d: flight number %v", i, out["fltNum"])
+		}
+	}
+}
+
+func TestFlightStructBinding(t *testing.T) {
+	ctx, _ := pbio.NewContext(machine.X86_64)
+	set, err := core.RegisterDocument(ctx, []byte(FlightSchema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := set.Root()
+	b, err := f.Bind(Flight{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := NewFlightGen(1)
+	in := gen.NextFlight()
+	data, err := b.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Flight
+	if err := b.Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestWeatherEventsEncode(t *testing.T) {
+	ctx, _ := pbio.NewContext(machine.X86)
+	set, err := core.RegisterDocument(ctx, []byte(WeatherSchema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := set.Root()
+	gen := NewWeatherGen(3)
+	for i := 0; i < 100; i++ {
+		rec := gen.Next()
+		data, err := f.Encode(rec)
+		if err != nil {
+			t.Fatalf("obs %d: %v", i, err)
+		}
+		out, err := f.Decode(data)
+		if err != nil {
+			t.Fatalf("obs %d: %v", i, err)
+		}
+		if out["tempC"].(float64) < out["dewPointC"].(float64) {
+			t.Errorf("obs %d: dew point above temperature", i)
+		}
+	}
+}
+
+func TestMiningEventsEncode(t *testing.T) {
+	ctx, _ := pbio.NewContext(machine.Sparc64)
+	set, err := core.RegisterDocument(ctx, []byte(MiningSchema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := set.Lookup("LoadTrend")
+	if !ok {
+		t.Fatal("LoadTrend not registered")
+	}
+	gen := NewMiningGen(9)
+	var prevEnd uint64
+	for i := 0; i < 50; i++ {
+		rec := gen.Next()
+		data, err := f.Encode(rec)
+		if err != nil {
+			t.Fatalf("trend %d: %v", i, err)
+		}
+		out, err := f.Decode(data)
+		if err != nil {
+			t.Fatalf("trend %d: %v", i, err)
+		}
+		start := out["windowStart"].(uint64)
+		end := out["windowEnd"].(uint64)
+		if end <= start {
+			t.Errorf("trend %d: empty window", i)
+		}
+		if start < prevEnd {
+			t.Errorf("trend %d: windows overlap", i)
+		}
+		prevEnd = end
+		routes := out["routes"].([]pbio.Record)
+		if len(routes) == 0 {
+			t.Errorf("trend %d: no routes", i)
+		}
+		for _, r := range routes {
+			lf := r["loadFactor"].(float64)
+			if lf < 0.4 || lf > 1.0 {
+				t.Errorf("trend %d: load factor %v", i, lf)
+			}
+		}
+	}
+}

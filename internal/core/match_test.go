@@ -1,0 +1,162 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"openmeta/internal/machine"
+	"openmeta/internal/pbio"
+	"openmeta/internal/xmlwire"
+)
+
+// matchFixtures registers three related formats to discriminate between.
+func matchFixtures(t *testing.T) (flight, weather, status *pbio.Format) {
+	t.Helper()
+	ctx, err := pbio.NewContext(machine.X86_64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flight, err = ctx.RegisterSpec("Flight", []pbio.FieldSpec{
+		{Name: "fltNum", Kind: pbio.Int, CType: machine.CInt},
+		{Name: "dest", Kind: pbio.String},
+		{Name: "eta", Kind: pbio.Uint, CType: machine.CUInt, Dynamic: true, CountField: "eta_count"},
+		{Name: "eta_count", Kind: pbio.Int, CType: machine.CInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weather, err = ctx.RegisterSpec("Weather", []pbio.FieldSpec{
+		{Name: "station", Kind: pbio.String},
+		{Name: "tempC", Kind: pbio.Float, CType: machine.CDouble},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err = ctx.RegisterSpec("Status", []pbio.FieldSpec{
+		{Name: "fltNum", Kind: pbio.Int, CType: machine.CInt},
+		{Name: "dest", Kind: pbio.String},
+		{Name: "gate", Kind: pbio.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flight, weather, status
+}
+
+func TestMatchXMLExact(t *testing.T) {
+	flight, weather, status := matchFixtures(t)
+	msg, err := xmlwire.EncodeRecord(flight, pbio.Record{
+		"fltNum": 1842, "dest": "MCO", "eta": []uint64{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := MatchXML([]*pbio.Format{weather, status, flight}, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0].Format != flight || !scores[0].Exact || scores[0].Score != 1 {
+		t.Errorf("best = %q score %.2f exact %v", scores[0].Format.Name, scores[0].Score, scores[0].Exact)
+	}
+	if scores[len(scores)-1].Format == flight {
+		t.Error("flight also ranked last")
+	}
+}
+
+func TestMatchXMLClosestFit(t *testing.T) {
+	flight, weather, status := matchFixtures(t)
+	// A message that is *almost* Status: right root missing, extra field.
+	msg := []byte(`<Status><fltNum>7</fltNum><dest>BOS</dest><gate>A1</gate><extra>x</extra></Status>`)
+	scores, err := MatchXML([]*pbio.Format{flight, weather, status}, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0].Format != status {
+		t.Errorf("best = %q, want Status (scores %+v)", scores[0].Format.Name, scores)
+	}
+	if scores[0].Exact {
+		t.Error("inexact message reported exact")
+	}
+	if scores[0].Score <= scores[1].Score {
+		t.Errorf("ranking not strict: %.2f vs %.2f", scores[0].Score, scores[1].Score)
+	}
+	if scores[0].Detail == "" {
+		t.Error("no detail on inexact match")
+	}
+	// Weather should score worst: nothing overlaps.
+	if scores[len(scores)-1].Format != weather {
+		t.Errorf("worst = %q, want Weather", scores[len(scores)-1].Format.Name)
+	}
+}
+
+func TestMatchXMLDynamicToleratesAnyCount(t *testing.T) {
+	flight, _, _ := matchFixtures(t)
+	// Zero eta elements still fits Flight exactly.
+	msg := []byte(`<Flight><fltNum>1</fltNum><dest>LGA</dest></Flight>`)
+	scores, err := MatchXML([]*pbio.Format{flight}, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scores[0].Exact {
+		t.Errorf("zero-length dynamic array not exact: %+v", scores[0])
+	}
+}
+
+func TestMatchXMLErrors(t *testing.T) {
+	if _, err := MatchXML(nil, []byte(`<x/>`)); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("err = %v", err)
+	}
+	flight, _, _ := matchFixtures(t)
+	if _, err := MatchXML([]*pbio.Format{flight}, []byte(`not xml`)); err == nil {
+		t.Error("malformed instance accepted")
+	}
+}
+
+func TestMatchBinary(t *testing.T) {
+	flight, weather, status := matchFixtures(t)
+	record, err := flight.Encode(pbio.Record{
+		"fltNum": 1842, "dest": "MCO", "eta": []uint64{1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := MatchBinary([]*pbio.Format{weather, status, flight}, record)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0].Format != flight || !scores[0].Exact {
+		t.Errorf("best = %q exact %v (scores: %v)",
+			scores[0].Format.Name, scores[0].Exact, describe(scores))
+	}
+}
+
+func TestMatchBinaryRejectsGarbage(t *testing.T) {
+	flight, weather, _ := matchFixtures(t)
+	garbage := make([]byte, 256)
+	for i := range garbage {
+		garbage[i] = 0xFF
+	}
+	scores, err := MatchBinary([]*pbio.Format{flight, weather}, garbage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		if s.Exact {
+			t.Errorf("garbage matched %q exactly", s.Format.Name)
+		}
+	}
+}
+
+func TestMatchBinaryNoCandidates(t *testing.T) {
+	if _, err := MatchBinary(nil, []byte{1}); !errors.Is(err, ErrNoCandidates) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func describe(scores []MatchScore) []string {
+	out := make([]string, len(scores))
+	for i, s := range scores {
+		out[i] = s.Format.Name
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"openmeta/internal/pbio"
+	"openmeta/internal/xmlschema"
+)
+
+// ErrInvalidRecord reports a record violating its schema's facets.
+var ErrInvalidRecord = errors.New("xml2wire: record violates schema facets")
+
+// ValidateRecord checks a decoded record against the facet constraints its
+// schema declares through simple types (enumerations, numeric ranges,
+// string lengths) — the "schema-checking tools will be applicable to live
+// messages" capability of the paper's §4.1.1, applied after decode. Fields
+// whose elements use plain primitives always pass; structural conformance
+// is already guaranteed by the format.
+func ValidateRecord(s *xmlschema.Schema, typeName string, rec pbio.Record) error {
+	ct, ok := s.TypeByName(typeName)
+	if !ok {
+		return fmt.Errorf("xml2wire: validate: schema has no type %q", typeName)
+	}
+	for _, e := range ct.Elements {
+		val, present := rec[e.Name]
+		if !present || val == nil {
+			continue
+		}
+		if e.Type.IsPrimitive() {
+			if e.Type.Simple == "" {
+				continue
+			}
+			st, ok := s.SimpleTypeByName(e.Type.Simple)
+			if !ok {
+				continue
+			}
+			if err := validateValues(st, e, val); err != nil {
+				return fmt.Errorf("%w: type %q element %q: %v", ErrInvalidRecord, typeName, e.Name, err)
+			}
+			continue
+		}
+		// Nested complex types validate recursively.
+		switch v := val.(type) {
+		case pbio.Record:
+			if err := ValidateRecord(s, e.Type.Named, v); err != nil {
+				return err
+			}
+		case map[string]interface{}:
+			if err := ValidateRecord(s, e.Type.Named, pbio.Record(v)); err != nil {
+				return err
+			}
+		case []pbio.Record:
+			for _, sub := range v {
+				if err := ValidateRecord(s, e.Type.Named, sub); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func validateValues(st *xmlschema.SimpleType, e xmlschema.Element, val interface{}) error {
+	if e.Array == xmlschema.NoArray {
+		return validateOne(st, val)
+	}
+	switch v := val.(type) {
+	case []string:
+		for _, x := range v {
+			if err := validateOne(st, x); err != nil {
+				return err
+			}
+		}
+	case []int64:
+		for _, x := range v {
+			if err := validateOne(st, x); err != nil {
+				return err
+			}
+		}
+	case []uint64:
+		for _, x := range v {
+			if err := validateOne(st, x); err != nil {
+				return err
+			}
+		}
+	case []float64:
+		for _, x := range v {
+			if err := validateOne(st, x); err != nil {
+				return err
+			}
+		}
+	case []interface{}:
+		for _, x := range v {
+			if err := validateOne(st, x); err != nil {
+				return err
+			}
+		}
+	default:
+		return validateOne(st, val)
+	}
+	return nil
+}
+
+func validateOne(st *xmlschema.SimpleType, val interface{}) error {
+	switch v := val.(type) {
+	case string:
+		if st.MaxLength >= 0 && len(v) > st.MaxLength {
+			return fmt.Errorf("%q exceeds maxLength %d (simpleType %s)", v, st.MaxLength, st.Name)
+		}
+		if len(st.Enumeration) > 0 && !contains(st.Enumeration, v) {
+			return fmt.Errorf("%q not in enumeration of simpleType %s", v, st.Name)
+		}
+		return checkRangeText(st, v)
+	case int64:
+		return checkNumeric(st, float64(v), strconv.FormatInt(v, 10))
+	case int:
+		return checkNumeric(st, float64(v), strconv.Itoa(v))
+	case int32:
+		return checkNumeric(st, float64(v), strconv.FormatInt(int64(v), 10))
+	case uint64:
+		return checkNumeric(st, float64(v), strconv.FormatUint(v, 10))
+	case float64:
+		return checkNumeric(st, v, strconv.FormatFloat(v, 'g', -1, 64))
+	case bool:
+		return nil
+	default:
+		return fmt.Errorf("unsupported value type %T for simpleType %s", val, st.Name)
+	}
+}
+
+func contains(list []string, v string) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRangeText applies numeric range facets to a string-typed value only
+// when the facets exist and the value parses; non-numeric strings with
+// numeric facets are a schema-authoring problem we surface.
+func checkRangeText(st *xmlschema.SimpleType, v string) error {
+	if st.MinInclusive == "" && st.MaxInclusive == "" {
+		return nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return fmt.Errorf("%q is not numeric but simpleType %s has range facets", v, st.Name)
+	}
+	return checkNumeric(st, f, v)
+}
+
+func checkNumeric(st *xmlschema.SimpleType, v float64, text string) error {
+	if len(st.Enumeration) > 0 && !contains(st.Enumeration, text) {
+		return fmt.Errorf("%s not in enumeration of simpleType %s", text, st.Name)
+	}
+	if st.MinInclusive != "" {
+		min, err := strconv.ParseFloat(st.MinInclusive, 64)
+		if err == nil && v < min {
+			return fmt.Errorf("%s below minInclusive %s (simpleType %s)", text, st.MinInclusive, st.Name)
+		}
+	}
+	if st.MaxInclusive != "" {
+		max, err := strconv.ParseFloat(st.MaxInclusive, 64)
+		if err == nil && v > max {
+			return fmt.Errorf("%s above maxInclusive %s (simpleType %s)", text, st.MaxInclusive, st.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"openmeta/internal/machine"
+	"openmeta/internal/pbio"
+	"openmeta/internal/xmlschema"
+)
+
+const facetSchema = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:simpleType name="CenterID">
+    <xsd:restriction base="xsd:string">
+      <xsd:enumeration value="ZTL" />
+      <xsd:enumeration value="ZJX" />
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:simpleType name="FlightNumber">
+    <xsd:restriction base="xsd:integer">
+      <xsd:minInclusive value="1" />
+      <xsd:maxInclusive value="9999" />
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:simpleType name="Airport">
+    <xsd:restriction base="xsd:string">
+      <xsd:maxLength value="4" />
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:complexType name="Leg">
+    <xsd:element name="org" type="Airport" />
+    <xsd:element name="dest" type="Airport" />
+  </xsd:complexType>
+  <xsd:complexType name="Movement">
+    <xsd:element name="center" type="CenterID" />
+    <xsd:element name="flt" type="FlightNumber" />
+    <xsd:element name="legs" type="Leg" minOccurs="0" maxOccurs="*" />
+    <xsd:element name="alts" type="FlightNumber" minOccurs="0" maxOccurs="*" />
+  </xsd:complexType>
+</xsd:schema>`
+
+func facetFixtures(t *testing.T) (*xmlschema.Schema, *pbio.Format) {
+	t.Helper()
+	s, err := xmlschema.ParseString(facetSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := pbio.NewContext(machine.Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := RegisterSchema(ctx, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := set.Lookup("Movement")
+	if !ok {
+		t.Fatal("Movement not registered")
+	}
+	return s, f
+}
+
+func TestValidateRecordAcceptsConforming(t *testing.T) {
+	s, f := facetFixtures(t)
+	rec := pbio.Record{
+		"center": "ZTL", "flt": 1842,
+		"legs": []pbio.Record{{"org": "KATL", "dest": "KMCO"}},
+		"alts": []int64{100, 200},
+	}
+	// Through a full wire round trip, as a live message would arrive.
+	wire, err := f.Encode(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := f.Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateRecord(s, "Movement", decoded); err != nil {
+		t.Errorf("conforming record rejected: %v", err)
+	}
+}
+
+func TestValidateRecordRejections(t *testing.T) {
+	s, _ := facetFixtures(t)
+	cases := []struct {
+		name string
+		rec  pbio.Record
+		want string
+	}{
+		{"bad enumeration", pbio.Record{"center": "ZZZ"}, "enumeration"},
+		{"below range", pbio.Record{"flt": int64(0)}, "minInclusive"},
+		{"above range", pbio.Record{"flt": int64(10000)}, "maxInclusive"},
+		{"nested too long", pbio.Record{
+			"legs": []pbio.Record{{"org": "TOOLONG"}},
+		}, "maxLength"},
+		{"array element out of range", pbio.Record{"alts": []int64{5, 99999}}, "maxInclusive"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			err := ValidateRecord(s, "Movement", tt.rec)
+			if !errors.Is(err, ErrInvalidRecord) {
+				t.Fatalf("err = %v, want ErrInvalidRecord", err)
+			}
+			if !strings.Contains(err.Error(), tt.want) {
+				t.Errorf("err = %v, want mention of %s", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestValidateRecordMissingFieldsPass(t *testing.T) {
+	s, _ := facetFixtures(t)
+	if err := ValidateRecord(s, "Movement", pbio.Record{}); err != nil {
+		t.Errorf("empty record rejected: %v", err)
+	}
+}
+
+func TestValidateRecordUnknownType(t *testing.T) {
+	s, _ := facetFixtures(t)
+	if err := ValidateRecord(s, "NoSuch", pbio.Record{}); err == nil {
+		t.Error("unknown type accepted")
+	}
+}

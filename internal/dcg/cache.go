@@ -1,0 +1,56 @@
+package dcg
+
+import (
+	"sync"
+
+	"openmeta/internal/pbio"
+)
+
+// Cache memoizes compiled plans per (source, destination) format pair, the
+// way PBIO caches its generated conversion routines: the first record of a
+// new pairing pays the compilation cost, every later record reuses the
+// program. Cache is safe for concurrent use.
+type Cache struct {
+	mu    sync.RWMutex
+	plans map[pairKey]*Plan
+}
+
+type pairKey struct {
+	src pbio.FormatID
+	dst pbio.FormatID
+}
+
+// NewCache returns an empty plan cache.
+func NewCache() *Cache {
+	return &Cache{plans: make(map[pairKey]*Plan)}
+}
+
+// Plan returns the compiled plan from src to dst, compiling and memoizing it
+// on first use.
+func (c *Cache) Plan(src, dst *pbio.Format) (*Plan, error) {
+	key := pairKey{src.ID, dst.ID}
+	c.mu.RLock()
+	p, ok := c.plans[key]
+	c.mu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	p, err := Compile(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.plans[key]; ok {
+		return prev, nil
+	}
+	c.plans[key] = p
+	return p, nil
+}
+
+// Len reports the number of memoized plans.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.plans)
+}

@@ -1,0 +1,451 @@
+// Package dcg compiles record conversion plans — the role dynamic code
+// generation plays in the paper's system.
+//
+// When an NDR record arrives, the receiver may hold a different native
+// representation: other byte order, other integer sizes, other alignment and
+// therefore other field offsets. PBIO generates custom conversion routines
+// on the fly for each (source format, destination format) pair so that the
+// per-message cost is a straight run of the generated code rather than a
+// per-field interpretation of metadata. Go has no runtime code generation,
+// so this package compiles the same analysis into a flat instruction program
+// executed by a tight loop — the analysis cost is paid once per pair, the
+// per-message cost is bounded by the program length, and the homogeneous
+// case degenerates to a single memory copy, preserving NDR's "no conversion
+// when representations match" property.
+//
+// For the ablation benchmark the package also provides Naive, which performs
+// the same conversion by full metadata interpretation on every record.
+package dcg
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"openmeta/internal/machine"
+	"openmeta/internal/pbio"
+)
+
+// Plan is a compiled conversion program from records of one format to
+// records of another. Plans are immutable and safe for concurrent use.
+type Plan struct {
+	// Src is the format of input records.
+	Src *pbio.Format
+	// Dst is the format of output records.
+	Dst *pbio.Format
+	// Identity reports that source and destination representations are
+	// byte-identical, so conversion is a single copy.
+	Identity bool
+
+	prog []op
+}
+
+type opcode int
+
+const (
+	opCopy    opcode = iota + 1 // raw byte copy (identical representation)
+	opSwap                      // same-size element, opposite byte order: reverse bytes
+	opInt                       // integer resize (and byte swap)
+	opFloat                     // float convert (4 <-> 8, byte swap)
+	opBool                      // 1-byte boolean
+	opString                    // string reference: copy bytes to dst var region
+	opNested                    // nested record(s): run child program
+	opDynamic                   // dynamic array: loop an element op over var region
+)
+
+// op is one instruction. Offsets are relative to the current fixed-region
+// base on each side; var-region references are relative to record start.
+type op struct {
+	code   opcode
+	srcOff int
+	dstOff int
+
+	size    int  // element size on the source side
+	dstSize int  // element size on the destination side
+	count   int  // static element count
+	signed  bool // sign-extend integers
+
+	child *Plan // nested record program
+
+	// Dynamic array support: where to read the element count on the source
+	// side, and how the destination element data must be aligned.
+	countOff    int
+	countSize   int
+	countSigned bool
+	elem        *op // element conversion (size/dstSize/child reused)
+	elemAlign   int
+}
+
+// Compile errors.
+var (
+	ErrIncompatible = errors.New("dcg: source and destination fields are incompatible")
+)
+
+// Compile builds the conversion program from src records to dst records.
+// Fields are matched by name: destination fields absent from the source are
+// left zero (format evolution), source fields absent from the destination
+// are skipped. Matched fields must have the same kind and array shape.
+func Compile(src, dst *pbio.Format) (*Plan, error) {
+	p := &Plan{Src: src, Dst: dst}
+	if src.ID == dst.ID {
+		p.Identity = true
+		return p, nil
+	}
+	sameRep := src.Arch.Order == dst.Arch.Order
+	for di := range dst.Fields {
+		dfl := &dst.Fields[di]
+		sfl, ok := src.FieldByName(dfl.Name)
+		if !ok {
+			continue
+		}
+		o, err := compileField(src, dst, sfl, dfl, sameRep)
+		if err != nil {
+			return nil, err
+		}
+		if o != nil {
+			p.prog = append(p.prog, *o)
+		}
+	}
+	p.coalesceCopies()
+	return p, nil
+}
+
+func compileField(src, dst *pbio.Format, sfl, dfl *pbio.Field, sameRep bool) (*op, error) {
+	if sfl.Kind != dfl.Kind || sfl.Dynamic != dfl.Dynamic {
+		return nil, fmt.Errorf("%w: field %q is %s/%v in source, %s/%v in destination",
+			ErrIncompatible, dfl.Name, sfl.Kind, sfl.Dynamic, dfl.Kind, dfl.Dynamic)
+	}
+	if !sfl.Dynamic && sfl.Count != dfl.Count {
+		return nil, fmt.Errorf("%w: field %q has %d elements in source, %d in destination",
+			ErrIncompatible, dfl.Name, sfl.Count, dfl.Count)
+	}
+
+	elem, err := elementOp(src, dst, sfl, dfl, sameRep)
+	if err != nil {
+		return nil, err
+	}
+
+	if sfl.Dynamic {
+		cf, ok := src.FieldByName(sfl.CountField)
+		if !ok {
+			return nil, fmt.Errorf("%w: field %q count field %q missing in source",
+				ErrIncompatible, sfl.Name, sfl.CountField)
+		}
+		align := dst.Arch.Align(dfl.ElemSize)
+		if dfl.Kind == pbio.Nested {
+			align = dfl.Nested.Align
+		}
+		return &op{
+			code:        opDynamic,
+			srcOff:      sfl.Offset,
+			dstOff:      dfl.Offset,
+			countOff:    cf.Offset,
+			countSize:   cf.ElemSize,
+			countSigned: cf.Kind == pbio.Int,
+			elem:        elem,
+			elemAlign:   align,
+		}, nil
+	}
+
+	o := *elem
+	o.srcOff = sfl.Offset
+	o.dstOff = dfl.Offset
+	o.count = sfl.Count
+	// A run of elements with identical representation collapses into one
+	// copy covering the whole slot.
+	if o.code == opCopy {
+		o.size *= o.count
+		o.dstSize = o.size
+		o.count = 1
+	}
+	return &o, nil
+}
+
+// elementOp builds the per-element instruction with offsets left at zero.
+func elementOp(src, dst *pbio.Format, sfl, dfl *pbio.Field, sameRep bool) (*op, error) {
+	switch dfl.Kind {
+	case pbio.Int, pbio.Uint, pbio.Char:
+		if sfl.ElemSize == dfl.ElemSize {
+			if sameRep || sfl.ElemSize == 1 {
+				return &op{code: opCopy, size: sfl.ElemSize, dstSize: dfl.ElemSize}, nil
+			}
+			// Byte reversal is exactly the endianness conversion for a
+			// two's-complement integer of unchanged width.
+			return &op{code: opSwap, size: sfl.ElemSize, dstSize: dfl.ElemSize}, nil
+		}
+		return &op{
+			code: opInt, size: sfl.ElemSize, dstSize: dfl.ElemSize,
+			signed: dfl.Kind != pbio.Uint,
+		}, nil
+	case pbio.Float:
+		if sfl.ElemSize == dfl.ElemSize {
+			if sameRep {
+				return &op{code: opCopy, size: sfl.ElemSize, dstSize: dfl.ElemSize}, nil
+			}
+			// IEEE 754 bit patterns swap bytes like integers.
+			return &op{code: opSwap, size: sfl.ElemSize, dstSize: dfl.ElemSize}, nil
+		}
+		return &op{code: opFloat, size: sfl.ElemSize, dstSize: dfl.ElemSize}, nil
+	case pbio.Bool:
+		return &op{code: opBool, size: 1, dstSize: 1}, nil
+	case pbio.String:
+		return &op{code: opString, size: sfl.ElemSize, dstSize: dfl.ElemSize}, nil
+	case pbio.Nested:
+		child, err := Compile(sfl.Nested, dfl.Nested)
+		if err != nil {
+			return nil, err
+		}
+		if child.Identity && sameRep {
+			return &op{code: opCopy, size: sfl.Nested.Size, dstSize: dfl.Nested.Size}, nil
+		}
+		return &op{code: opNested, size: sfl.Nested.Size, dstSize: dfl.Nested.Size, child: child}, nil
+	default:
+		return nil, fmt.Errorf("%w: field %q has kind %v", ErrIncompatible, dfl.Name, dfl.Kind)
+	}
+}
+
+// coalesceCopies merges adjacent opCopy instructions that cover contiguous
+// ranges on both sides, so a same-representation prefix becomes one copy.
+func (p *Plan) coalesceCopies() {
+	out := p.prog[:0]
+	for _, o := range p.prog {
+		if o.code == opCopy && len(out) > 0 {
+			last := &out[len(out)-1]
+			if last.code == opCopy &&
+				last.srcOff+last.size == o.srcOff &&
+				last.dstOff+last.size == o.dstOff {
+				last.size += o.size
+				last.dstSize = last.size
+				continue
+			}
+		}
+		out = append(out, o)
+	}
+	p.prog = out
+}
+
+// Ops reports the number of instructions in the compiled program; the
+// identity plan has zero. Exposed for tests and benchmarks.
+func (p *Plan) Ops() int { return len(p.prog) }
+
+// Convert translates one NDR record of the source format into a fresh NDR
+// record of the destination format.
+func (p *Plan) Convert(src []byte) ([]byte, error) {
+	return p.AppendConvert(make([]byte, 0, len(src)+p.Dst.Size), src)
+}
+
+// AppendConvert appends the converted record to out for buffer reuse.
+func (p *Plan) AppendConvert(out, src []byte) ([]byte, error) {
+	if len(src) < p.Src.Size {
+		return nil, fmt.Errorf("dcg: record of %d bytes, source fixed region needs %d",
+			len(src), p.Src.Size)
+	}
+	if p.Identity {
+		return append(out, src...), nil
+	}
+	base := len(out)
+	out = append(out, make([]byte, p.Dst.Size)...)
+	return p.run(out, base, base, src, 0)
+}
+
+// run executes the program for one (possibly nested) fixed region.
+func (p *Plan) run(out []byte, recBase, dstFixed int, src []byte, srcFixed int) ([]byte, error) {
+	srcOrder := p.Src.Arch.Order
+	dstOrder := p.Dst.Arch.Order
+	var err error
+	for i := range p.prog {
+		o := &p.prog[i]
+		sOff := srcFixed + o.srcOff
+		dOff := dstFixed + o.dstOff
+		switch o.code {
+		case opCopy:
+			copy(out[dOff:dOff+o.size], src[sOff:sOff+o.size])
+		case opSwap:
+			swapBytes(out[dOff:dOff+o.count*o.size], src[sOff:sOff+o.count*o.size], o.size)
+		case opInt:
+			for e := 0; e < o.count; e++ {
+				raw := machine.Uint(src[sOff+e*o.size:], srcOrder, o.size)
+				if o.signed {
+					raw = machine.TruncInt(machine.SignExtend(raw, o.size), o.dstSize)
+				}
+				machine.PutUint(out[dOff+e*o.dstSize:], dstOrder, o.dstSize, raw)
+			}
+		case opFloat:
+			for e := 0; e < o.count; e++ {
+				v := machine.Float(src[sOff+e*o.size:], srcOrder, o.size)
+				machine.PutFloat(out[dOff+e*o.dstSize:], dstOrder, o.dstSize, v)
+			}
+		case opBool:
+			for e := 0; e < o.count; e++ {
+				if src[sOff+e] != 0 {
+					out[dOff+e] = 1
+				} else {
+					out[dOff+e] = 0
+				}
+			}
+		case opString:
+			for e := 0; e < o.count; e++ {
+				out, err = p.convertString(out, recBase, dOff+e*o.dstSize, src, sOff+e*o.size)
+				if err != nil {
+					return nil, err
+				}
+			}
+		case opNested:
+			for e := 0; e < o.count; e++ {
+				out, err = o.child.run(out, recBase, dOff+e*o.dstSize, src, sOff+e*o.size)
+				if err != nil {
+					return nil, err
+				}
+			}
+		case opDynamic:
+			out, err = p.convertDynamic(out, recBase, dstFixed, src, srcFixed, o)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func (p *Plan) convertString(out []byte, recBase, dstSlot int, src []byte, srcSlot int) ([]byte, error) {
+	ref := machine.Uint(src[srcSlot:], p.Src.Arch.Order, p.Src.Arch.PointerSize)
+	if ref == 0 {
+		return out, nil
+	}
+	if ref >= uint64(len(src)) {
+		return nil, fmt.Errorf("dcg: string reference %d outside %d-byte record", ref, len(src))
+	}
+	start := int(ref)
+	end := -1
+	for i := start; i < len(src); i++ {
+		if src[i] == 0 {
+			end = i
+			break
+		}
+	}
+	if end < 0 {
+		return nil, fmt.Errorf("dcg: unterminated string at %d", ref)
+	}
+	newRef := len(out) - recBase
+	out = append(out, src[start:end+1]...)
+	machine.PutUint(out[dstSlot:], p.Dst.Arch.Order, p.Dst.Arch.PointerSize, uint64(newRef))
+	return out, nil
+}
+
+func (p *Plan) convertDynamic(out []byte, recBase, dstFixed int, src []byte, srcFixed int, o *op) ([]byte, error) {
+	raw := machine.Uint(src[srcFixed+o.countOff:], p.Src.Arch.Order, o.countSize)
+	n := int64(raw)
+	if o.countSigned {
+		n = machine.SignExtend(raw, o.countSize)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("dcg: negative dynamic count %d", n)
+	}
+	if n == 0 {
+		return out, nil
+	}
+	if n*int64(o.elem.size) > int64(len(src)) {
+		return nil, fmt.Errorf("dcg: dynamic count %d x %d exceeds record size %d",
+			n, o.elem.size, len(src))
+	}
+	ref := machine.Uint(src[srcFixed+o.srcOff:], p.Src.Arch.Order, p.Src.Arch.PointerSize)
+	if ref == 0 || ref >= uint64(len(src)) {
+		return nil, fmt.Errorf("dcg: dynamic array reference %d outside %d-byte record", ref, len(src))
+	}
+	sStart := int(ref)
+	if sStart+int(n)*o.elem.size > len(src) {
+		return nil, fmt.Errorf("dcg: dynamic array escapes record")
+	}
+
+	pad := alignUp(len(out)-recBase, o.elemAlign) - (len(out) - recBase)
+	out = append(out, make([]byte, pad)...)
+	newRef := len(out) - recBase
+	dStart := len(out)
+	out = append(out, make([]byte, int(n)*o.elem.dstSize)...)
+
+	elem := *o.elem
+	elem.srcOff, elem.dstOff = 0, 0
+	var err error
+	switch elem.code {
+	case opNested, opString:
+		// Reference-bearing elements need per-element variable-region work.
+		elem.count = 1
+		sub := Plan{Src: p.Src, Dst: p.Dst, prog: []op{elem}}
+		for e := 0; e < int(n); e++ {
+			out, err = sub.run(out, recBase, dStart+e*elem.dstSize, src, sStart+e*elem.size)
+			if err != nil {
+				return nil, err
+			}
+		}
+	case opCopy:
+		// One bulk copy covers the whole array.
+		elem.size = int(n) * o.elem.size
+		elem.dstSize = elem.size
+		sub := Plan{Src: p.Src, Dst: p.Dst, prog: []op{elem}}
+		if out, err = sub.run(out, recBase, dStart, src, sStart); err != nil {
+			return nil, err
+		}
+	default:
+		// Scalar conversions run as one instruction with the array count —
+		// a single tight loop, no per-element dispatch.
+		elem.count = int(n)
+		sub := Plan{Src: p.Src, Dst: p.Dst, prog: []op{elem}}
+		if out, err = sub.run(out, recBase, dStart, src, sStart); err != nil {
+			return nil, err
+		}
+	}
+	machine.PutUint(out[dstFixed+o.dstOff:], p.Dst.Arch.Order, p.Dst.Arch.PointerSize, uint64(newRef))
+	return out, nil
+}
+
+// swapBytes reverses the byte order of each size-byte element while copying
+// src to dst. This is the whole of an endianness conversion for fixed-width
+// integers and IEEE floats, so it is the hottest instruction in
+// heterogeneous plans; the common widths use single loads plus a reverse.
+func swapBytes(dst, src []byte, size int) {
+	switch size {
+	case 2:
+		for i := 0; i+2 <= len(src); i += 2 {
+			binary.LittleEndian.PutUint16(dst[i:],
+				bits.ReverseBytes16(binary.LittleEndian.Uint16(src[i:])))
+		}
+	case 4:
+		for i := 0; i+4 <= len(src); i += 4 {
+			binary.LittleEndian.PutUint32(dst[i:],
+				bits.ReverseBytes32(binary.LittleEndian.Uint32(src[i:])))
+		}
+	case 8:
+		for i := 0; i+8 <= len(src); i += 8 {
+			binary.LittleEndian.PutUint64(dst[i:],
+				bits.ReverseBytes64(binary.LittleEndian.Uint64(src[i:])))
+		}
+	default:
+		for i := 0; i+size <= len(src); i += size {
+			for k := 0; k < size; k++ {
+				dst[i+k] = src[i+size-1-k]
+			}
+		}
+	}
+}
+
+func alignUp(n, align int) int {
+	if align <= 1 {
+		return n
+	}
+	if rem := n % align; rem != 0 {
+		return n + align - rem
+	}
+	return n
+}
+
+// Naive converts by full metadata interpretation on every record — decode to
+// a generic record, re-encode in the destination format. It exists as the
+// ablation baseline quantifying what plan compilation buys.
+func Naive(src, dst *pbio.Format, data []byte) ([]byte, error) {
+	rec, err := src.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	return dst.Encode(rec)
+}

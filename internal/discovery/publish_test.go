@@ -1,0 +1,135 @@
+package discovery
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPublishAndUnpublish(t *testing.T) {
+	repo := NewRepository()
+	repo.SetWritable(true)
+	srv := httptest.NewServer(repo.Handler())
+	defer srv.Close()
+	c, err := NewClient(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Create.
+	if err := c.Publish(ctx, "Weather", docWeather); err != nil {
+		t.Fatal(err)
+	}
+	s, err := c.Schema(ctx, "Weather")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Types[0].Name != "Weather" {
+		t.Errorf("schema = %q", s.Types[0].Name)
+	}
+
+	// Replace (evolution from the stream's side).
+	changed := strings.Replace(docWeather, "tempC", "tempF", 1)
+	if err := c.Publish(ctx, "Weather", changed); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Schema(ctx, "Weather")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Types[0].Elements[1].Name != "tempF" {
+		t.Errorf("replace not visible: %+v", s2.Types[0].Elements[1])
+	}
+
+	// Delete.
+	if err := c.Unpublish(ctx, "Weather"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Schema(ctx, "Weather"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("after unpublish err = %v", err)
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	repo := NewRepository()
+	repo.SetWritable(true)
+	srv := httptest.NewServer(repo.Handler())
+	defer srv.Close()
+	c, err := NewClient(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client-side validation rejects before any network traffic.
+	if err := c.Publish(context.Background(), "Bad", "<junk/>"); err == nil {
+		t.Error("invalid document published")
+	}
+	// Server-side validation also rejects raw uploads.
+	req, err := http.NewRequest(http.MethodPut, srv.URL+SchemaPathPrefix+"Bad",
+		strings.NewReader("<junk/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("raw invalid PUT status = %d", resp.StatusCode)
+	}
+}
+
+func TestPublishReadOnlyRepository(t *testing.T) {
+	repo := NewRepository() // writes not enabled
+	srv := httptest.NewServer(repo.Handler())
+	defer srv.Close()
+	c, err := NewClient(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Publish(context.Background(), "Weather", docWeather)
+	if err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Errorf("err = %v, want read-only rejection", err)
+	}
+}
+
+func TestPublishStatusCodes(t *testing.T) {
+	repo := NewRepository()
+	repo.SetWritable(true)
+	srv := httptest.NewServer(repo.Handler())
+	defer srv.Close()
+
+	put := func(name string) int {
+		req, err := http.NewRequest(http.MethodPut, srv.URL+SchemaPathPrefix+name,
+			strings.NewReader(docWeather))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := put("W"); got != http.StatusCreated {
+		t.Errorf("first PUT = %d, want 201", got)
+	}
+	if got := put("W"); got != http.StatusNoContent {
+		t.Errorf("second PUT = %d, want 204", got)
+	}
+	// Empty name.
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+SchemaPathPrefix, strings.NewReader(docWeather))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty-name PUT = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,242 @@
+// Package discovery implements the remote metadata discovery architecture
+// of the paper's §3.3 and §4.4: schema documents live in a repository
+// reachable over HTTP ("newly created streams can make their metadata
+// available as XML Schema documents on a publicly known intranet server"),
+// clients retrieve and cache them at run time, and a fallback chain lets an
+// application degrade to compiled-in metadata when the repository is
+// unreachable — "a system that uses remote discovery as a primary discovery
+// method and compiled-in information as a fault-tolerant discovery method".
+package discovery
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"openmeta/internal/xmlschema"
+)
+
+// Repository is the server-side store of schema documents, keyed by format
+// name. Documents are validated on insertion so clients never receive
+// unparseable metadata. Repository is safe for concurrent use.
+type Repository struct {
+	mu       sync.RWMutex
+	docs     map[string]repoEntry
+	gens     map[string]Generator
+	writable bool
+}
+
+type repoEntry struct {
+	doc  string
+	etag string
+}
+
+// Generator produces a schema document on demand, enabling the dynamic
+// metadata generation of §4.4 (e.g. scoping the format by requestor
+// attributes). The returned document is validated before it is served.
+type Generator func(r *http.Request) (string, error)
+
+// Repository errors.
+var (
+	ErrNotFound = errors.New("discovery: no such schema")
+)
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{
+		docs: make(map[string]repoEntry),
+		gens: make(map[string]Generator),
+	}
+}
+
+// Put validates and stores a schema document under the given name,
+// replacing any previous version — this is how a format evolves without any
+// subscriber recompiling.
+func (repo *Repository) Put(name, doc string) error {
+	if _, err := xmlschema.ParseString(doc); err != nil {
+		return fmt.Errorf("discovery: put %q: %w", name, err)
+	}
+	repo.mu.Lock()
+	defer repo.mu.Unlock()
+	repo.docs[name] = repoEntry{doc: doc, etag: etagOf(doc)}
+	return nil
+}
+
+// PutSchema stores an in-memory schema model, serializing it to XML.
+func (repo *Repository) PutSchema(name string, s *xmlschema.Schema) error {
+	return repo.Put(name, xmlschema.MarshalString(s))
+}
+
+// SetWritable controls whether the HTTP handler accepts PUT and DELETE —
+// the mode in which "newly created streams can make their metadata
+// available as XML Schema documents" (§4.4) by publishing it themselves.
+// Repositories are read-only over HTTP by default.
+func (repo *Repository) SetWritable(writable bool) {
+	repo.mu.Lock()
+	defer repo.mu.Unlock()
+	repo.writable = writable
+}
+
+// SetGenerator installs a dynamic generator for the given name. Generators
+// take precedence over stored documents.
+func (repo *Repository) SetGenerator(name string, g Generator) {
+	repo.mu.Lock()
+	defer repo.mu.Unlock()
+	repo.gens[name] = g
+}
+
+// Delete removes a stored document (generators are unaffected).
+func (repo *Repository) Delete(name string) {
+	repo.mu.Lock()
+	defer repo.mu.Unlock()
+	delete(repo.docs, name)
+}
+
+// Names lists stored and generated schema names in sorted order.
+func (repo *Repository) Names() []string {
+	repo.mu.RLock()
+	defer repo.mu.RUnlock()
+	seen := make(map[string]bool, len(repo.docs)+len(repo.gens))
+	for n := range repo.docs {
+		seen[n] = true
+	}
+	for n := range repo.gens {
+		seen[n] = true
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the stored document for name.
+func (repo *Repository) Get(name string) (doc, etag string, err error) {
+	repo.mu.RLock()
+	defer repo.mu.RUnlock()
+	e, ok := repo.docs[name]
+	if !ok {
+		return "", "", fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return e.doc, e.etag, nil
+}
+
+// SchemaPathPrefix is the URL prefix under which documents are served.
+const SchemaPathPrefix = "/schemas/"
+
+// Handler returns the HTTP handler serving the repository:
+//
+//	GET /schemas/          -> newline-separated schema names
+//	GET /schemas/<name>    -> the schema document (ETag / If-None-Match)
+func (repo *Repository) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(SchemaPathPrefix, repo.serveSchema)
+	return mux
+}
+
+func (repo *Repository) serveSchema(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		// read path below
+	case http.MethodPut, http.MethodDelete:
+		repo.serveWrite(w, r)
+		return
+	default:
+		w.Header().Set("Allow", "GET, HEAD, PUT, DELETE")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, SchemaPathPrefix)
+	if name == "" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, n := range repo.Names() {
+			fmt.Fprintln(w, n)
+		}
+		return
+	}
+	name = strings.TrimSuffix(name, ".xsd")
+
+	repo.mu.RLock()
+	gen := repo.gens[name]
+	entry, stored := repo.docs[name]
+	repo.mu.RUnlock()
+
+	if gen != nil {
+		doc, err := gen(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if _, err := xmlschema.ParseString(doc); err != nil {
+			http.Error(w, "generated document invalid: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		entry = repoEntry{doc: doc, etag: etagOf(doc)}
+		stored = true
+	}
+	if !stored {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+	w.Header().Set("ETag", entry.etag)
+	if match := r.Header.Get("If-None-Match"); match != "" && match == entry.etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(entry.doc)))
+	if r.Method == http.MethodHead {
+		return
+	}
+	_, _ = fmt.Fprint(w, entry.doc)
+}
+
+// serveWrite handles PUT (publish/replace a document) and DELETE.
+func (repo *Repository) serveWrite(w http.ResponseWriter, r *http.Request) {
+	repo.mu.RLock()
+	writable := repo.writable
+	repo.mu.RUnlock()
+	if !writable {
+		http.Error(w, "repository is read-only", http.StatusForbidden)
+		return
+	}
+	name := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, SchemaPathPrefix), ".xsd")
+	if name == "" {
+		http.Error(w, "schema name required", http.StatusBadRequest)
+		return
+	}
+	if r.Method == http.MethodDelete {
+		repo.Delete(name)
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	_, _, getErr := repo.Get(name)
+	existed := getErr == nil
+	if err := repo.Put(name, string(body)); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	if existed {
+		w.WriteHeader(http.StatusNoContent)
+	} else {
+		w.WriteHeader(http.StatusCreated)
+	}
+}
+
+func etagOf(doc string) string {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(doc))
+	return `"` + strconv.FormatUint(h.Sum64(), 16) + `"`
+}

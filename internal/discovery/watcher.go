@@ -1,0 +1,184 @@
+package discovery
+
+import (
+	"context"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"openmeta/internal/xmlschema"
+)
+
+// Update is one change notification from a Watcher: either a new schema
+// version for a watched name, or a (de-duplicated) discovery failure.
+type Update struct {
+	// Name is the watched schema name.
+	Name string
+	// Schema is the new version (nil when Err is set).
+	Schema *xmlschema.Schema
+	// Err reports a discovery failure; delivered once per failure episode,
+	// not once per poll.
+	Err error
+}
+
+// Watcher polls a discovery source and reports schema changes, implementing
+// the paper's §7 plan to "explore dynamic incorporation of new message
+// formats into applications at run-time": an application drains Updates and
+// re-registers formats as their metadata evolves, without restarting.
+type Watcher struct {
+	src      Source
+	interval time.Duration
+	updates  chan Update
+
+	mu      sync.Mutex
+	names   map[string]*watchState
+	dropped int
+
+	kick chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+type watchState struct {
+	hash    uint64
+	failing bool
+}
+
+// NewWatcher starts a watcher polling src every interval. Close it when
+// done.
+func NewWatcher(src Source, interval time.Duration) *Watcher {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	w := &Watcher{
+		src:      src,
+		interval: interval,
+		updates:  make(chan Update, 16),
+		names:    make(map[string]*watchState),
+		kick:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+// Updates delivers change notifications. The channel is buffered; if the
+// consumer falls behind, newer updates are dropped (see Dropped) rather
+// than stalling the poller — the next poll re-detects any missed change.
+func (w *Watcher) Updates() <-chan Update { return w.updates }
+
+// Dropped reports how many updates were discarded because the consumer was
+// not draining Updates.
+func (w *Watcher) Dropped() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dropped
+}
+
+// Add starts watching a schema name. The current version (or the current
+// failure) is delivered as the first update at the next poll.
+func (w *Watcher) Add(name string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, ok := w.names[name]; !ok {
+		w.names[name] = &watchState{}
+		select {
+		case w.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Remove stops watching a name.
+func (w *Watcher) Remove(name string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.names, name)
+}
+
+// Close stops the poller and waits for it to exit. Updates is closed.
+func (w *Watcher) Close() {
+	select {
+	case <-w.stop:
+		return
+	default:
+	}
+	close(w.stop)
+	<-w.done
+}
+
+func (w *Watcher) loop() {
+	defer close(w.done)
+	defer close(w.updates)
+	ticker := time.NewTicker(w.interval)
+	defer ticker.Stop()
+	w.pollAll() // immediate first poll so Add before first tick is prompt
+	for {
+		select {
+		case <-ticker.C:
+			w.pollAll()
+		case <-w.kick:
+			w.pollAll()
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+func (w *Watcher) pollAll() {
+	w.mu.Lock()
+	names := make([]string, 0, len(w.names))
+	for n := range w.names {
+		names = append(names, n)
+	}
+	w.mu.Unlock()
+	for _, name := range names {
+		w.pollOne(name)
+	}
+}
+
+func (w *Watcher) pollOne(name string) {
+	ctx, cancel := context.WithTimeout(context.Background(), w.interval)
+	s, err := w.src.Schema(ctx, name)
+	cancel()
+
+	w.mu.Lock()
+	st, ok := w.names[name]
+	if !ok { // removed while polling
+		w.mu.Unlock()
+		return
+	}
+	var send *Update
+	if err != nil {
+		if !st.failing {
+			st.failing = true
+			send = &Update{Name: name, Err: err}
+		}
+	} else {
+		h := schemaHash(s)
+		if st.failing || h != st.hash {
+			st.failing = false
+			st.hash = h
+			send = &Update{Name: name, Schema: s}
+		}
+	}
+	w.mu.Unlock()
+
+	if send == nil {
+		return
+	}
+	select {
+	case w.updates <- *send:
+	default:
+		w.mu.Lock()
+		w.dropped++
+		w.mu.Unlock()
+	}
+}
+
+func schemaHash(s *xmlschema.Schema) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(xmlschema.MarshalString(s)))
+	return h.Sum64()
+}

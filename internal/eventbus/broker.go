@@ -1,0 +1,584 @@
+package eventbus
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"openmeta/internal/dcg"
+	"openmeta/internal/pbio"
+)
+
+// Broker is the event backbone: it accepts publisher and subscriber
+// connections, tracks which streams exist and who subscribes to them, and
+// routes published records — without decoding them — to every subscriber,
+// preceding each record with its format metadata the first time that format
+// travels to that subscriber.
+type Broker struct {
+	ln     net.Listener
+	logf   func(format string, args ...interface{})
+	wg     sync.WaitGroup
+	closed chan struct{}
+
+	mu      sync.Mutex
+	conns   map[*brokerConn]bool
+	streams map[string]*stream
+
+	// plans memoizes conversion programs for format scoping (§4.4 of the
+	// paper: exposing "slices" of a stream to particular subscribers).
+	plans  *dcg.Cache
+	scoped map[scopeKey]*scopedFormat
+}
+
+// scopeKey identifies one slice of one concrete format.
+type scopeKey struct {
+	id    pbio.FormatID
+	scope string // canonical comma-joined field list
+}
+
+// scopedFormat pairs a derived subset format with the conversion plan that
+// projects full records onto it.
+type scopedFormat struct {
+	format *pbio.Format
+	meta   []byte
+	plan   *dcg.Plan
+}
+
+type stream struct {
+	name string
+	// formats holds the metadata of every format seen on the stream, in
+	// arrival order, so late subscribers receive them on subscription.
+	formats []formatMeta
+	subs    map[*brokerConn]bool
+}
+
+type formatMeta struct {
+	id   pbio.FormatID
+	meta []byte
+}
+
+type brokerConn struct {
+	conn net.Conn
+
+	// out is the bounded outbound queue; a dedicated writer goroutine
+	// drains it so one slow subscriber cannot stall publishers. Event
+	// frames are dropped (and counted) when the queue is full; format
+	// frames are never dropped, because later records are undecodable
+	// without them.
+	out        chan outFrame
+	outClose   chan struct{} // closed when the connection is being torn down
+	writerDone chan struct{} // closed when the writer goroutine has exited
+	dropped    atomic.Int64
+
+	wmu sync.Mutex // guards sentFormats ordering decisions
+
+	// sentFormats tracks which format IDs this (subscriber) connection has
+	// already received metadata for.
+	sentFormats map[pbio.FormatID]bool
+	// knownFormats maps IDs announced by this (publisher) connection.
+	knownFormats map[pbio.FormatID][]byte
+	// scopes maps stream name to the field slice this subscriber may see
+	// (nil = the full format).
+	scopes map[string][]string
+}
+
+// outFrame is one queued outbound frame. The payload is owned by the queue.
+type outFrame struct {
+	typ     byte
+	payload []byte
+}
+
+// outQueueDepth bounds the per-subscriber backlog. At 1 KB records this is
+// a quarter-megabyte of tolerated lag before events drop.
+const outQueueDepth = 256
+
+// BrokerOption configures a Broker.
+type BrokerOption func(*Broker)
+
+// WithLogger directs broker diagnostics to logf (default: log.Printf).
+func WithLogger(logf func(format string, args ...interface{})) BrokerOption {
+	return func(b *Broker) { b.logf = logf }
+}
+
+// NewBroker starts a broker on the given listener. The broker owns the
+// listener and closes it on Close.
+func NewBroker(ln net.Listener, opts ...BrokerOption) *Broker {
+	b := &Broker{
+		ln:      ln,
+		logf:    log.Printf,
+		closed:  make(chan struct{}),
+		conns:   make(map[*brokerConn]bool),
+		streams: make(map[string]*stream),
+		plans:   dcg.NewCache(),
+		scoped:  make(map[scopeKey]*scopedFormat),
+	}
+	for _, opt := range opts {
+		opt(b)
+	}
+	b.wg.Add(1)
+	go b.acceptLoop()
+	return b
+}
+
+// Listen starts a broker on a fresh TCP listener at addr (e.g.
+// "127.0.0.1:0").
+func Listen(addr string, opts ...BrokerOption) (*Broker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("eventbus: listen: %w", err)
+	}
+	return NewBroker(ln, opts...), nil
+}
+
+// Addr returns the broker's listen address.
+func (b *Broker) Addr() net.Addr { return b.ln.Addr() }
+
+// Close shuts the broker down: stops accepting, closes every connection and
+// waits for all handlers to exit.
+func (b *Broker) Close() error {
+	select {
+	case <-b.closed:
+		return nil
+	default:
+	}
+	close(b.closed)
+	err := b.ln.Close()
+	b.mu.Lock()
+	for c := range b.conns {
+		_ = c.conn.Close()
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+	return err
+}
+
+// SubscriberCount reports how many connections currently subscribe to the
+// named stream.
+func (b *Broker) SubscriberCount(name string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st, ok := b.streams[name]
+	if !ok {
+		return 0
+	}
+	return len(st.subs)
+}
+
+// Streams lists the streams that have been announced or published to.
+func (b *Broker) Streams() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.streams))
+	for name := range b.streams {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (b *Broker) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			select {
+			case <-b.closed:
+				return
+			default:
+			}
+			b.logf("eventbus: accept: %v", err)
+			return
+		}
+		bc := &brokerConn{
+			conn:         conn,
+			out:          make(chan outFrame, outQueueDepth),
+			outClose:     make(chan struct{}),
+			writerDone:   make(chan struct{}),
+			sentFormats:  make(map[pbio.FormatID]bool),
+			knownFormats: make(map[pbio.FormatID][]byte),
+			scopes:       make(map[string][]string),
+		}
+		b.mu.Lock()
+		b.conns[bc] = true
+		b.mu.Unlock()
+		b.wg.Add(2)
+		go b.writeLoop(bc)
+		go b.handle(bc)
+	}
+}
+
+func (b *Broker) handle(bc *brokerConn) {
+	defer b.wg.Done()
+	defer b.drop(bc)
+	var buf []byte
+	for {
+		typ, payload, newBuf, err := readFrame(bc.conn, buf)
+		if err != nil {
+			// io.EOF is a clean disconnect and net.ErrClosed our own
+			// shutdown; anything else is diagnostic.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				b.logf("eventbus: conn %s: %v", bc.conn.RemoteAddr(), err)
+			}
+			return
+		}
+		buf = newBuf
+		if err := b.dispatch(bc, typ, payload); err != nil {
+			b.logf("eventbus: conn %s: %v", bc.conn.RemoteAddr(), err)
+			_ = bc.send(frameError, []byte(err.Error()))
+			return
+		}
+	}
+}
+
+func (b *Broker) dispatch(bc *brokerConn, typ byte, payload []byte) error {
+	switch typ {
+	case frameAnnounce:
+		name, _, err := getStr(payload)
+		if err != nil {
+			return err
+		}
+		b.mu.Lock()
+		b.ensureStream(name)
+		b.mu.Unlock()
+		return nil
+
+	case frameFormat:
+		f, err := pbio.UnmarshalMeta(payload)
+		if err != nil {
+			return err
+		}
+		bc.knownFormats[f.ID] = append([]byte(nil), payload...)
+		return nil
+
+	case frameSubscribe:
+		name, rest, err := getStr(payload)
+		if err != nil {
+			return err
+		}
+		var scope []string
+		if len(rest) > 0 {
+			n := int(rest[0])
+			rest = rest[1:]
+			for i := 0; i < n; i++ {
+				var field string
+				if field, rest, err = getStr(rest); err != nil {
+					return err
+				}
+				scope = append(scope, field)
+			}
+		}
+		b.mu.Lock()
+		st := b.ensureStream(name)
+		st.subs[bc] = true
+		if scope != nil {
+			bc.scopes[name] = scope
+		} else {
+			delete(bc.scopes, name)
+		}
+		formats := append([]formatMeta(nil), st.formats...)
+		b.mu.Unlock()
+		// Deliver the stream's known formats (sliced if scoped) so the
+		// subscriber can decode records that arrive immediately.
+		for _, fm := range formats {
+			if err := b.deliverFormat(bc, name, fm); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case frameUnsub:
+		name, _, err := getStr(payload)
+		if err != nil {
+			return err
+		}
+		b.mu.Lock()
+		if st, ok := b.streams[name]; ok {
+			delete(st.subs, bc)
+		}
+		b.mu.Unlock()
+		return nil
+
+	case framePublish:
+		return b.publish(bc, payload)
+
+	case frameList:
+		names := b.Streams()
+		var out []byte
+		for i, n := range names {
+			if i > 0 {
+				out = append(out, 0)
+			}
+			out = append(out, n...)
+		}
+		return bc.send(frameStreams, out)
+
+	default:
+		return fmt.Errorf("%w: type %d", ErrBadFrame, typ)
+	}
+}
+
+// ensureStream returns the stream record, creating it if new. Caller holds
+// b.mu.
+func (b *Broker) ensureStream(name string) *stream {
+	st, ok := b.streams[name]
+	if !ok {
+		st = &stream{name: name, subs: make(map[*brokerConn]bool)}
+		b.streams[name] = st
+	}
+	return st
+}
+
+func (b *Broker) publish(bc *brokerConn, payload []byte) error {
+	name, rest, err := getStr(payload)
+	if err != nil {
+		return err
+	}
+	if len(rest) < 8 {
+		return fmt.Errorf("%w: publish without format id", ErrBadFrame)
+	}
+	var id pbio.FormatID
+	copy(id[:], rest)
+
+	meta, ok := bc.knownFormats[id]
+	if !ok {
+		return fmt.Errorf("eventbus: publish on %q references unannounced format %s", name, id)
+	}
+
+	b.mu.Lock()
+	st := b.ensureStream(name)
+	if !st.hasFormat(id) {
+		st.formats = append(st.formats, formatMeta{id: id, meta: meta})
+	}
+	subs := make([]*brokerConn, 0, len(st.subs))
+	for s := range st.subs {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+
+	fm := formatMeta{id: id, meta: meta}
+	for _, sub := range subs {
+		if err := b.deliver(sub, name, fm, rest[8:], payload); err != nil {
+			b.logf("eventbus: drop subscriber %s: %v", sub.conn.RemoteAddr(), err)
+			b.drop(sub)
+		}
+	}
+	return nil
+}
+
+// deliver routes one record to one subscriber, projecting it onto the
+// subscriber's scope when one is set.
+func (b *Broker) deliver(sub *brokerConn, streamName string, fm formatMeta, record, fullPayload []byte) error {
+	b.mu.Lock()
+	scope := sub.scopes[streamName]
+	b.mu.Unlock()
+	if scope == nil {
+		if err := b.sendFormat(sub, fm); err != nil {
+			return err
+		}
+		return sub.send(frameEvent, fullPayload)
+	}
+	sf, err := b.scopedFor(fm, scope)
+	if err != nil {
+		// A scope the format cannot satisfy is the subscriber's error.
+		return fmt.Errorf("scope %v: %w", scope, err)
+	}
+	converted, err := sf.plan.Convert(record)
+	if err != nil {
+		return fmt.Errorf("scope projection: %w", err)
+	}
+	if err := b.sendFormat(sub, formatMeta{id: sf.format.ID, meta: sf.meta}); err != nil {
+		return err
+	}
+	payload := putStr(nil, streamName)
+	payload = append(payload, sf.format.ID[:]...)
+	payload = append(payload, converted...)
+	return sub.send(frameEvent, payload)
+}
+
+// deliverFormat sends a stream format (or its scoped slice) to a subscriber.
+func (b *Broker) deliverFormat(sub *brokerConn, streamName string, fm formatMeta) error {
+	b.mu.Lock()
+	scope := sub.scopes[streamName]
+	b.mu.Unlock()
+	if scope == nil {
+		return b.sendFormat(sub, fm)
+	}
+	sf, err := b.scopedFor(fm, scope)
+	if err != nil {
+		return fmt.Errorf("scope %v: %w", scope, err)
+	}
+	return b.sendFormat(sub, formatMeta{id: sf.format.ID, meta: sf.meta})
+}
+
+// scopedFor returns (building and memoizing if needed) the slice of the
+// format fm restricted to the given fields, with its conversion plan.
+func (b *Broker) scopedFor(fm formatMeta, scope []string) (*scopedFormat, error) {
+	key := scopeKey{id: fm.id, scope: strings.Join(scope, ",")}
+	b.mu.Lock()
+	sf, ok := b.scoped[key]
+	b.mu.Unlock()
+	if ok {
+		return sf, nil
+	}
+	full, err := pbio.UnmarshalMeta(fm.meta)
+	if err != nil {
+		return nil, err
+	}
+	subset, err := pbio.DeriveSubset(full, scope)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := b.plans.Plan(full, subset)
+	if err != nil {
+		return nil, err
+	}
+	sf = &scopedFormat{format: subset, meta: pbio.MarshalMeta(subset), plan: plan}
+	b.mu.Lock()
+	if prev, ok := b.scoped[key]; ok {
+		sf = prev
+	} else {
+		b.scoped[key] = sf
+	}
+	b.mu.Unlock()
+	return sf, nil
+}
+
+func (st *stream) hasFormat(id pbio.FormatID) bool {
+	for _, fm := range st.formats {
+		if fm.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// sendFormat sends format metadata to a subscriber once. The decision and
+// the enqueue happen under one lock so the format frame is queued before
+// any event frame that needs it.
+func (b *Broker) sendFormat(sub *brokerConn, fm formatMeta) error {
+	sub.wmu.Lock()
+	defer sub.wmu.Unlock()
+	if sub.sentFormats[fm.id] {
+		return nil
+	}
+	if err := sub.sendMust(frameFormat, fm.meta); err != nil {
+		return err
+	}
+	sub.sentFormats[fm.id] = true
+	return nil
+}
+
+// writeLoop drains the outbound queue onto the socket. On teardown it
+// flushes frames already queued (bounded by a write deadline) so error
+// frames and final events reach the peer.
+func (b *Broker) writeLoop(bc *brokerConn) {
+	defer b.wg.Done()
+	defer close(bc.writerDone)
+	for {
+		select {
+		case f := <-bc.out:
+			if err := writeFrame(bc.conn, f.typ, f.payload); err != nil {
+				// Socket is dead: unregister and let the reader notice.
+				b.unregister(bc)
+				_ = bc.conn.Close()
+				return
+			}
+		case <-bc.outClose:
+			_ = bc.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			for {
+				select {
+				case f := <-bc.out:
+					if err := writeFrame(bc.conn, f.typ, f.payload); err != nil {
+						return
+					}
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// send enqueues a droppable frame (events, stream listings, errors). When
+// the subscriber's queue is full the frame is discarded and counted — a
+// slow consumer loses records, never stalls the bus.
+func (bc *brokerConn) send(typ byte, payload []byte) error {
+	f := outFrame{typ: typ, payload: append([]byte(nil), payload...)}
+	select {
+	case bc.out <- f:
+		return nil
+	case <-bc.outClose:
+		return ErrClosed
+	default:
+		bc.dropped.Add(1)
+		return nil
+	}
+}
+
+// sendMust enqueues a frame that may not be dropped (format metadata),
+// waiting for queue space up to a drop deadline.
+func (bc *brokerConn) sendMust(typ byte, payload []byte) error {
+	f := outFrame{typ: typ, payload: append([]byte(nil), payload...)}
+	t := time.NewTimer(5 * time.Second)
+	defer t.Stop()
+	select {
+	case bc.out <- f:
+		return nil
+	case <-bc.outClose:
+		return ErrClosed
+	case <-t.C:
+		return fmt.Errorf("eventbus: subscriber write queue stalled")
+	}
+}
+
+// unregister removes a connection from routing state; it reports whether
+// this call was the one that removed it.
+func (b *Broker) unregister(bc *brokerConn) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.conns[bc] {
+		return false
+	}
+	delete(b.conns, bc)
+	for _, st := range b.streams {
+		delete(st.subs, bc)
+	}
+	return true
+}
+
+// drop tears a connection down: unregisters it, lets the writer flush its
+// queued frames, then closes the socket.
+func (b *Broker) drop(bc *brokerConn) {
+	first := b.unregister(bc)
+	select {
+	case <-bc.outClose:
+	default:
+		if first {
+			close(bc.outClose)
+		}
+	}
+	select {
+	case <-bc.writerDone:
+	case <-time.After(3 * time.Second):
+	}
+	_ = bc.conn.Close()
+}
+
+// DroppedEvents reports how many event frames the broker has discarded
+// because subscriber queues were full (aggregate over live connections).
+func (b *Broker) DroppedEvents() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var n int64
+	for c := range b.conns {
+		n += c.dropped.Load()
+	}
+	return n
+}

@@ -1,0 +1,239 @@
+package eventbus
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+
+	"openmeta/internal/pbio"
+)
+
+// Publisher is a capture point: it announces streams and publishes NDR
+// records onto them. Publisher is safe for concurrent use.
+type Publisher struct {
+	mu          sync.Mutex
+	conn        net.Conn
+	sentFormats map[pbio.FormatID]bool
+	scratch     []byte
+}
+
+// DialPublisher connects a publisher to the broker at addr.
+func DialPublisher(addr string) (*Publisher, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("eventbus: dial publisher: %w", err)
+	}
+	return &Publisher{conn: conn, sentFormats: make(map[pbio.FormatID]bool)}, nil
+}
+
+// Announce declares a stream so it appears in broker listings before the
+// first record is published.
+func (p *Publisher) Announce(streamName string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return writeFrame(p.conn, frameAnnounce, putStr(nil, streamName))
+}
+
+// Publish sends one encoded record of format f onto the stream, announcing
+// the format's metadata to the broker the first time.
+func (p *Publisher) Publish(streamName string, f *pbio.Format, record []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.sentFormats[f.ID] {
+		if err := writeFrame(p.conn, frameFormat, pbio.MarshalMeta(f)); err != nil {
+			return err
+		}
+		p.sentFormats[f.ID] = true
+	}
+	payload := p.scratch[:0]
+	payload = putStr(payload, streamName)
+	payload = append(payload, f.ID[:]...)
+	payload = append(payload, record...)
+	p.scratch = payload
+	return writeFrame(p.conn, framePublish, payload)
+}
+
+// PublishRecord encodes a generic record and publishes it.
+func (p *Publisher) PublishRecord(streamName string, f *pbio.Format, rec pbio.Record) error {
+	data, err := f.Encode(rec)
+	if err != nil {
+		return err
+	}
+	return p.Publish(streamName, f, data)
+}
+
+// Close closes the broker connection.
+func (p *Publisher) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn.Close()
+}
+
+// Event is one record delivered to a subscriber.
+type Event struct {
+	// Stream is the stream the record was published on.
+	Stream string
+	// Format is the record's format, reconstructed from metadata the broker
+	// delivered ahead of the record.
+	Format *pbio.Format
+	// Data is the NDR record. The slice is owned by the caller.
+	Data []byte
+}
+
+// Decode unmarshals the event's record generically.
+func (e *Event) Decode() (pbio.Record, error) { return e.Format.Decode(e.Data) }
+
+// Subscriber is a data access or display point: it subscribes to streams
+// and receives their records together with the metadata needed to decode
+// them. Next must be called from a single goroutine; control methods
+// (Subscribe, Unsubscribe, Streams issued before the Next loop starts) and
+// Close are safe to call from others.
+type Subscriber struct {
+	conn net.Conn
+	ctx  *pbio.Context
+	wmu  sync.Mutex
+	buf  []byte
+}
+
+// DialSubscriber connects a subscriber to the broker at addr, adopting
+// incoming format metadata into ctx.
+func DialSubscriber(addr string, ctx *pbio.Context) (*Subscriber, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("eventbus: dial subscriber: %w", err)
+	}
+	return &Subscriber{conn: conn, ctx: ctx}, nil
+}
+
+// Context returns the pbio context formats are adopted into.
+func (s *Subscriber) Context() *pbio.Context { return s.ctx }
+
+// Subscribe joins a stream. Records published after the subscription (and
+// the formats needed to decode them) will be delivered via Next.
+func (s *Subscriber) Subscribe(streamName string) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return writeFrame(s.conn, frameSubscribe, putStr(nil, streamName))
+}
+
+// SubscribeFields joins a stream scoped to a slice of its fields — the
+// paper's §4.4 format-scoping. The broker derives a subset format, converts
+// every record before delivery, and the hidden fields never reach this
+// subscriber. Count fields of kept dynamic arrays are included
+// automatically.
+func (s *Subscriber) SubscribeFields(streamName string, fields ...string) error {
+	if len(fields) == 0 {
+		return s.Subscribe(streamName)
+	}
+	if len(fields) > 255 {
+		return fmt.Errorf("eventbus: scope of %d fields exceeds protocol limit", len(fields))
+	}
+	payload := putStr(nil, streamName)
+	payload = append(payload, byte(len(fields)))
+	for _, f := range fields {
+		payload = putStr(payload, f)
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return writeFrame(s.conn, frameSubscribe, payload)
+}
+
+// Unsubscribe leaves a stream. Records already in flight may still arrive.
+func (s *Subscriber) Unsubscribe(streamName string) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	return writeFrame(s.conn, frameUnsub, putStr(nil, streamName))
+}
+
+// Streams asks the broker for the current stream list. It must not be
+// interleaved with Next (both read from the connection); call it before
+// entering the receive loop.
+func (s *Subscriber) Streams() ([]string, error) {
+	s.wmu.Lock()
+	err := writeFrame(s.conn, frameList, nil)
+	s.wmu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		typ, payload, buf, err := readFrame(s.conn, s.buf)
+		if err != nil {
+			return nil, err
+		}
+		s.buf = buf
+		switch typ {
+		case frameStreams:
+			if len(payload) == 0 {
+				return nil, nil
+			}
+			return strings.Split(string(payload), "\x00"), nil
+		case frameFormat:
+			if err := s.adoptFormat(payload); err != nil {
+				return nil, err
+			}
+		case frameError:
+			return nil, fmt.Errorf("eventbus: broker: %s", payload)
+		default:
+			return nil, fmt.Errorf("%w: unexpected frame %d awaiting stream list", ErrBadFrame, typ)
+		}
+	}
+}
+
+// Next blocks until the next record arrives and returns it. Format frames
+// are absorbed transparently. Returns io.EOF when the broker closes the
+// connection.
+func (s *Subscriber) Next() (Event, error) {
+	for {
+		typ, payload, buf, err := readFrame(s.conn, s.buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return Event{}, io.EOF
+			}
+			return Event{}, err
+		}
+		s.buf = buf
+		switch typ {
+		case frameFormat:
+			if err := s.adoptFormat(payload); err != nil {
+				return Event{}, err
+			}
+		case frameEvent:
+			name, rest, err := getStr(payload)
+			if err != nil {
+				return Event{}, err
+			}
+			if len(rest) < 8 {
+				return Event{}, fmt.Errorf("%w: event without format id", ErrBadFrame)
+			}
+			var id pbio.FormatID
+			copy(id[:], rest)
+			f, ok := s.ctx.LookupID(id)
+			if !ok {
+				return Event{}, fmt.Errorf("eventbus: event references unknown format %s", id)
+			}
+			data := append([]byte(nil), rest[8:]...)
+			return Event{Stream: name, Format: f, Data: data}, nil
+		case frameError:
+			return Event{}, fmt.Errorf("eventbus: broker: %s", payload)
+		case frameStreams:
+			// Stale answer to a Streams call; ignore.
+		default:
+			return Event{}, fmt.Errorf("%w: unexpected frame %d", ErrBadFrame, typ)
+		}
+	}
+}
+
+func (s *Subscriber) adoptFormat(meta []byte) error {
+	f, err := pbio.UnmarshalMeta(meta)
+	if err != nil {
+		return err
+	}
+	_, err = s.ctx.Adopt(f)
+	return err
+}
+
+// Close closes the broker connection; a blocked Next returns io.EOF.
+func (s *Subscriber) Close() error { return s.conn.Close() }

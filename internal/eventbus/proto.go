@@ -1,0 +1,100 @@
+// Package eventbus implements the system-wide event backbone of the
+// paper's application scenario (Figures 1 and 3): capture points publish
+// structured information streams, consumers subscribe by stream name, and
+// records travel in PBIO NDR form with format metadata exchanged once per
+// connection.
+//
+// The broker routes records without decoding them — NDR means the bytes on
+// the wire are already in the producer's natural representation, and only
+// final consumers pay conversion, and only when their representation
+// actually differs.
+package eventbus
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame types of the backbone protocol. Every frame is
+// type(1) || length(u32 BE) || payload.
+const (
+	frameAnnounce  byte = 1 // publisher -> broker: stream(str)
+	frameSubscribe byte = 2 // subscriber -> broker: stream(str)
+	frameUnsub     byte = 3 // subscriber -> broker: stream(str)
+	frameFormat    byte = 4 // any -> any: format metadata bytes
+	framePublish   byte = 5 // publisher -> broker: stream(str) || id(8) || record
+	frameEvent     byte = 6 // broker -> subscriber: stream(str) || id(8) || record
+	frameList      byte = 7 // subscriber -> broker: empty
+	frameStreams   byte = 8 // broker -> subscriber: stream names, NUL-separated
+	frameError     byte = 9 // broker -> any: message(str)
+)
+
+// maxFrame bounds one frame (64 MiB leaves room for large records while
+// rejecting corrupt lengths).
+const maxFrame = 64 << 20
+
+// Protocol errors.
+var (
+	ErrFrameTooBig = errors.New("eventbus: frame exceeds maximum size")
+	ErrBadFrame    = errors.New("eventbus: malformed frame")
+	ErrClosed      = errors.New("eventbus: connection closed")
+)
+
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooBig, len(payload))
+	}
+	hdr := [5]byte{typ,
+		byte(len(payload) >> 24), byte(len(payload) >> 16),
+		byte(len(payload) >> 8), byte(len(payload))}
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("eventbus: write frame: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("eventbus: write frame: %w", err)
+		}
+	}
+	return nil
+}
+
+func readFrame(r io.Reader, buf []byte) (typ byte, payload, newBuf []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, buf, io.EOF
+		}
+		return 0, nil, buf, fmt.Errorf("eventbus: read frame: %w", err)
+	}
+	n := int(hdr[1])<<24 | int(hdr[2])<<16 | int(hdr[3])<<8 | int(hdr[4])
+	if n < 0 || n > maxFrame {
+		return 0, nil, buf, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n+n/2)
+	}
+	payload = buf[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, buf, fmt.Errorf("eventbus: read frame: %w", err)
+	}
+	return hdr[0], payload, buf, nil
+}
+
+// putStr appends a length-prefixed string.
+func putStr(b []byte, s string) []byte {
+	b = append(b, byte(len(s)>>8), byte(len(s)))
+	return append(b, s...)
+}
+
+// getStr reads a length-prefixed string, returning the remainder.
+func getStr(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, ErrBadFrame
+	}
+	n := int(b[0])<<8 | int(b[1])
+	if len(b) < 2+n {
+		return "", nil, ErrBadFrame
+	}
+	return string(b[2 : 2+n]), b[2+n:], nil
+}

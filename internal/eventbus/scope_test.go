@@ -1,0 +1,200 @@
+package eventbus
+
+import (
+	"strings"
+	"testing"
+
+	"openmeta/internal/machine"
+	"openmeta/internal/pbio"
+)
+
+func TestScopedSubscription(t *testing.T) {
+	b := newBroker(t)
+	f := flightFormat(t, machine.Sparc)
+
+	// One scoped subscriber (sees only cntrID + eta) and one full.
+	scoped, err := DialSubscriber(b.Addr().String(), subCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer scoped.Close()
+	if err := scoped.SubscribeFields("flights", "cntrID", "eta"); err != nil {
+		t.Fatal(err)
+	}
+	full, err := DialSubscriber(b.Addr().String(), subCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer full.Close()
+	if err := full.Subscribe("flights"); err != nil {
+		t.Fatal(err)
+	}
+	waitForStream(t, b, "flights", 2)
+
+	pub, err := DialPublisher(b.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	rec := pbio.Record{"cntrID": "ZTL", "fltNum": 1842, "eta": []uint64{9, 8}}
+	if err := pub.PublishRecord("flights", f, rec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scoped subscriber: the hidden field is absent from both the record
+	// and the delivered format.
+	ev, err := scoped.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(ev.Format.Name, "ASDOffEvent#") {
+		t.Errorf("scoped format name = %q", ev.Format.Name)
+	}
+	if _, ok := ev.Format.FieldByName("fltNum"); ok {
+		t.Error("hidden field present in scoped format")
+	}
+	out, err := ev.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["cntrID"] != "ZTL" {
+		t.Errorf("cntrID = %v", out["cntrID"])
+	}
+	if _, present := out["fltNum"]; present {
+		t.Error("hidden field value leaked to scoped subscriber")
+	}
+	if got := out["eta"].([]uint64); len(got) != 2 || got[0] != 9 {
+		t.Errorf("eta = %v", out["eta"])
+	}
+	// The scoped record really is smaller on the wire.
+	fullData, _ := f.Encode(rec)
+	if len(ev.Data) >= len(fullData) {
+		t.Errorf("scoped record %dB, full %dB", len(ev.Data), len(fullData))
+	}
+
+	// Full subscriber still sees everything.
+	ev2, err := full.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, err := ev2.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2["fltNum"] != int64(1842) {
+		t.Errorf("full subscriber fltNum = %v", out2["fltNum"])
+	}
+}
+
+func TestScopedSubscriptionBadField(t *testing.T) {
+	b := newBroker(t)
+	f := flightFormat(t, machine.X86_64)
+	sub, err := DialSubscriber(b.Addr().String(), subCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.SubscribeFields("flights", "noSuchField"); err != nil {
+		t.Fatal(err)
+	}
+	waitForStream(t, b, "flights", 1)
+	pub, err := DialPublisher(b.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.PublishRecord("flights", f, pbio.Record{"fltNum": 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The unsatisfiable scope surfaces as a broker error to the subscriber.
+	if _, err := sub.Next(); err == nil {
+		t.Error("scope referencing a missing field did not error")
+	}
+}
+
+func TestSubscribeFieldsEmptyFallsBack(t *testing.T) {
+	b := newBroker(t)
+	f := flightFormat(t, machine.X86_64)
+	sub, err := DialSubscriber(b.Addr().String(), subCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.SubscribeFields("flights"); err != nil { // no fields = full
+		t.Fatal(err)
+	}
+	waitForStream(t, b, "flights", 1)
+	pub, err := DialPublisher(b.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.PublishRecord("flights", f, pbio.Record{"fltNum": 3}); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := sub.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Format.Name != "ASDOffEvent" {
+		t.Errorf("format = %q, want full format", ev.Format.Name)
+	}
+}
+
+func TestScopedLateSubscriberGetsScopedFormat(t *testing.T) {
+	b := newBroker(t)
+	f := flightFormat(t, machine.Sparc)
+	pub, err := DialPublisher(b.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.PublishRecord("flights", f, pbio.Record{"cntrID": "Z"}); err != nil {
+		t.Fatal(err)
+	}
+	waitForStream(t, b, "flights", 0)
+
+	sub, err := DialSubscriber(b.Addr().String(), subCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.SubscribeFields("flights", "cntrID"); err != nil {
+		t.Fatal(err)
+	}
+	waitForStream(t, b, "flights", 1)
+	if err := pub.PublishRecord("flights", f, pbio.Record{"cntrID": "ZNY"}); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := sub.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := ev.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec["cntrID"] != "ZNY" {
+		t.Errorf("cntrID = %v", rec["cntrID"])
+	}
+	// The scoped format was adopted at subscription time already.
+	if len(ev.Format.Fields) != 1 {
+		t.Errorf("scoped format fields = %d", len(ev.Format.Fields))
+	}
+}
+
+func TestScopeLimit(t *testing.T) {
+	b := newBroker(t)
+	sub, err := DialSubscriber(b.Addr().String(), subCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	many := make([]string, 300)
+	for i := range many {
+		many[i] = "f"
+	}
+	if err := sub.SubscribeFields("s", many...); err == nil {
+		t.Error("oversized scope accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package eventbus
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"openmeta/internal/machine"
+	"openmeta/internal/pbio"
+)
+
+// TestSlowSubscriberDoesNotStallBus verifies the bounded outbound queue: a
+// subscriber that never reads loses events (counted) while a healthy
+// subscriber on the same stream receives everything and the publisher never
+// blocks.
+func TestSlowSubscriberDoesNotStallBus(t *testing.T) {
+	b := newBroker(t)
+	ctx, err := pbio.NewContext(machine.Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bulky format so TCP buffers fill quickly.
+	f, err := ctx.RegisterSpec("Bulk", []pbio.FieldSpec{
+		{Name: "seq", Kind: pbio.Int, CType: machine.CInt},
+		{Name: "payload", Kind: pbio.Uint, CType: machine.CULong, Dynamic: true, CountField: "n"},
+		{Name: "n", Kind: pbio.Int, CType: machine.CInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]uint64, 4096) // 32 KB per record
+
+	// The stuck subscriber: subscribes, then never reads again.
+	stuckConn, err := net.Dial("tcp", b.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stuckConn.Close()
+	if err := writeFrame(stuckConn, frameSubscribe, putStr(nil, "bulk")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The healthy subscriber.
+	good, err := DialSubscriber(b.Addr().String(), subCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer good.Close()
+	if err := good.Subscribe("bulk"); err != nil {
+		t.Fatal(err)
+	}
+	waitForStream(t, b, "bulk", 2)
+
+	pub, err := DialPublisher(b.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	const msgs = 600 // ~19 MB: far beyond socket buffers + queue depth
+	received := make(chan error, 1)
+	go func() {
+		for i := 0; i < msgs; i++ {
+			ev, err := good.Next()
+			if err != nil {
+				received <- err
+				return
+			}
+			if _, err := ev.Decode(); err != nil {
+				received <- err
+				return
+			}
+		}
+		received <- nil
+	}()
+
+	start := time.Now()
+	for i := 0; i < msgs; i++ {
+		if err := pub.PublishRecord("bulk", f, pbio.Record{"seq": i, "payload": payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	publishTime := time.Since(start)
+
+	select {
+	case err := <-received:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("healthy subscriber starved behind a stuck one")
+	}
+	if b.DroppedEvents() == 0 {
+		t.Error("no events dropped for the stuck subscriber (queue bound not exercised)")
+	}
+	t.Logf("published %d records in %v; dropped for stuck subscriber: %d",
+		msgs, publishTime, b.DroppedEvents())
+}

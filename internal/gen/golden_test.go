@@ -1,0 +1,35 @@
+package gen
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCheckedInGeneratedFileInSync regenerates examples/codegen/flight_gen.go
+// from its schema and verifies the checked-in file matches, so generator
+// changes cannot silently diverge from the shipped example.
+func TestCheckedInGeneratedFileInSync(t *testing.T) {
+	root := filepath.Join("..", "..", "examples", "codegen")
+	schema, err := os.ReadFile(filepath.Join(root, "flight.xsd"))
+	if err != nil {
+		t.Fatalf("read schema: %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join(root, "flight_gen.go"))
+	if err != nil {
+		t.Fatalf("read generated file: %v", err)
+	}
+	got, err := GoSource(string(schema), Options{
+		Package:      "main",
+		SchemaConst:  "FlightSchemaDocument",
+		RegisterFunc: "RegisterFlightSchema",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Error("examples/codegen/flight_gen.go is out of date; regenerate with:\n" +
+			"  go run ./cmd/xml2gen -file examples/codegen/flight.xsd -package main " +
+			"-const FlightSchemaDocument -register RegisterFlightSchema -out examples/codegen/flight_gen.go")
+	}
+}

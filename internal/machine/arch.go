@@ -1,0 +1,176 @@
+// Package machine describes machine architectures and computes C-style
+// in-memory record layouts for them.
+//
+// The paper's xml2wire tool runs on C systems where field sizes come from
+// sizeof and field offsets from the compiler's struct layout (including
+// alignment padding). In Go we cannot observe a C compiler at run time, so
+// this package models the relevant properties of an architecture + ABI —
+// byte order, primitive sizes, and alignment rules — and reproduces the
+// layout algorithm used by conventional C compilers. Several well-known
+// architecture profiles are provided so that heterogeneous exchanges
+// (little- vs big-endian, 32- vs 64-bit) can be exercised on a single host.
+package machine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ByteOrder identifies the endianness of an architecture.
+type ByteOrder int
+
+// Byte orders. The zero value is invalid so that an unset Arch is caught
+// early rather than silently treated as little-endian.
+const (
+	LittleEndian ByteOrder = iota + 1
+	BigEndian
+)
+
+// String returns the conventional name of the byte order.
+func (o ByteOrder) String() string {
+	switch o {
+	case LittleEndian:
+		return "little-endian"
+	case BigEndian:
+		return "big-endian"
+	default:
+		return fmt.Sprintf("ByteOrder(%d)", int(o))
+	}
+}
+
+// ErrUnknownArch is returned by ArchByName for unregistered names.
+var ErrUnknownArch = errors.New("machine: unknown architecture")
+
+// Arch captures the data-representation properties of a machine + C ABI that
+// matter for binary communication: byte order, the sizes of the C primitive
+// types, and the maximum alignment the ABI enforces.
+type Arch struct {
+	// Name is a short identifier such as "x86-64".
+	Name string
+	// Order is the architecture byte order.
+	Order ByteOrder
+	// CharSize, ShortSize, IntSize, LongSize, LongLongSize are the sizes in
+	// bytes of the corresponding C integer types.
+	CharSize     int
+	ShortSize    int
+	IntSize      int
+	LongSize     int
+	LongLongSize int
+	// FloatSize and DoubleSize are the sizes of C float and double.
+	FloatSize  int
+	DoubleSize int
+	// PointerSize is the size of a data pointer (used for string and
+	// dynamic-array fields, which C programs hold as pointers).
+	PointerSize int
+	// MaxAlign caps the alignment of any field. Most ABIs align a scalar to
+	// min(size, MaxAlign).
+	MaxAlign int
+}
+
+// Validate reports whether the architecture description is internally
+// consistent (all sizes positive, byte order set).
+func (a *Arch) Validate() error {
+	if a == nil {
+		return errors.New("machine: nil arch")
+	}
+	if a.Order != LittleEndian && a.Order != BigEndian {
+		return fmt.Errorf("machine: arch %q: invalid byte order %d", a.Name, a.Order)
+	}
+	sizes := []struct {
+		name string
+		v    int
+	}{
+		{"char", a.CharSize}, {"short", a.ShortSize}, {"int", a.IntSize},
+		{"long", a.LongSize}, {"long long", a.LongLongSize},
+		{"float", a.FloatSize}, {"double", a.DoubleSize},
+		{"pointer", a.PointerSize}, {"max align", a.MaxAlign},
+	}
+	for _, s := range sizes {
+		if s.v <= 0 {
+			return fmt.Errorf("machine: arch %q: non-positive %s size %d", a.Name, s.name, s.v)
+		}
+	}
+	return nil
+}
+
+// Align returns the ABI alignment for a scalar of the given size: the largest
+// power of two that divides size, capped at MaxAlign. Sizes that are not
+// powers of two (rare, e.g. 80-bit floats stored as 10 bytes) align to the
+// largest power of two <= size.
+func (a *Arch) Align(size int) int {
+	if size <= 0 {
+		return 1
+	}
+	align := 1
+	for align*2 <= size && align*2 <= a.MaxAlign {
+		align *= 2
+	}
+	return align
+}
+
+// Predefined architecture profiles. These mirror the ABIs of machines the
+// paper's evaluation environment would have mixed (Sun SPARC and Intel x86),
+// plus a 64-bit profile for each byte order and a deliberately awkward legacy
+// profile (16-bit int) to stress conversion code.
+var (
+	// X86 is 32-bit little-endian (ILP32): int/long/pointer are 4 bytes.
+	X86 = &Arch{
+		Name: "x86", Order: LittleEndian,
+		CharSize: 1, ShortSize: 2, IntSize: 4, LongSize: 4, LongLongSize: 8,
+		FloatSize: 4, DoubleSize: 8, PointerSize: 4, MaxAlign: 4,
+	}
+	// X86_64 is 64-bit little-endian (LP64): long/pointer are 8 bytes.
+	X86_64 = &Arch{
+		Name: "x86-64", Order: LittleEndian,
+		CharSize: 1, ShortSize: 2, IntSize: 4, LongSize: 8, LongLongSize: 8,
+		FloatSize: 4, DoubleSize: 8, PointerSize: 8, MaxAlign: 8,
+	}
+	// Sparc is 32-bit big-endian (ILP32).
+	Sparc = &Arch{
+		Name: "sparc", Order: BigEndian,
+		CharSize: 1, ShortSize: 2, IntSize: 4, LongSize: 4, LongLongSize: 8,
+		FloatSize: 4, DoubleSize: 8, PointerSize: 4, MaxAlign: 8,
+	}
+	// Sparc64 is 64-bit big-endian (LP64).
+	Sparc64 = &Arch{
+		Name: "sparc64", Order: BigEndian,
+		CharSize: 1, ShortSize: 2, IntSize: 4, LongSize: 8, LongLongSize: 8,
+		FloatSize: 4, DoubleSize: 8, PointerSize: 8, MaxAlign: 8,
+	}
+	// Legacy16 models a 16-bit-int embedded profile, the kind of "integer may
+	// be a 2-word type" machine the paper calls out explicitly.
+	Legacy16 = &Arch{
+		Name: "legacy16", Order: BigEndian,
+		CharSize: 1, ShortSize: 2, IntSize: 2, LongSize: 4, LongLongSize: 8,
+		FloatSize: 4, DoubleSize: 8, PointerSize: 2, MaxAlign: 2,
+	}
+)
+
+// Native is the architecture profile xml2wire uses when none is specified.
+// Go's runtime is 64-bit little-endian on the platforms this repository
+// targets, matching X86_64; keeping it a distinct variable documents intent
+// at call sites.
+var Native = X86_64
+
+var registry = map[string]*Arch{
+	X86.Name:      X86,
+	X86_64.Name:   X86_64,
+	Sparc.Name:    Sparc,
+	Sparc64.Name:  Sparc64,
+	Legacy16.Name: Legacy16,
+}
+
+// ArchByName returns the predefined architecture with the given name.
+func ArchByName(name string) (*Arch, error) {
+	a, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownArch, name)
+	}
+	return a, nil
+}
+
+// ArchNames returns the names of all predefined architectures in a stable
+// order, useful for command-line help and tests.
+func ArchNames() []string {
+	return []string{X86.Name, X86_64.Name, Sparc.Name, Sparc64.Name, Legacy16.Name}
+}

@@ -1,0 +1,146 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPredefinedArchesValidate(t *testing.T) {
+	for _, name := range ArchNames() {
+		a, err := ArchByName(name)
+		if err != nil {
+			t.Fatalf("ArchByName(%q): %v", name, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Errorf("arch %q invalid: %v", name, err)
+		}
+		if a.Name != name {
+			t.Errorf("arch registered under %q has Name %q", name, a.Name)
+		}
+	}
+}
+
+func TestArchByNameUnknown(t *testing.T) {
+	_, err := ArchByName("pdp-11")
+	if !errors.Is(err, ErrUnknownArch) {
+		t.Fatalf("ArchByName(pdp-11) err = %v, want ErrUnknownArch", err)
+	}
+}
+
+func TestValidateRejectsBadArch(t *testing.T) {
+	tests := []struct {
+		name string
+		mod  func(*Arch)
+	}{
+		{"zero byte order", func(a *Arch) { a.Order = 0 }},
+		{"zero int size", func(a *Arch) { a.IntSize = 0 }},
+		{"negative pointer size", func(a *Arch) { a.PointerSize = -1 }},
+		{"zero max align", func(a *Arch) { a.MaxAlign = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			a := *X86_64 // copy
+			tt.mod(&a)
+			if err := a.Validate(); err == nil {
+				t.Errorf("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestValidateNil(t *testing.T) {
+	var a *Arch
+	if err := a.Validate(); err == nil {
+		t.Fatal("Validate on nil arch: want error")
+	}
+}
+
+func TestAlign(t *testing.T) {
+	tests := []struct {
+		arch *Arch
+		size int
+		want int
+	}{
+		{X86_64, 1, 1},
+		{X86_64, 2, 2},
+		{X86_64, 4, 4},
+		{X86_64, 8, 8},
+		{X86_64, 16, 8},  // capped at MaxAlign
+		{X86, 8, 4},      // i386 ABI caps double alignment at 4
+		{Legacy16, 8, 2}, // 16-bit profile caps everything at 2
+		{X86_64, 0, 1},
+		{X86_64, -3, 1},
+		{X86_64, 6, 4}, // non-power-of-two size aligns to largest pow2 below
+	}
+	for _, tt := range tests {
+		if got := tt.arch.Align(tt.size); got != tt.want {
+			t.Errorf("%s.Align(%d) = %d, want %d", tt.arch.Name, tt.size, got, tt.want)
+		}
+	}
+}
+
+func TestSizeOf(t *testing.T) {
+	tests := []struct {
+		arch *Arch
+		typ  CType
+		want int
+	}{
+		{X86, CLong, 4},
+		{X86_64, CLong, 8},
+		{X86, CPointer, 4},
+		{X86_64, CPointer, 8},
+		{Legacy16, CInt, 2},
+		{Sparc, CULong, 4},
+		{Sparc64, CULong, 8},
+		{X86_64, CDouble, 8},
+		{X86_64, CFloat, 4},
+		{X86_64, CChar, 1},
+		{X86_64, CUChar, 1},
+		{X86_64, CShort, 2},
+		{X86_64, CUShort, 2},
+		{X86_64, CLongLong, 8},
+		{X86_64, CULongLong, 8},
+		{X86_64, CUInt, 4},
+	}
+	for _, tt := range tests {
+		if got := tt.arch.SizeOf(tt.typ); got != tt.want {
+			t.Errorf("%s.SizeOf(%s) = %d, want %d", tt.arch.Name, tt.typ, got, tt.want)
+		}
+	}
+	if got := X86_64.SizeOf(CType(99)); got != 0 {
+		t.Errorf("SizeOf(invalid) = %d, want 0", got)
+	}
+}
+
+func TestCTypePredicates(t *testing.T) {
+	if !CInt.Signed() || CUInt.Signed() {
+		t.Error("Signed() wrong for CInt/CUInt")
+	}
+	if !CULong.Integer() || CFloat.Integer() {
+		t.Error("Integer() wrong for CULong/CFloat")
+	}
+	if !CDouble.Float() || CLong.Float() {
+		t.Error("Float() wrong for CDouble/CLong")
+	}
+	if CPointer.Integer() || CPointer.Float() || CPointer.Signed() {
+		t.Error("CPointer should be neither integer nor float nor signed")
+	}
+}
+
+func TestCTypeString(t *testing.T) {
+	if CULong.String() != "unsigned long" {
+		t.Errorf("CULong.String() = %q", CULong.String())
+	}
+	if s := CType(99).String(); s != "CType(99)" {
+		t.Errorf("invalid CType String() = %q", s)
+	}
+}
+
+func TestByteOrderString(t *testing.T) {
+	if LittleEndian.String() != "little-endian" || BigEndian.String() != "big-endian" {
+		t.Error("ByteOrder.String() wrong for valid orders")
+	}
+	if s := ByteOrder(7).String(); s != "ByteOrder(7)" {
+		t.Errorf("invalid ByteOrder String() = %q", s)
+	}
+}

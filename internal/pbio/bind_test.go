@@ -1,0 +1,415 @@
+package pbio
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"openmeta/internal/machine"
+)
+
+// asdOff mirrors Structure B from the paper as a Go struct.
+type asdOff struct {
+	CntrID string `pbio:"cntrID"`
+	Arln   string `pbio:"arln"`
+	FltNum int32  `pbio:"fltNum"`
+	Equip  string `pbio:"equip"`
+	Org    string `pbio:"org"`
+	Dest   string `pbio:"dest"`
+	Off    [5]uint32
+	Eta    []uint32
+}
+
+func sampleStruct() asdOff {
+	return asdOff{
+		CntrID: "ZTL", Arln: "DL", FltNum: 1842,
+		Equip: "B757", Org: "ATL", Dest: "MCO",
+		Off: [5]uint32{10, 20, 30, 40, 50},
+		Eta: []uint32{1000, 2000, 3000},
+	}
+}
+
+func TestBindRoundTrip(t *testing.T) {
+	f := registerB(t, machine.Sparc)
+	b, err := f.Bind(asdOff{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sampleStruct()
+	data, err := b.Encode(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out asdOff
+	if err := b.Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n in = %+v\nout = %+v", in, out)
+	}
+}
+
+func TestBindEncodeMatchesGeneric(t *testing.T) {
+	// A bound struct and the equivalent generic record must produce
+	// byte-identical NDR.
+	f := registerB(t, machine.Sparc)
+	b, err := f.Bind(asdOff{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sampleStruct()
+	fromStruct, err := b.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromRecord, err := f.Encode(sampleASDOff())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromStruct, fromRecord) {
+		t.Errorf("struct and generic encodings differ:\n%x\n%x", fromStruct, fromRecord)
+	}
+}
+
+func TestBindHeterogeneousDecode(t *testing.T) {
+	// Record encoded on big-endian 32-bit SPARC, decoded into a Go struct
+	// via metadata — receiver-makes-right conversion.
+	f := registerB(t, machine.Sparc)
+	in := sampleStruct()
+	bSrc, err := f.Bind(asdOff{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := bSrc.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	remote, err := UnmarshalMeta(MarshalMeta(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bDst, err := remote.Bind(asdOff{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out asdOff
+	if err := bDst.Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("heterogeneous decode:\n in = %+v\nout = %+v", in, out)
+	}
+}
+
+func TestBindEvolutionNewFieldsIgnored(t *testing.T) {
+	// Sender's format has fields the receiver's struct lacks: PBIO's
+	// restricted evolution says the receiver must still decode what it knows.
+	ctx := newCtx(t, machine.X86_64)
+	f, err := ctx.RegisterSpec("Evt", []FieldSpec{
+		{Name: "id", Kind: Int, CType: machine.CInt},
+		{Name: "newField", Kind: Float, CType: machine.CDouble}, // added in v2
+		{Name: "name", Kind: String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := f.Encode(Record{"id": 7, "newField": 3.14, "name": "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type evtV1 struct {
+		ID   int32
+		Name string
+	}
+	b, err := f.Bind(evtV1{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out evtV1
+	if err := b.Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != 7 || out.Name != "x" {
+		t.Errorf("out = %+v", out)
+	}
+}
+
+func TestBindEvolutionMissingFieldsZero(t *testing.T) {
+	// Receiver's struct has fields the sender's format lacks.
+	ctx := newCtx(t, machine.X86_64)
+	f, err := ctx.RegisterSpec("Evt", []FieldSpec{
+		{Name: "id", Kind: Int, CType: machine.CInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type evtV2 struct {
+		ID    int64
+		Extra string
+	}
+	b, err := f.Bind(evtV2{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := f.Encode(Record{"id": 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := evtV2{Extra: "sentinel"}
+	if err := b.Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != 9 || out.Extra != "sentinel" {
+		t.Errorf("out = %+v", out)
+	}
+}
+
+func TestBindNested(t *testing.T) {
+	ctx := newCtx(t, machine.Sparc64)
+	if _, err := ctx.RegisterSpec("Point", []FieldSpec{
+		{Name: "x", Kind: Float, CType: machine.CDouble},
+		{Name: "y", Kind: Float, CType: machine.CDouble},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ctx.RegisterSpec("Track", []FieldSpec{
+		{Name: "id", Kind: Int, CType: machine.CInt},
+		{Name: "start", Kind: Nested, NestedName: "Point"},
+		{Name: "pts", Kind: Nested, NestedName: "Point", Dynamic: true, CountField: "n"},
+		{Name: "n", Kind: Int, CType: machine.CInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type point struct{ X, Y float64 }
+	type track struct {
+		ID    int
+		Start point
+		Pts   []point
+	}
+	b, err := f.Bind(track{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := track{ID: 3, Start: point{1, 2}, Pts: []point{{3, 4}, {5, 6}}}
+	data, err := b.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out track
+	if err := b.Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("nested round trip:\n in = %+v\nout = %+v", in, out)
+	}
+}
+
+func TestBindNestedPointer(t *testing.T) {
+	ctx := newCtx(t, machine.X86_64)
+	if _, err := ctx.RegisterSpec("Inner", []FieldSpec{
+		{Name: "v", Kind: Int, CType: machine.CInt},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ctx.RegisterSpec("Outer", []FieldSpec{
+		{Name: "in", Kind: Nested, NestedName: "Inner"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type inner struct{ V int32 }
+	type outer struct{ In *inner }
+	b, err := f.Bind(outer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := b.Encode(outer{In: &inner{V: 42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out outer
+	if err := b.Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.In == nil || out.In.V != 42 {
+		t.Errorf("out = %+v", out)
+	}
+	// Nil nested pointer encodes as zeros.
+	data2, err := b.Encode(outer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out2 outer
+	if err := b.Decode(data2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.In == nil || out2.In.V != 0 {
+		t.Errorf("out2 = %+v", out2)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	f := registerB(t, machine.X86)
+	if _, err := f.Bind(42); !errors.Is(err, ErrNotStruct) {
+		t.Errorf("Bind(int) err = %v", err)
+	}
+	type unrelated struct{ Zzz int }
+	if _, err := f.Bind(unrelated{}); !errors.Is(err, ErrNoBoundField) {
+		t.Errorf("Bind(unrelated) err = %v", err)
+	}
+	type wrongKind struct {
+		CntrID int `pbio:"cntrID"`
+	}
+	if _, err := f.Bind(wrongKind{}); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("Bind(wrongKind) err = %v", err)
+	}
+	type wrongArray struct {
+		Off uint32 `pbio:"off"` // off is an array
+	}
+	if _, err := f.Bind(wrongArray{}); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("Bind(wrongArray) err = %v", err)
+	}
+
+	b, err := f.Bind(asdOff{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type other struct{ CntrID string }
+	if _, err := b.Encode(other{}); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("Encode(wrong type) err = %v", err)
+	}
+	var po *asdOff
+	if _, err := b.Encode(po); err == nil {
+		t.Error("Encode(nil pointer): want error")
+	}
+	if err := b.Decode(nil, asdOff{}); err == nil {
+		t.Error("Decode(non-pointer): want error")
+	}
+	if err := b.Decode(nil, (*asdOff)(nil)); err == nil {
+		t.Error("Decode(nil pointer): want error")
+	}
+	var out asdOff
+	if err := b.Decode([]byte{1, 2}, &out); !errors.Is(err, ErrTruncated) {
+		t.Errorf("Decode(short) err = %v", err)
+	}
+}
+
+func TestBindExplicitCountFieldIsDerived(t *testing.T) {
+	// A struct that declares its own count field: the encoder must ignore
+	// the struct value and write the slice length.
+	ctx := newCtx(t, machine.X86)
+	f, err := ctx.RegisterSpec("T", []FieldSpec{
+		{Name: "vals", Kind: Int, CType: machine.CInt, Dynamic: true, CountField: "vals_count"},
+		{Name: "vals_count", Kind: Int, CType: machine.CInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type withCount struct {
+		Vals      []int32 `pbio:"vals"`
+		ValsCount int32   `pbio:"vals_count"`
+	}
+	b, err := f.Bind(withCount{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := withCount{Vals: []int32{1, 2, 3}, ValsCount: 999} // lying count
+	data, err := b.Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out withCount
+	if err := b.Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ValsCount != 3 || len(out.Vals) != 3 {
+		t.Errorf("out = %+v (count must derive from slice length)", out)
+	}
+}
+
+func TestBindUnboundDynamicArrayZeroCount(t *testing.T) {
+	ctx := newCtx(t, machine.X86)
+	f, err := ctx.RegisterSpec("T", []FieldSpec{
+		{Name: "vals", Kind: Int, CType: machine.CInt, Dynamic: true, CountField: "n"},
+		{Name: "n", Kind: Int, CType: machine.CInt},
+		{Name: "keep", Kind: Int, CType: machine.CInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type partial struct {
+		N    int32 // must NOT drive the count: the array is unbound
+		Keep int32
+	}
+	b, err := f.Bind(partial{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := b.Encode(partial{N: 42, Keep: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := f.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec["n"] != int64(0) {
+		t.Errorf("n = %v, want 0 (array unbound)", rec["n"])
+	}
+	if rec["keep"] != int64(7) {
+		t.Errorf("keep = %v", rec["keep"])
+	}
+}
+
+func TestBindCaseInsensitiveMatch(t *testing.T) {
+	ctx := newCtx(t, machine.X86)
+	f, err := ctx.RegisterSpec("T", []FieldSpec{
+		{Name: "fltNum", Kind: Int, CType: machine.CInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type s struct{ FltNum int32 } // matches via lower-casing
+	b, err := f.Bind(s{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := b.Encode(s{FltNum: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := f.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec["fltNum"] != int64(5) {
+		t.Errorf("fltNum = %v", rec["fltNum"])
+	}
+}
+
+func TestBindOverflowChecked(t *testing.T) {
+	ctx := newCtx(t, machine.X86_64)
+	f, err := ctx.RegisterSpec("T", []FieldSpec{
+		{Name: "big", Kind: Int, CType: machine.CLongLong},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type narrow struct {
+		Big int8
+	}
+	b, err := f.Bind(narrow{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := f.Encode(Record{"big": int64(300)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out narrow
+	if err := b.Decode(data, &out); !errors.Is(err, ErrTypeMismatch) {
+		t.Errorf("overflow decode err = %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+package pbio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// PBIO stands for Portable Binary I/O: the same encoding that crosses
+// networks can be "written to data files in a heterogeneous computing
+// environment" (the paper's description of PBIO). A record file is
+// self-describing — format metadata precedes the first record of each
+// format, exactly as on a connection — so a file written on one machine is
+// readable on any other, years later, without the writing program:
+//
+//	header  "PBIOF" version(1)
+//	frames  the wire protocol's format/record frames
+var fileMagic = [6]byte{'P', 'B', 'I', 'O', 'F', 1}
+
+// ErrBadFileHeader reports a file that is not a PBIO record file.
+var ErrBadFileHeader = errors.New("pbio: not a PBIO record file")
+
+// FileWriter appends self-describing records to a stream or file.
+type FileWriter struct {
+	w  io.Writer
+	c  io.Closer // nil when wrapping a plain writer
+	pw *Writer
+}
+
+// NewFileWriter starts a record file on w (header written immediately).
+func NewFileWriter(w io.Writer) (*FileWriter, error) {
+	if _, err := w.Write(fileMagic[:]); err != nil {
+		return nil, fmt.Errorf("pbio: write file header: %w", err)
+	}
+	return &FileWriter{w: w, pw: NewWriter(w)}, nil
+}
+
+// CreateFile creates (or truncates) a record file at path.
+func CreateFile(path string) (*FileWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("pbio: %w", err)
+	}
+	fw, err := NewFileWriter(f)
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	fw.c = f
+	return fw, nil
+}
+
+// WriteRecord appends one encoded record, preceding it with format metadata
+// the first time the format appears in this file.
+func (fw *FileWriter) WriteRecord(f *Format, record []byte) error {
+	return fw.pw.WriteRecord(f, record)
+}
+
+// WriteValue encodes a generic record and appends it.
+func (fw *FileWriter) WriteValue(f *Format, rec Record) error {
+	data, err := f.Encode(rec)
+	if err != nil {
+		return err
+	}
+	return fw.pw.WriteRecord(f, data)
+}
+
+// Close closes the underlying file, if this writer owns one.
+func (fw *FileWriter) Close() error {
+	if fw.c == nil {
+		return nil
+	}
+	return fw.c.Close()
+}
+
+// FileReader reads a self-describing record file, adopting its formats into
+// a Context.
+type FileReader struct {
+	c  io.Closer
+	pr *Reader
+}
+
+// NewFileReader opens a record stream on r, verifying the header. Formats
+// found in the file are adopted into ctx.
+func NewFileReader(r io.Reader, ctx *Context) (*FileReader, error) {
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFileHeader, err)
+	}
+	if hdr != fileMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFileHeader, hdr[:5])
+	}
+	return &FileReader{pr: NewReader(r, ctx)}, nil
+}
+
+// OpenFile opens the record file at path.
+func OpenFile(path string, ctx *Context) (*FileReader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pbio: %w", err)
+	}
+	fr, err := NewFileReader(f, ctx)
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	fr.c = f
+	return fr, nil
+}
+
+// ReadRecord returns the next record and its format. io.EOF signals a clean
+// end of file. The returned bytes are valid until the next call.
+func (fr *FileReader) ReadRecord() (*Format, []byte, error) {
+	return fr.pr.ReadRecord()
+}
+
+// ReadValue decodes the next record generically.
+func (fr *FileReader) ReadValue() (*Format, Record, error) {
+	f, data, err := fr.pr.ReadRecord()
+	if err != nil {
+		return nil, nil, err
+	}
+	rec, err := f.Decode(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, rec, nil
+}
+
+// Close closes the underlying file, if this reader owns one.
+func (fr *FileReader) Close() error {
+	if fr.c == nil {
+		return nil
+	}
+	return fr.c.Close()
+}

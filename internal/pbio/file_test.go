@@ -1,0 +1,174 @@
+package pbio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"openmeta/internal/machine"
+)
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "records.pbio")
+
+	f := registerB(t, machine.Sparc) // write on a simulated big-endian box
+	fw, err := CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []Record{
+		sampleASDOff(),
+		{"cntrID": "ZME", "fltNum": 77},
+		{"cntrID": "ZNY", "eta": []uint64{1, 2, 3, 4}},
+	}
+	for _, r := range recs {
+		if err := fw.WriteValue(f, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read on a different "machine".
+	rctx := newCtx(t, machine.X86_64)
+	fr, err := OpenFile(path, rctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+	for i, want := range recs {
+		gf, rec, err := fr.ReadValue()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if gf.Name != "ASDOffEvent" {
+			t.Errorf("record %d format = %q", i, gf.Name)
+		}
+		if rec["cntrID"] != want["cntrID"] {
+			t.Errorf("record %d cntrID = %v", i, rec["cntrID"])
+		}
+	}
+	if _, _, err := fr.ReadRecord(); !errors.Is(err, io.EOF) {
+		t.Errorf("after last record: %v, want io.EOF", err)
+	}
+}
+
+func TestFileMultipleFormats(t *testing.T) {
+	var buf bytes.Buffer
+	ctx := newCtx(t, machine.X86_64)
+	fa, err := ctx.RegisterSpec("A", []FieldSpec{{Name: "x", Kind: Int, CType: machine.CInt}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := ctx.RegisterSpec("B", []FieldSpec{{Name: "y", Kind: String}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := NewFileWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteValue(fa, Record{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteValue(fb, Record{"y": "hi"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteValue(fa, Record{"x": 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	fr, err := NewFileReader(&buf, newCtx(t, machine.Sparc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	var xs []int64
+	for {
+		gf, rec, err := fr.ReadValue()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, gf.Name)
+		if v, ok := rec["x"].(int64); ok {
+			xs = append(xs, v)
+		}
+	}
+	if !reflect.DeepEqual(names, []string{"A", "B", "A"}) {
+		t.Errorf("names = %v", names)
+	}
+	if !reflect.DeepEqual(xs, []int64{1, 2}) {
+		t.Errorf("xs = %v", xs)
+	}
+}
+
+func TestFileBadHeader(t *testing.T) {
+	ctx := newCtx(t, machine.X86_64)
+	if _, err := NewFileReader(bytes.NewReader([]byte("JUNKY!")), ctx); !errors.Is(err, ErrBadFileHeader) {
+		t.Errorf("bad magic err = %v", err)
+	}
+	if _, err := NewFileReader(bytes.NewReader([]byte("PB")), ctx); !errors.Is(err, ErrBadFileHeader) {
+		t.Errorf("short header err = %v", err)
+	}
+	// Wrong version byte.
+	if _, err := NewFileReader(bytes.NewReader([]byte{'P', 'B', 'I', 'O', 'F', 9}), ctx); !errors.Is(err, ErrBadFileHeader) {
+		t.Errorf("bad version err = %v", err)
+	}
+}
+
+func TestFileTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	f := registerB(t, machine.X86)
+	fw, err := NewFileWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.WriteValue(f, sampleASDOff()); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the file mid-record.
+	data := buf.Bytes()[:buf.Len()-5]
+	fr, err := NewFileReader(bytes.NewReader(data), newCtx(t, machine.X86_64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fr.ReadRecord(); err == nil {
+		t.Error("truncated record accepted")
+	}
+}
+
+func TestFileOpenErrors(t *testing.T) {
+	ctx := newCtx(t, machine.X86_64)
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "missing.pbio"), ctx); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := CreateFile(filepath.Join(t.TempDir(), "no", "such", "dir", "f")); err == nil {
+		t.Error("uncreatable path accepted")
+	}
+}
+
+func TestFileCloseWithoutOwnership(t *testing.T) {
+	var buf bytes.Buffer
+	fw, err := NewFileWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Errorf("Close on non-owned writer: %v", err)
+	}
+	fr, err := NewFileReader(&buf, newCtx(t, machine.X86_64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fr.Close(); err != nil {
+		t.Errorf("Close on non-owned reader: %v", err)
+	}
+}

@@ -1,0 +1,170 @@
+package pbio
+
+import (
+	"math/rand"
+	"testing"
+
+	"openmeta/internal/machine"
+)
+
+// Records, format metadata and frames arrive from the network; nothing in
+// them may be trusted. These tests feed mutated and random bytes through
+// every untrusted entry point and require an error or a success — never a
+// panic, never an out-of-range access (the race/bounds detectors catch
+// those under `go test`).
+
+func noPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s panicked: %v", name, r)
+		}
+	}()
+	fn()
+}
+
+func TestDecodeNeverPanicsOnMutatedRecords(t *testing.T) {
+	f := registerB(t, machine.Sparc)
+	good, err := f.Encode(sampleASDOff())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		bad := append([]byte(nil), good...)
+		// Flip 1-4 random bytes.
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
+		}
+		noPanic(t, "Decode", func() { _, _ = f.Decode(bad) })
+	}
+	// Random truncations.
+	for n := 0; n <= len(good); n++ {
+		cut := good[:n]
+		noPanic(t, "Decode(truncated)", func() { _, _ = f.Decode(cut) })
+	}
+}
+
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	f := registerB(t, machine.X86_64)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 1000; trial++ {
+		data := make([]byte, rng.Intn(512))
+		rng.Read(data)
+		noPanic(t, "Decode", func() { _, _ = f.Decode(data) })
+	}
+}
+
+func TestBindingDecodeNeverPanicsOnMutatedRecords(t *testing.T) {
+	f := registerB(t, machine.Sparc)
+	b, err := f.Bind(asdOff{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := b.Encode(sampleStruct())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		bad := append([]byte(nil), good...)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
+		}
+		var out asdOff
+		noPanic(t, "Binding.Decode", func() { _ = b.Decode(bad, &out) })
+	}
+}
+
+func TestUnmarshalMetaNeverPanicsOnRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := registerB(t, machine.Sparc)
+	good := MarshalMeta(f)
+	for trial := 0; trial < 2000; trial++ {
+		bad := append([]byte(nil), good...)
+		for k := 0; k < 1+rng.Intn(6); k++ {
+			bad[rng.Intn(len(bad))] ^= byte(1 + rng.Intn(255))
+		}
+		noPanic(t, "UnmarshalMeta", func() {
+			// Whatever parsed must stay internally safe to use. A flipped
+			// byte may declare a huge (but valid) record size; skip the
+			// decode probe then rather than allocate gigabytes.
+			if g, err := UnmarshalMeta(bad); err == nil && g.Size < 1<<20 {
+				_, _ = g.Decode(make([]byte, g.Size))
+			}
+		})
+	}
+	for trial := 0; trial < 500; trial++ {
+		data := make([]byte, rng.Intn(256))
+		rng.Read(data)
+		noPanic(t, "UnmarshalMeta(random)", func() { _, _ = UnmarshalMeta(data) })
+	}
+}
+
+func TestReaderNeverPanicsOnRandomFrames(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 500; trial++ {
+		stream := make([]byte, rng.Intn(200))
+		rng.Read(stream)
+		// Constrain the declared length so ReadFull terminates quickly.
+		if len(stream) >= 5 {
+			stream[1], stream[2] = 0, 0
+		}
+		ctx := newCtx(t, machine.X86_64)
+		r := NewReader(&sliceReader{data: stream}, ctx)
+		noPanic(t, "ReadRecord", func() {
+			for i := 0; i < 4; i++ {
+				if _, _, err := r.ReadRecord(); err != nil {
+					return
+				}
+			}
+		})
+	}
+}
+
+type sliceReader struct {
+	data []byte
+	pos  int
+}
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if s.pos >= len(s.data) {
+		return 0, errEOF{}
+	}
+	n := copy(p, s.data[s.pos:])
+	s.pos += n
+	return n, nil
+}
+
+type errEOF struct{}
+
+func (errEOF) Error() string { return "EOF" }
+
+func TestDecodeIdempotentReencode(t *testing.T) {
+	// decode(encode(x)) re-encodes to identical bytes — the canonical-form
+	// property MatchBinary relies on.
+	f := registerB(t, machine.Sparc64)
+	recs := []Record{
+		sampleASDOff(),
+		{},
+		{"cntrID": "", "eta": []uint64{}},
+		{"off": []uint64{1, 0, 3, 0, 5}},
+	}
+	for i, rec := range recs {
+		first, err := f.Encode(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decoded, err := f.Decode(first)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := f.Encode(decoded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(first) != string(second) {
+			t.Errorf("record %d: re-encode differs (%d vs %d bytes)", i, len(first), len(second))
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package pbio
+
+import (
+	"fmt"
+
+	"openmeta/internal/machine"
+)
+
+// FieldSpec declares a field by its C element type, leaving sizes and
+// offsets to be computed for the context's architecture. This is the path
+// xml2wire uses after mapping XML Schema types to C types, and the natural
+// registration path for Go programs that have no C compiler to ask.
+type FieldSpec struct {
+	// Name is the field name.
+	Name string
+	// Kind selects the marshaling technique.
+	Kind Kind
+	// CType is the C element type for scalar kinds (ignored for String,
+	// which is always char*, and for Nested).
+	CType machine.CType
+	// NestedName names a previously registered format for Kind == Nested.
+	NestedName string
+	// Count > 1 declares a static array.
+	Count int
+	// Dynamic declares a dynamically sized array; CountField names the
+	// integer field carrying its length.
+	Dynamic    bool
+	CountField string
+}
+
+// RegisterSpec lays the fields out for the context's architecture exactly as
+// a C compiler would — computing sizeof and offsets with padding — and
+// registers the resulting format.
+func (c *Context) RegisterSpec(name string, specs []FieldSpec) (*Format, error) {
+	ios, err := c.ResolveSpecs(name, specs)
+	if err != nil {
+		return nil, err
+	}
+	return c.Register(name, ios)
+}
+
+// ResolveSpecs computes the IOField list (sizes and offsets) for the given
+// specs on the context's architecture without registering anything. It is
+// exposed so callers can inspect or dump the metadata the way the paper's
+// figures show it.
+func (c *Context) ResolveSpecs(name string, specs []FieldSpec) ([]IOField, error) {
+	members := make([]machine.Member, len(specs))
+	elemSizes := make([]int, len(specs))
+	for i, s := range specs {
+		switch s.Kind {
+		case String:
+			if s.Dynamic {
+				return nil, fmt.Errorf("pbio: format %q field %q: dynamic arrays of strings are not supported",
+					name, s.Name)
+			}
+			members[i] = machine.Member{Name: s.Name, Type: machine.CPointer, Count: s.Count}
+			elemSizes[i] = c.arch.PointerSize
+		case Nested:
+			nested, ok := c.Lookup(s.NestedName)
+			if !ok {
+				return nil, fmt.Errorf("pbio: format %q field %q: %w: %q",
+					name, s.Name, ErrUnknownFormat, s.NestedName)
+			}
+			elemSizes[i] = nested.Size
+			if s.Dynamic {
+				members[i] = machine.Member{Name: s.Name, Type: machine.CPointer}
+			} else {
+				// machine.LayOut only needs the nested record's size, align
+				// and arch; synthesize a layout shell from the format.
+				shell := &machine.Layout{Arch: c.arch, Size: nested.Size, Align: nested.Align}
+				members[i] = machine.Member{Name: s.Name, Record: shell, Count: s.Count}
+			}
+		case Int, Uint, Float, Char, Bool:
+			if s.CType == 0 {
+				return nil, fmt.Errorf("pbio: format %q field %q: missing C type", name, s.Name)
+			}
+			elemSizes[i] = c.arch.SizeOf(s.CType)
+			if s.Dynamic {
+				members[i] = machine.Member{Name: s.Name, Type: machine.CPointer}
+			} else {
+				members[i] = machine.Member{Name: s.Name, Type: s.CType, Count: s.Count}
+			}
+		default:
+			return nil, fmt.Errorf("pbio: format %q field %q: invalid kind %v", name, s.Name, s.Kind)
+		}
+	}
+	layout, err := machine.LayOut(c.arch, members)
+	if err != nil {
+		return nil, fmt.Errorf("pbio: format %q: %w", name, err)
+	}
+	ios := make([]IOField, len(specs))
+	for i, s := range specs {
+		typ := specTypeString(s)
+		ios[i] = IOField{
+			Name:   s.Name,
+			Type:   typ,
+			Size:   elemSizes[i],
+			Offset: layout.Fields[i].Offset,
+		}
+	}
+	return ios, nil
+}
+
+func specTypeString(s FieldSpec) string {
+	base := s.Kind.String()
+	if s.Kind == Nested {
+		base = s.NestedName
+	}
+	switch {
+	case s.Dynamic:
+		return fmt.Sprintf("%s[%s]", base, s.CountField)
+	case s.Count > 1:
+		return fmt.Sprintf("%s[%d]", base, s.Count)
+	default:
+		return base
+	}
+}

@@ -1,0 +1,178 @@
+package pbio
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// The connection protocol frames two message types over any reliable byte
+// stream. Formats are transmitted once per connection and referenced by
+// their 8-byte ID afterwards — the format-caching optimization that lets
+// NDR's per-message metadata cost approach zero:
+//
+//	frame := type(1) length(u32 BE) payload
+//	type 1 (format): payload = MarshalMeta bytes
+//	type 2 (record): payload = FormatID(8) || NDR record bytes
+const (
+	frameFormat byte = 1
+	frameRecord byte = 2
+)
+
+// MaxFrameSize bounds a single frame; larger frames indicate corruption.
+const MaxFrameSize = MaxRecordSize
+
+// Wire protocol errors.
+var (
+	ErrFrameTooBig    = errors.New("pbio: frame exceeds maximum size")
+	ErrUnknownFrame   = errors.New("pbio: unknown frame type")
+	ErrNoSuchFormatID = errors.New("pbio: record references unknown format ID")
+)
+
+// Writer sends formats and records over a byte stream. It remembers which
+// format IDs the peer has already seen so metadata travels at most once.
+// Writer is safe for concurrent use.
+type Writer struct {
+	mu   sync.Mutex
+	w    io.Writer
+	sent map[FormatID]bool
+	// resendMeta disables the format cache: metadata is retransmitted with
+	// every record. Exists for the ablation benchmark; always false in
+	// normal operation.
+	resendMeta bool
+	scratch    []byte
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, sent: make(map[FormatID]bool)}
+}
+
+// SetResendMetadata controls whether format metadata is retransmitted with
+// every record (true) or sent once per connection (false, the default).
+func (w *Writer) SetResendMetadata(resend bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.resendMeta = resend
+}
+
+// WriteRecord sends one encoded record of format f, preceding it with the
+// format's metadata if this connection has not carried it yet.
+func (w *Writer) WriteRecord(f *Format, record []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.resendMeta || !w.sent[f.ID] {
+		if err := w.writeFrame(frameFormat, nil, MarshalMeta(f)); err != nil {
+			return err
+		}
+		w.sent[f.ID] = true
+	}
+	return w.writeFrame(frameRecord, f.ID[:], record)
+}
+
+// WriteFormat proactively sends a format's metadata (idempotent per
+// connection).
+func (w *Writer) WriteFormat(f *Format) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.sent[f.ID] && !w.resendMeta {
+		return nil
+	}
+	if err := w.writeFrame(frameFormat, nil, MarshalMeta(f)); err != nil {
+		return err
+	}
+	w.sent[f.ID] = true
+	return nil
+}
+
+func (w *Writer) writeFrame(typ byte, prefix, payload []byte) error {
+	total := len(prefix) + len(payload)
+	if total > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooBig, total)
+	}
+	need := 5 + total
+	if cap(w.scratch) < need {
+		w.scratch = make([]byte, 0, need*2)
+	}
+	buf := w.scratch[:0]
+	buf = append(buf, typ, byte(total>>24), byte(total>>16), byte(total>>8), byte(total))
+	buf = append(buf, prefix...)
+	buf = append(buf, payload...)
+	w.scratch = buf
+	if _, err := w.w.Write(buf); err != nil {
+		return fmt.Errorf("pbio: write frame: %w", err)
+	}
+	return nil
+}
+
+// Reader receives formats and records from a byte stream, adopting incoming
+// format metadata into a Context so records can be decoded. Reader is not
+// safe for concurrent use (a stream has one reading position).
+type Reader struct {
+	r   io.Reader
+	ctx *Context
+	buf []byte
+}
+
+// NewReader returns a Reader over r that adopts formats into ctx.
+func NewReader(r io.Reader, ctx *Context) *Reader {
+	return &Reader{r: r, ctx: ctx}
+}
+
+// ReadRecord reads frames until a record arrives, returning the record's
+// format and its NDR bytes. The returned slice is only valid until the next
+// call. io.EOF is returned verbatim at a clean end of stream.
+func (r *Reader) ReadRecord() (*Format, []byte, error) {
+	for {
+		typ, payload, err := r.readFrame()
+		if err != nil {
+			return nil, nil, err
+		}
+		switch typ {
+		case frameFormat:
+			f, err := UnmarshalMeta(payload)
+			if err != nil {
+				return nil, nil, err
+			}
+			if _, err := r.ctx.Adopt(f); err != nil {
+				return nil, nil, err
+			}
+		case frameRecord:
+			if len(payload) < len(FormatID{}) {
+				return nil, nil, fmt.Errorf("%w: record frame of %d bytes", ErrTruncated, len(payload))
+			}
+			var id FormatID
+			copy(id[:], payload)
+			f, ok := r.ctx.LookupID(id)
+			if !ok {
+				return nil, nil, fmt.Errorf("%w: %s", ErrNoSuchFormatID, id)
+			}
+			return f, payload[len(id):], nil
+		default:
+			return nil, nil, fmt.Errorf("%w: %d", ErrUnknownFrame, typ)
+		}
+	}
+}
+
+func (r *Reader) readFrame() (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("pbio: read frame header: %w", err)
+	}
+	n := int(hdr[1])<<24 | int(hdr[2])<<16 | int(hdr[3])<<8 | int(hdr[4])
+	if n < 0 || n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	if cap(r.buf) < n {
+		r.buf = make([]byte, n*2)
+	}
+	payload := r.buf[:n]
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		return 0, nil, fmt.Errorf("pbio: read frame payload: %w", err)
+	}
+	return hdr[0], payload, nil
+}

@@ -1,0 +1,417 @@
+package xdr
+
+import (
+	"fmt"
+
+	"openmeta/internal/pbio"
+)
+
+// This file provides a format-driven XDR codec so the same message formats
+// and records used by the NDR path can travel in canonical XDR form. The
+// mapping follows the conventions of rpcgen:
+//
+//   - integer fields of 1–4 bytes become XDR int / unsigned int (4 bytes);
+//     8-byte fields become hyper / unsigned hyper;
+//   - float fields become float or double by declared size;
+//   - booleans become XDR bool (4 bytes);
+//   - strings become XDR string (length + bytes + pad);
+//   - static arrays are fixed-length arrays (elements only);
+//   - dynamic arrays are variable-length arrays (length + elements); their
+//     count fields are not transmitted separately (the length prefix carries
+//     the information), exactly as an rpcgen-generated stub would do;
+//   - nested formats encode recursively.
+
+// EncodeRecord marshals rec according to format f in XDR form.
+func EncodeRecord(f *pbio.Format, rec pbio.Record) ([]byte, error) {
+	return AppendRecord(make([]byte, 0, f.Size*2), f, rec)
+}
+
+// AppendRecord appends the XDR encoding of rec to b.
+func AppendRecord(b []byte, f *pbio.Format, rec pbio.Record) ([]byte, error) {
+	var err error
+	for i := range f.Fields {
+		fl := &f.Fields[i]
+		if skipAsCountField(f, fl) {
+			continue
+		}
+		val := rec[fl.Name]
+		switch {
+		case fl.Dynamic:
+			b, err = appendDynamic(b, f, fl, val)
+		case fl.Count > 1:
+			b, err = appendStatic(b, f, fl, val)
+		default:
+			b, err = appendScalar(b, f, fl, val)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xdr: field %q: %w", fl.Name, err)
+		}
+	}
+	return b, nil
+}
+
+// skipAsCountField reports whether fl only exists to carry a dynamic array
+// length (XDR arrays are self-describing, so the field is redundant).
+func skipAsCountField(f *pbio.Format, fl *pbio.Field) bool {
+	for i := range f.Fields {
+		if f.Fields[i].Dynamic && f.Fields[i].CountField == fl.Name {
+			return true
+		}
+	}
+	return false
+}
+
+func appendScalar(b []byte, f *pbio.Format, fl *pbio.Field, val interface{}) ([]byte, error) {
+	switch fl.Kind {
+	case pbio.Int, pbio.Char:
+		v, err := toInt(val)
+		if err != nil {
+			return nil, err
+		}
+		if fl.ElemSize == 8 {
+			return AppendInt64(b, v), nil
+		}
+		return AppendInt32(b, int32(v)), nil
+	case pbio.Uint:
+		v, err := toUint(val)
+		if err != nil {
+			return nil, err
+		}
+		if fl.ElemSize == 8 {
+			return AppendUint64(b, v), nil
+		}
+		return AppendUint32(b, uint32(v)), nil
+	case pbio.Float:
+		v, err := toFloat(val)
+		if err != nil {
+			return nil, err
+		}
+		if fl.ElemSize == 4 {
+			return AppendFloat32(b, float32(v)), nil
+		}
+		return AppendFloat64(b, v), nil
+	case pbio.Bool:
+		switch v := val.(type) {
+		case nil:
+			return AppendBool(b, false), nil
+		case bool:
+			return AppendBool(b, v), nil
+		default:
+			return nil, fmt.Errorf("got %T, want bool", val)
+		}
+	case pbio.String:
+		switch v := val.(type) {
+		case nil:
+			return AppendString(b, ""), nil
+		case string:
+			return AppendString(b, v), nil
+		default:
+			return nil, fmt.Errorf("got %T, want string", val)
+		}
+	case pbio.Nested:
+		switch v := val.(type) {
+		case nil:
+			return AppendRecord(b, fl.Nested, pbio.Record{})
+		case pbio.Record:
+			return AppendRecord(b, fl.Nested, v)
+		case map[string]interface{}:
+			return AppendRecord(b, fl.Nested, pbio.Record(v))
+		default:
+			return nil, fmt.Errorf("got %T, want Record", val)
+		}
+	default:
+		return nil, fmt.Errorf("unsupported kind %v", fl.Kind)
+	}
+}
+
+func appendStatic(b []byte, f *pbio.Format, fl *pbio.Field, val interface{}) ([]byte, error) {
+	elems, err := elements(val, fl.Count)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range elems {
+		b, err = appendScalar(b, f, fl, e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+func appendDynamic(b []byte, f *pbio.Format, fl *pbio.Field, val interface{}) ([]byte, error) {
+	elems, err := elements(val, -1)
+	if err != nil {
+		return nil, err
+	}
+	b = AppendUint32(b, uint32(len(elems)))
+	for _, e := range elems {
+		b, err = appendScalar(b, f, fl, e)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// DecodeRecord unmarshals an XDR record of format f, producing the same
+// canonical value types as pbio.Format.Decode so results are comparable.
+func DecodeRecord(f *pbio.Format, data []byte) (pbio.Record, error) {
+	d := NewDecoder(data)
+	rec, err := decodeInto(d, f)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+func decodeInto(d *Decoder, f *pbio.Format) (pbio.Record, error) {
+	rec := make(pbio.Record, len(f.Fields))
+	for i := range f.Fields {
+		fl := &f.Fields[i]
+		if skipAsCountField(f, fl) {
+			continue
+		}
+		switch {
+		case fl.Dynamic:
+			n, err := d.Uint32()
+			if err != nil {
+				return nil, fmt.Errorf("xdr: field %q: %w", fl.Name, err)
+			}
+			if int(n)*4 > d.Remaining() && fl.Kind != pbio.Nested {
+				return nil, fmt.Errorf("xdr: field %q: %w: count %d", fl.Name, ErrBadLength, n)
+			}
+			vals, err := decodeArray(d, f, fl, int(n))
+			if err != nil {
+				return nil, fmt.Errorf("xdr: field %q: %w", fl.Name, err)
+			}
+			rec[fl.Name] = vals
+			rec[fl.CountField] = int64(n)
+		case fl.Count > 1:
+			vals, err := decodeArray(d, f, fl, fl.Count)
+			if err != nil {
+				return nil, fmt.Errorf("xdr: field %q: %w", fl.Name, err)
+			}
+			rec[fl.Name] = vals
+		default:
+			v, err := decodeScalar(d, f, fl)
+			if err != nil {
+				return nil, fmt.Errorf("xdr: field %q: %w", fl.Name, err)
+			}
+			rec[fl.Name] = v
+		}
+	}
+	return rec, nil
+}
+
+func decodeScalar(d *Decoder, f *pbio.Format, fl *pbio.Field) (interface{}, error) {
+	switch fl.Kind {
+	case pbio.Int, pbio.Char:
+		if fl.ElemSize == 8 {
+			return d.Int64()
+		}
+		v, err := d.Int32()
+		return int64(v), err
+	case pbio.Uint:
+		if fl.ElemSize == 8 {
+			return d.Uint64()
+		}
+		v, err := d.Uint32()
+		return uint64(v), err
+	case pbio.Float:
+		if fl.ElemSize == 4 {
+			v, err := d.Float32()
+			return float64(v), err
+		}
+		return d.Float64()
+	case pbio.Bool:
+		return d.Bool()
+	case pbio.String:
+		return d.String()
+	case pbio.Nested:
+		return decodeInto(d, fl.Nested)
+	default:
+		return nil, fmt.Errorf("unsupported kind %v", fl.Kind)
+	}
+}
+
+func decodeArray(d *Decoder, f *pbio.Format, fl *pbio.Field, n int) (interface{}, error) {
+	switch fl.Kind {
+	case pbio.Int, pbio.Char:
+		out := make([]int64, n)
+		for i := range out {
+			v, err := decodeScalar(d, f, fl)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v.(int64)
+		}
+		return out, nil
+	case pbio.Uint:
+		out := make([]uint64, n)
+		for i := range out {
+			v, err := decodeScalar(d, f, fl)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v.(uint64)
+		}
+		return out, nil
+	case pbio.Float:
+		out := make([]float64, n)
+		for i := range out {
+			v, err := decodeScalar(d, f, fl)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v.(float64)
+		}
+		return out, nil
+	case pbio.Bool:
+		out := make([]bool, n)
+		for i := range out {
+			v, err := decodeScalar(d, f, fl)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v.(bool)
+		}
+		return out, nil
+	case pbio.String:
+		out := make([]string, n)
+		for i := range out {
+			v, err := decodeScalar(d, f, fl)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v.(string)
+		}
+		return out, nil
+	case pbio.Nested:
+		out := make([]pbio.Record, n)
+		for i := range out {
+			v, err := decodeInto(d, fl.Nested)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unsupported kind %v", fl.Kind)
+	}
+}
+
+// --- coercion (mirrors the NDR encoder's tolerance) ------------------------
+
+func toInt(val interface{}) (int64, error) {
+	switch v := val.(type) {
+	case nil:
+		return 0, nil
+	case int:
+		return int64(v), nil
+	case int32:
+		return int64(v), nil
+	case int64:
+		return v, nil
+	case uint64:
+		return int64(v), nil
+	case uint32:
+		return int64(v), nil
+	default:
+		return 0, fmt.Errorf("got %T, want integer", val)
+	}
+}
+
+func toUint(val interface{}) (uint64, error) {
+	switch v := val.(type) {
+	case nil:
+		return 0, nil
+	case uint:
+		return uint64(v), nil
+	case uint32:
+		return uint64(v), nil
+	case uint64:
+		return v, nil
+	case int:
+		return uint64(v), nil
+	case int64:
+		return uint64(v), nil
+	default:
+		return 0, fmt.Errorf("got %T, want unsigned", val)
+	}
+}
+
+func toFloat(val interface{}) (float64, error) {
+	switch v := val.(type) {
+	case nil:
+		return 0, nil
+	case float32:
+		return float64(v), nil
+	case float64:
+		return v, nil
+	case int:
+		return float64(v), nil
+	default:
+		return 0, fmt.Errorf("got %T, want float", val)
+	}
+}
+
+func elements(val interface{}, max int) ([]interface{}, error) {
+	if val == nil {
+		if max > 0 {
+			return make([]interface{}, max), nil
+		}
+		return nil, nil
+	}
+	var out []interface{}
+	switch v := val.(type) {
+	case []interface{}:
+		out = v
+	case []int64:
+		out = make([]interface{}, len(v))
+		for i := range v {
+			out[i] = v[i]
+		}
+	case []uint64:
+		out = make([]interface{}, len(v))
+		for i := range v {
+			out[i] = v[i]
+		}
+	case []float64:
+		out = make([]interface{}, len(v))
+		for i := range v {
+			out[i] = v[i]
+		}
+	case []string:
+		out = make([]interface{}, len(v))
+		for i := range v {
+			out[i] = v[i]
+		}
+	case []bool:
+		out = make([]interface{}, len(v))
+		for i := range v {
+			out[i] = v[i]
+		}
+	case []pbio.Record:
+		out = make([]interface{}, len(v))
+		for i := range v {
+			out[i] = v[i]
+		}
+	default:
+		return nil, fmt.Errorf("got %T, want slice", val)
+	}
+	if max >= 0 {
+		if len(out) > max {
+			return nil, fmt.Errorf("%d values for fixed array of %d", len(out), max)
+		}
+		if len(out) < max {
+			padded := make([]interface{}, max)
+			copy(padded, out)
+			out = padded
+		}
+	}
+	return out, nil
+}

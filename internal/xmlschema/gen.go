@@ -1,0 +1,101 @@
+package xmlschema
+
+import (
+	"strconv"
+
+	"openmeta/internal/xmltext"
+)
+
+// The namespace URI emitted by ToDocument. We generate 1999-draft documents
+// to match the paper's appendix exactly; the parser accepts all variants.
+const emitNamespace = "http://www.w3.org/1999/XMLSchema"
+
+// ToDocument renders the schema back to an XML document tree, inverse of
+// FromDocument. It lets a metadata repository generate schema documents
+// dynamically (the "server can also be extended to dynamically generate
+// metadata" behaviour of §4.4).
+func ToDocument(s *Schema) *xmltext.Document {
+	root := &xmltext.Element{
+		Name: xmltext.Name{Space: emitNamespace, Prefix: "xsd", Local: "schema"},
+		Attrs: []xmltext.Attr{
+			{Name: xmltext.Name{Prefix: "xmlns", Local: "xsd"}, Value: emitNamespace},
+		},
+	}
+	if s.TargetNamespace != "" {
+		root.Attrs = append(root.Attrs, xmltext.Attr{
+			Name: xmltext.Name{Local: "targetNamespace"}, Value: s.TargetNamespace,
+		})
+	}
+	if s.Doc != "" {
+		root.Children = append(root.Children, annotationNode(s.Doc))
+	}
+	for _, ct := range s.Types {
+		root.Children = append(root.Children, complexTypeNode(ct))
+	}
+	return &xmltext.Document{
+		Prolog: []xmltext.Node{&xmltext.ProcInst{Target: "xml", Data: `version="1.0"`}},
+		Root:   root,
+	}
+}
+
+// MarshalString renders the schema as pretty-printed XML text.
+func MarshalString(s *Schema) string {
+	doc := ToDocument(s)
+	var out string
+	out = xmltext.Marshal(doc.Prolog[0], "") + "\n" + xmltext.Marshal(doc.Root, "  ") + "\n"
+	return out
+}
+
+func annotationNode(doc string) *xmltext.Element {
+	return &xmltext.Element{
+		Name: xmltext.Name{Space: emitNamespace, Prefix: "xsd", Local: "annotation"},
+		Children: []xmltext.Node{&xmltext.Element{
+			Name:     xmltext.Name{Space: emitNamespace, Prefix: "xsd", Local: "documentation"},
+			Children: []xmltext.Node{&xmltext.Text{Data: doc}},
+		}},
+	}
+}
+
+func complexTypeNode(ct *ComplexType) *xmltext.Element {
+	el := &xmltext.Element{
+		Name:  xmltext.Name{Space: emitNamespace, Prefix: "xsd", Local: "complexType"},
+		Attrs: []xmltext.Attr{{Name: xmltext.Name{Local: "name"}, Value: ct.Name}},
+	}
+	if ct.Doc != "" {
+		el.Children = append(el.Children, annotationNode(ct.Doc))
+	}
+	for _, e := range ct.Elements {
+		el.Children = append(el.Children, elementNode(e))
+	}
+	return el
+}
+
+func elementNode(e Element) *xmltext.Element {
+	typeAttr := e.Type.Named
+	if e.Type.IsPrimitive() {
+		typeAttr = "xsd:" + e.Type.Primitive.String()
+	}
+	node := &xmltext.Element{
+		Name: xmltext.Name{Space: emitNamespace, Prefix: "xsd", Local: "element"},
+		Attrs: []xmltext.Attr{
+			{Name: xmltext.Name{Local: "name"}, Value: e.Name},
+			{Name: xmltext.Name{Local: "type"}, Value: typeAttr},
+		},
+	}
+	addOccurs := func(minV, maxV string) {
+		node.Attrs = append(node.Attrs,
+			xmltext.Attr{Name: xmltext.Name{Local: "minOccurs"}, Value: minV},
+			xmltext.Attr{Name: xmltext.Name{Local: "maxOccurs"}, Value: maxV},
+		)
+	}
+	switch e.Array {
+	case StaticArray:
+		n := strconv.Itoa(e.Size)
+		addOccurs(n, n)
+	case DynamicArray:
+		addOccurs(strconv.Itoa(e.MinOccurs), "*")
+	case CountedArray:
+		addOccurs(strconv.Itoa(e.MinOccurs), e.CountField)
+	}
+	return node
+}

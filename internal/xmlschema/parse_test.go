@@ -1,0 +1,428 @@
+package xmlschema
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// schemaA is Figure 6 from the paper: Structure A, no arrays, no nesting.
+const schemaA = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema"
+    targetNamespace="http://www.cc.gatech.edu/~pmw/schemas">
+  <xsd:annotation>
+    <xsd:documentation>
+      ASDOff
+    </xsd:documentation>
+  </xsd:annotation>
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrID" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:integer" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsigned-long" />
+    <xsd:element name="eta" type="xsd:unsigned-long" />
+  </xsd:complexType>
+</xsd:schema>`
+
+// schemaB is Figure 9: static and dynamically-allocated arrays.
+const schemaB = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema"
+    targetNamespace="http://www.cc.gatech.edu/~pmw/schemas">
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrID" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:integer" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsigned-long" minOccurs="5" maxOccurs="5" />
+    <xsd:element name="eta" type="xsd:unsigned-long" minOccurs="0" maxOccurs="*" />
+  </xsd:complexType>
+</xsd:schema>`
+
+// schemaCD is Figure 12: arrays and composition by nesting.
+const schemaCD = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema"
+    targetNamespace="http://www.cc.gatech.edu/~pmw/schemas">
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="cntrID" type="xsd:string" />
+    <xsd:element name="arln" type="xsd:string" />
+    <xsd:element name="fltNum" type="xsd:integer" />
+    <xsd:element name="equip" type="xsd:string" />
+    <xsd:element name="org" type="xsd:string" />
+    <xsd:element name="dest" type="xsd:string" />
+    <xsd:element name="off" type="xsd:unsigned-long" minOccurs="5" maxOccurs="5" />
+    <xsd:element name="eta" type="xsd:unsigned-long" minOccurs="1" maxOccurs="*" />
+  </xsd:complexType>
+  <xsd:complexType name="threeASDOffs">
+    <xsd:element name="one" type="ASDOffEvent" />
+    <xsd:element name="bart" type="xsd:double" />
+    <xsd:element name="two" type="ASDOffEvent" />
+    <xsd:element name="lisa" type="xsd:double" />
+    <xsd:element name="three" type="ASDOffEvent" />
+  </xsd:complexType>
+</xsd:schema>`
+
+func TestParseSchemaA(t *testing.T) {
+	s, err := ParseString(schemaA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TargetNamespace != "http://www.cc.gatech.edu/~pmw/schemas" {
+		t.Errorf("targetNamespace = %q", s.TargetNamespace)
+	}
+	if s.Doc != "ASDOff" {
+		t.Errorf("doc = %q", s.Doc)
+	}
+	ct, ok := s.TypeByName("ASDOffEvent")
+	if !ok {
+		t.Fatal("ASDOffEvent not found")
+	}
+	if len(ct.Elements) != 8 {
+		t.Fatalf("elements = %d, want 8", len(ct.Elements))
+	}
+	wantTypes := []Primitive{String, String, Integer, String, String, String, UnsignedLong, UnsignedLong}
+	for i, e := range ct.Elements {
+		if e.Type.Primitive != wantTypes[i] {
+			t.Errorf("element %s type = %s, want %s", e.Name, e.Type, wantTypes[i])
+		}
+		if e.Array != NoArray {
+			t.Errorf("element %s should be scalar", e.Name)
+		}
+	}
+}
+
+func TestParseSchemaBArrays(t *testing.T) {
+	s, err := ParseString(schemaB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := s.Types[0]
+	off := ct.Elements[6]
+	if off.Array != StaticArray || off.Size != 5 {
+		t.Errorf("off = %+v, want static[5]", off)
+	}
+	eta := ct.Elements[7]
+	if eta.Array != DynamicArray {
+		t.Errorf("eta array kind = %v, want DynamicArray", eta.Array)
+	}
+	if eta.CountField != "eta_count" {
+		t.Errorf("eta count field = %q, want eta_count", eta.CountField)
+	}
+	if eta.MinOccurs != 0 {
+		t.Errorf("eta minOccurs = %d", eta.MinOccurs)
+	}
+}
+
+func TestParseSchemaCDNesting(t *testing.T) {
+	s, err := ParseString(schemaCD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Types) != 2 {
+		t.Fatalf("types = %d", len(s.Types))
+	}
+	three := s.Types[1]
+	if three.Name != "threeASDOffs" {
+		t.Fatalf("second type = %q", three.Name)
+	}
+	if three.Elements[0].Type.Named != "ASDOffEvent" {
+		t.Errorf("one type = %s", three.Elements[0].Type)
+	}
+	if three.Elements[1].Type.Primitive != Double {
+		t.Errorf("bart type = %s", three.Elements[1].Type)
+	}
+}
+
+func TestParseCountedArray(t *testing.T) {
+	src := `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+	  <xsd:complexType name="T">
+	    <xsd:element name="n" type="xsd:int" />
+	    <xsd:element name="vals" type="xsd:double" minOccurs="0" maxOccurs="n" />
+	  </xsd:complexType>
+	</xsd:schema>`
+	s, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := s.Types[0].Elements[1]
+	if vals.Array != CountedArray || vals.CountField != "n" {
+		t.Errorf("vals = %+v", vals)
+	}
+}
+
+func TestParseSequenceWrapper(t *testing.T) {
+	src := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+	  <xs:complexType name="T">
+	    <xs:sequence>
+	      <xs:element name="a" type="xs:int"/>
+	      <xs:element name="b" type="xs:unsignedLong"/>
+	    </xs:sequence>
+	  </xs:complexType>
+	</xs:schema>`
+	s, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Types[0].Elements) != 2 {
+		t.Fatalf("elements = %d", len(s.Types[0].Elements))
+	}
+	if s.Types[0].Elements[1].Type.Primitive != UnsignedLong {
+		t.Errorf("b type = %s", s.Types[0].Elements[1].Type)
+	}
+}
+
+func TestParseMaxOccursOne(t *testing.T) {
+	src := `<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+	  <xsd:complexType name="T">
+	    <xsd:element name="a" type="xsd:int" minOccurs="1" maxOccurs="1"/>
+	  </xsd:complexType>
+	</xsd:schema>`
+	s, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Types[0].Elements[0].Array != NoArray {
+		t.Error("maxOccurs=1 should be scalar")
+	}
+}
+
+func TestParseUnboundedKeyword(t *testing.T) {
+	src := `<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+	  <xsd:complexType name="T">
+	    <xsd:element name="xs" type="xsd:float" minOccurs="0" maxOccurs="unbounded"/>
+	  </xsd:complexType>
+	</xsd:schema>`
+	s, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := s.Types[0].Elements[0]
+	if e.Array != DynamicArray || e.CountField != "xs_count" {
+		t.Errorf("e = %+v", e)
+	}
+}
+
+func TestParseExplicitCountForDynamic(t *testing.T) {
+	// Declaring eta_count explicitly (as the C struct in Figure 7 does) must
+	// be accepted when it is a valid integer scalar.
+	src := `<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+	  <xsd:complexType name="T">
+	    <xsd:element name="eta" type="xsd:unsigned-long" minOccurs="0" maxOccurs="*"/>
+	    <xsd:element name="eta_count" type="xsd:integer"/>
+	  </xsd:complexType>
+	</xsd:schema>`
+	if _, err := ParseString(src); err != nil {
+		t.Fatal(err)
+	}
+	// ... and rejected when it has the wrong shape.
+	bad := strings.Replace(src, `type="xsd:integer"`, `type="xsd:string"`, 1)
+	if _, err := ParseString(bad); !errors.Is(err, ErrBadCountField) {
+		t.Errorf("string eta_count err = %v, want ErrBadCountField", err)
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want error
+	}{
+		{
+			"not a schema",
+			`<root/>`,
+			ErrNotSchema,
+		},
+		{
+			"wrong namespace",
+			`<xsd:schema xmlns:xsd="urn:other"><xsd:complexType name="T"/></xsd:schema>`,
+			ErrNotSchema,
+		},
+		{
+			"no types",
+			`<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema"/>`,
+			ErrNoTypes,
+		},
+		{
+			"duplicate type",
+			`<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+			  <xsd:complexType name="T"><xsd:element name="a" type="xsd:int"/></xsd:complexType>
+			  <xsd:complexType name="T"><xsd:element name="a" type="xsd:int"/></xsd:complexType>
+			</xsd:schema>`,
+			ErrDuplicateType,
+		},
+		{
+			"duplicate element",
+			`<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+			  <xsd:complexType name="T">
+			    <xsd:element name="a" type="xsd:int"/>
+			    <xsd:element name="a" type="xsd:int"/>
+			  </xsd:complexType>
+			</xsd:schema>`,
+			ErrDuplicateElement,
+		},
+		{
+			"unknown primitive",
+			`<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+			  <xsd:complexType name="T"><xsd:element name="a" type="xsd:quaternion"/></xsd:complexType>
+			</xsd:schema>`,
+			ErrUnknownType,
+		},
+		{
+			"forward reference",
+			`<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+			  <xsd:complexType name="Outer"><xsd:element name="in" type="Inner"/></xsd:complexType>
+			  <xsd:complexType name="Inner"><xsd:element name="x" type="xsd:int"/></xsd:complexType>
+			</xsd:schema>`,
+			ErrUnknownType,
+		},
+		{
+			"bad minOccurs",
+			`<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+			  <xsd:complexType name="T"><xsd:element name="a" type="xsd:int" minOccurs="-2"/></xsd:complexType>
+			</xsd:schema>`,
+			ErrBadOccurs,
+		},
+		{
+			"zero maxOccurs",
+			`<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+			  <xsd:complexType name="T"><xsd:element name="a" type="xsd:int" maxOccurs="0"/></xsd:complexType>
+			</xsd:schema>`,
+			ErrBadOccurs,
+		},
+		{
+			"missing count field",
+			`<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+			  <xsd:complexType name="T"><xsd:element name="a" type="xsd:int" maxOccurs="nope"/></xsd:complexType>
+			</xsd:schema>`,
+			ErrBadCountField,
+		},
+		{
+			"array count field",
+			`<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+			  <xsd:complexType name="T">
+			    <xsd:element name="n" type="xsd:int" maxOccurs="3"/>
+			    <xsd:element name="a" type="xsd:int" maxOccurs="n"/>
+			  </xsd:complexType>
+			</xsd:schema>`,
+			ErrBadCountField,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseString(tt.src)
+			if !errors.Is(err, tt.want) {
+				t.Errorf("err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseRejectsUnsupportedConstructs(t *testing.T) {
+	srcs := []string{
+		`<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+		  <xsd:simpleType name="S"/>
+		  <xsd:complexType name="T"><xsd:element name="a" type="xsd:int"/></xsd:complexType>
+		</xsd:schema>`,
+		`<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+		  <xsd:complexType name="T"><xsd:attribute name="a" type="xsd:int"/></xsd:complexType>
+		</xsd:schema>`,
+		`<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+		  <xsd:complexType><xsd:element name="a" type="xsd:int"/></xsd:complexType>
+		</xsd:schema>`,
+		`<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+		  <xsd:complexType name="T"><xsd:element type="xsd:int"/></xsd:complexType>
+		</xsd:schema>`,
+		`<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+		  <xsd:complexType name="T"><xsd:element name="a"/></xsd:complexType>
+		</xsd:schema>`,
+		`<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+		  <xsd:complexType name="Empty"></xsd:complexType>
+		</xsd:schema>`,
+	}
+	for i, src := range srcs {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("case %d: want error, got nil", i)
+		}
+	}
+}
+
+func TestPrimitiveNames(t *testing.T) {
+	both := map[string]string{
+		"unsigned-long":  "unsignedLong",
+		"unsigned-int":   "unsignedInt",
+		"unsigned-short": "unsignedShort",
+		"unsigned-byte":  "unsignedByte",
+	}
+	for draft, modern := range both {
+		pd, ok1 := PrimitiveByName(draft)
+		pm, ok2 := PrimitiveByName(modern)
+		if !ok1 || !ok2 || pd != pm {
+			t.Errorf("draft %q and modern %q should map to the same primitive", draft, modern)
+		}
+	}
+	if _, ok := PrimitiveByName("complexType"); ok {
+		t.Error("complexType should not be a primitive")
+	}
+	if Integer.String() != "integer" || UnsignedLong.String() != "unsignedLong" {
+		t.Error("Primitive.String wrong")
+	}
+	if Primitive(99).String() != "Primitive(99)" {
+		t.Error("invalid Primitive.String wrong")
+	}
+}
+
+func TestArrayKindString(t *testing.T) {
+	kinds := map[ArrayKind]string{
+		NoArray: "scalar", StaticArray: "static array",
+		DynamicArray: "dynamic array", CountedArray: "counted array",
+		ArrayKind(9): "ArrayKind(9)",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestGenRoundTrip(t *testing.T) {
+	for _, src := range []string{schemaA, schemaB, schemaCD} {
+		s1, err := ParseString(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := MarshalString(s1)
+		s2, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("re-parse generated schema: %v\n%s", err, out)
+		}
+		if len(s2.Types) != len(s1.Types) {
+			t.Fatalf("type count changed: %d -> %d", len(s1.Types), len(s2.Types))
+		}
+		for i, ct1 := range s1.Types {
+			ct2 := s2.Types[i]
+			if ct1.Name != ct2.Name || len(ct1.Elements) != len(ct2.Elements) {
+				t.Fatalf("type %d changed: %+v -> %+v", i, ct1, ct2)
+			}
+			for j, e1 := range ct1.Elements {
+				e2 := ct2.Elements[j]
+				if e1.Name != e2.Name || e1.Type != e2.Type || e1.Array != e2.Array ||
+					e1.Size != e2.Size || e1.CountField != e2.CountField {
+					t.Errorf("%s.%s changed: %+v -> %+v", ct1.Name, e1.Name, e1, e2)
+				}
+			}
+		}
+	}
+}
+
+func TestTypeRefString(t *testing.T) {
+	if (TypeRef{Primitive: Integer}).String() != "xsd:integer" {
+		t.Error("primitive TypeRef.String wrong")
+	}
+	if (TypeRef{Named: "ASDOffEvent"}).String() != "ASDOffEvent" {
+		t.Error("named TypeRef.String wrong")
+	}
+}

@@ -1,0 +1,163 @@
+package xmlschema
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+const schemaWithSimpleTypes = `<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+  <xsd:simpleType name="CenterID">
+    <xsd:annotation><xsd:documentation>ARTCC identifier</xsd:documentation></xsd:annotation>
+    <xsd:restriction base="xsd:string">
+      <xsd:enumeration value="ZTL" />
+      <xsd:enumeration value="ZJX" />
+      <xsd:maxLength value="3" />
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:simpleType name="FlightNumber">
+    <xsd:restriction base="xsd:integer">
+      <xsd:minInclusive value="1" />
+      <xsd:maxInclusive value="9999" />
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:simpleType name="ShortFlightNumber">
+    <xsd:restriction base="FlightNumber">
+      <xsd:maxInclusive value="999" />
+    </xsd:restriction>
+  </xsd:simpleType>
+  <xsd:complexType name="Movement">
+    <xsd:element name="center" type="CenterID" />
+    <xsd:element name="flt" type="ShortFlightNumber" />
+    <xsd:element name="raw" type="xsd:double" />
+  </xsd:complexType>
+</xsd:schema>`
+
+func TestSimpleTypesParse(t *testing.T) {
+	s, err := ParseString(schemaWithSimpleTypes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.SimpleTypes) != 3 {
+		t.Fatalf("simple types = %d", len(s.SimpleTypes))
+	}
+	cid, ok := s.SimpleTypeByName("CenterID")
+	if !ok {
+		t.Fatal("CenterID missing")
+	}
+	if cid.Base != String || cid.MaxLength != 3 || cid.Doc != "ARTCC identifier" {
+		t.Errorf("CenterID = %+v", cid)
+	}
+	if !reflect.DeepEqual(cid.Enumeration, []string{"ZTL", "ZJX"}) {
+		t.Errorf("enumeration = %v", cid.Enumeration)
+	}
+	fn, _ := s.SimpleTypeByName("FlightNumber")
+	if fn.Base != Integer || fn.MinInclusive != "1" || fn.MaxInclusive != "9999" {
+		t.Errorf("FlightNumber = %+v", fn)
+	}
+	// Chained restriction resolves to the root primitive.
+	sfn, _ := s.SimpleTypeByName("ShortFlightNumber")
+	if sfn.Base != Integer {
+		t.Errorf("ShortFlightNumber base = %v", sfn.Base)
+	}
+}
+
+func TestSimpleTypesResolveInElements(t *testing.T) {
+	s, err := ParseString(schemaWithSimpleTypes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := s.Types[0]
+	center := ct.Elements[0]
+	if center.Type.Primitive != String || center.Type.Simple != "CenterID" {
+		t.Errorf("center = %+v", center.Type)
+	}
+	flt := ct.Elements[1]
+	if flt.Type.Primitive != Integer || flt.Type.Simple != "ShortFlightNumber" {
+		t.Errorf("flt = %+v", flt.Type)
+	}
+	if ct.Elements[2].Type.Simple != "" {
+		t.Error("plain primitive gained a Simple name")
+	}
+}
+
+func TestSimpleTypeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no name", `<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+			<xsd:simpleType><xsd:restriction base="xsd:int"/></xsd:simpleType>
+			<xsd:complexType name="T"><xsd:element name="a" type="xsd:int"/></xsd:complexType>
+		</xsd:schema>`},
+		{"no derivation", `<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+			<xsd:simpleType name="S"/>
+			<xsd:complexType name="T"><xsd:element name="a" type="xsd:int"/></xsd:complexType>
+		</xsd:schema>`},
+		{"no base", `<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+			<xsd:simpleType name="S"><xsd:restriction/></xsd:simpleType>
+			<xsd:complexType name="T"><xsd:element name="a" type="xsd:int"/></xsd:complexType>
+		</xsd:schema>`},
+		{"unknown base", `<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+			<xsd:simpleType name="S"><xsd:restriction base="xsd:quark"/></xsd:simpleType>
+			<xsd:complexType name="T"><xsd:element name="a" type="xsd:int"/></xsd:complexType>
+		</xsd:schema>`},
+		{"complexType base forbidden", `<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+			<xsd:complexType name="C"><xsd:element name="a" type="xsd:int"/></xsd:complexType>
+			<xsd:simpleType name="S"><xsd:restriction base="C"/></xsd:simpleType>
+		</xsd:schema>`},
+		{"bad maxLength", `<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+			<xsd:simpleType name="S"><xsd:restriction base="xsd:string">
+			  <xsd:maxLength value="-3"/></xsd:restriction></xsd:simpleType>
+			<xsd:complexType name="T"><xsd:element name="a" type="xsd:int"/></xsd:complexType>
+		</xsd:schema>`},
+		{"unknown facet", `<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+			<xsd:simpleType name="S"><xsd:restriction base="xsd:string">
+			  <xsd:frobnicate value="1"/></xsd:restriction></xsd:simpleType>
+			<xsd:complexType name="T"><xsd:element name="a" type="xsd:int"/></xsd:complexType>
+		</xsd:schema>`},
+		{"double derivation", `<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+			<xsd:simpleType name="S">
+			  <xsd:restriction base="xsd:int"/><xsd:restriction base="xsd:int"/>
+			</xsd:simpleType>
+			<xsd:complexType name="T"><xsd:element name="a" type="xsd:int"/></xsd:complexType>
+		</xsd:schema>`},
+		{"name collision with complexType", `<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+			<xsd:complexType name="S"><xsd:element name="a" type="xsd:int"/></xsd:complexType>
+			<xsd:simpleType name="S"><xsd:restriction base="xsd:int"/></xsd:simpleType>
+		</xsd:schema>`},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ParseString(tt.src); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestSimpleTypeExtensionAccepted(t *testing.T) {
+	src := `<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+	  <xsd:simpleType name="Wide"><xsd:extension base="xsd:short"/></xsd:simpleType>
+	  <xsd:complexType name="T"><xsd:element name="a" type="Wide"/></xsd:complexType>
+	</xsd:schema>`
+	s, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Types[0].Elements[0].Type.Primitive != Short {
+		t.Errorf("a = %+v", s.Types[0].Elements[0].Type)
+	}
+}
+
+func TestSimpleTypeDuplicate(t *testing.T) {
+	src := `<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema">
+	  <xsd:simpleType name="S"><xsd:restriction base="xsd:int"/></xsd:simpleType>
+	  <xsd:simpleType name="S"><xsd:restriction base="xsd:int"/></xsd:simpleType>
+	  <xsd:complexType name="T"><xsd:element name="a" type="xsd:int"/></xsd:complexType>
+	</xsd:schema>`
+	if _, err := ParseString(src); !errors.Is(err, ErrDuplicateType) {
+		t.Errorf("err = %v", err)
+	}
+}

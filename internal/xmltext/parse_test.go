@@ -1,0 +1,300 @@
+package xmltext
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, src string) *Document {
+	t.Helper()
+	doc, err := ParseString(src)
+	if err != nil {
+		t.Fatalf("ParseString(%q): %v", src, err)
+	}
+	return doc
+}
+
+func TestParseMinimal(t *testing.T) {
+	doc := mustParse(t, `<a/>`)
+	if doc.Root == nil || doc.Root.Name.Local != "a" {
+		t.Fatalf("root = %+v", doc.Root)
+	}
+}
+
+func TestParseAttributesAndText(t *testing.T) {
+	doc := mustParse(t, `<msg id="42" kind='event'>hello <b>world</b>!</msg>`)
+	r := doc.Root
+	if v, ok := r.Attr("id"); !ok || v != "42" {
+		t.Errorf("id = %q, %v", v, ok)
+	}
+	if v, ok := r.Attr("kind"); !ok || v != "event" {
+		t.Errorf("kind = %q, %v", v, ok)
+	}
+	if _, ok := r.Attr("missing"); ok {
+		t.Error("missing attribute found")
+	}
+	if got := r.TextContent(); got != "hello world!" {
+		t.Errorf("TextContent = %q", got)
+	}
+	if len(r.Elements()) != 1 || r.Elements()[0].Name.Local != "b" {
+		t.Errorf("child elements = %+v", r.Elements())
+	}
+}
+
+func TestParseEntities(t *testing.T) {
+	doc := mustParse(t, `<a q="&lt;&amp;&gt;&quot;&apos;">&#65;&#x42;&amp;</a>`)
+	if v, _ := doc.Root.Attr("q"); v != `<&>"'` {
+		t.Errorf("attr = %q", v)
+	}
+	if got := doc.Root.TextContent(); got != "AB&" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestParseCDATA(t *testing.T) {
+	doc := mustParse(t, `<a><![CDATA[<not&parsed>]]></a>`)
+	if got := doc.Root.TextContent(); got != "<not&parsed>" {
+		t.Errorf("CDATA text = %q", got)
+	}
+	txt, ok := doc.Root.Children[0].(*Text)
+	if !ok || !txt.CDATA {
+		t.Error("CDATA flag not set")
+	}
+}
+
+func TestParseCommentsAndPIs(t *testing.T) {
+	doc := mustParse(t, `<?xml version="1.0"?><!-- top --><root><!-- in --><?pi data?></root>`)
+	if len(doc.Prolog) != 2 {
+		t.Fatalf("prolog = %d nodes", len(doc.Prolog))
+	}
+	pi, ok := doc.Prolog[0].(*ProcInst)
+	if !ok || pi.Target != "xml" || pi.Data != `version="1.0"` {
+		t.Errorf("xml decl = %+v", pi)
+	}
+	c, ok := doc.Prolog[1].(*Comment)
+	if !ok || c.Data != " top " {
+		t.Errorf("comment = %+v", c)
+	}
+	if len(doc.Root.Children) != 2 {
+		t.Fatalf("root children = %d", len(doc.Root.Children))
+	}
+}
+
+func TestParseDoctype(t *testing.T) {
+	doc := mustParse(t, `<!DOCTYPE root [ <!ELEMENT root (#PCDATA)> ]><root>x</root>`)
+	if doc.Root.TextContent() != "x" {
+		t.Error("doctype parsing broke content")
+	}
+}
+
+func TestParseNamespaces(t *testing.T) {
+	src := `<xsd:schema xmlns:xsd="http://www.w3.org/1999/XMLSchema"
+	  targetNamespace="http://example.org/s">
+	  <xsd:complexType name="T">
+	    <xsd:element name="f" type="xsd:integer"/>
+	  </xsd:complexType>
+	</xsd:schema>`
+	doc := mustParse(t, src)
+	root := doc.Root
+	if root.Name.Space != "http://www.w3.org/1999/XMLSchema" {
+		t.Errorf("root ns = %q", root.Name.Space)
+	}
+	if root.Name.Local != "schema" || root.Name.Prefix != "xsd" {
+		t.Errorf("root name = %+v", root.Name)
+	}
+	ct, ok := root.First("complexType")
+	if !ok {
+		t.Fatal("complexType not found")
+	}
+	if ct.Name.Space != root.Name.Space {
+		t.Error("child did not inherit prefix binding")
+	}
+	el, _ := ct.First("element")
+	if v, _ := el.Attr("type"); v != "xsd:integer" {
+		t.Errorf("type attr = %q", v)
+	}
+}
+
+func TestParseDefaultNamespace(t *testing.T) {
+	doc := mustParse(t, `<a xmlns="urn:x"><b/><c xmlns=""><d/></c></a>`)
+	if doc.Root.Name.Space != "urn:x" {
+		t.Errorf("a ns = %q", doc.Root.Name.Space)
+	}
+	b := doc.Root.Elements()[0]
+	if b.Name.Space != "urn:x" {
+		t.Errorf("b ns = %q", b.Name.Space)
+	}
+	c := doc.Root.Elements()[1]
+	if c.Name.Space != "" {
+		t.Errorf("c ns = %q (default ns should be unset)", c.Name.Space)
+	}
+	d := c.Elements()[0]
+	if d.Name.Space != "" {
+		t.Errorf("d ns = %q", d.Name.Space)
+	}
+}
+
+func TestParseNamespacedAttr(t *testing.T) {
+	doc := mustParse(t, `<a xmlns:p="urn:p" p:x="1" x="2"/>`)
+	if v, ok := doc.Root.AttrNS("urn:p", "x"); !ok || v != "1" {
+		t.Errorf("AttrNS = %q, %v", v, ok)
+	}
+	if v, ok := doc.Root.Attr("x"); !ok || v != "2" {
+		t.Errorf("Attr = %q, %v", v, ok)
+	}
+}
+
+func TestParseXMLPrefixImplicit(t *testing.T) {
+	doc := mustParse(t, `<a xml:lang="en"/>`)
+	if v, ok := doc.Root.AttrNS(XMLNamespace, "lang"); !ok || v != "en" {
+		t.Errorf("xml:lang = %q, %v", v, ok)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []struct {
+		name, src string
+	}{
+		{"empty", ``},
+		{"text only", `hello`},
+		{"unclosed", `<a>`},
+		{"mismatched", `<a></b>`},
+		{"content after root", `<a/><b/>`},
+		{"two roots text", `<a/>junk`},
+		{"bad attr", `<a x=1/>`},
+		{"attr no eq", `<a x/>`},
+		{"dup attr", `<a x="1" x="2"/>`},
+		{"lt in attr", `<a x="<"/>`},
+		{"unterminated attr", `<a x="1`},
+		{"unknown entity", `<a>&nope;</a>`},
+		{"bad char ref", `<a>&#xZZ;</a>`},
+		{"huge char ref", `<a>&#xFFFFFFFF;</a>`},
+		{"unterminated entity", `<a>&amp</a>`},
+		{"unterminated comment", `<a><!-- x</a>`},
+		{"double dash comment", `<a><!-- x -- y --></a>`},
+		{"unterminated cdata", `<a><![CDATA[x</a>`},
+		{"unterminated pi", `<a><?pi x</a>`},
+		{"unterminated doctype", `<!DOCTYPE a [ <x> <a/>`},
+		{"undeclared prefix", `<p:a/>`},
+		{"undeclared attr prefix", `<a p:x="1"/>`},
+		{"empty prefix uri", `<a xmlns:p=""/>`},
+		{"cdata end in text", `<a>]]></a>`},
+		{"eof in start tag", `<a `},
+		{"bad end tag", `<a></a `},
+	}
+	for _, tt := range bad {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseString(tt.src)
+			if err == nil {
+				t.Errorf("ParseString(%q) succeeded, want error", tt.src)
+			}
+			var se *SyntaxError
+			if err != nil && !errors.As(err, &se) {
+				t.Errorf("error %v is not a *SyntaxError", err)
+			}
+		})
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := ParseString("<a>\n  <b></c>\n</a>")
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v", err)
+	}
+	if se.Line != 2 {
+		t.Errorf("error line = %d, want 2", se.Line)
+	}
+	if !strings.Contains(se.Error(), "line 2") {
+		t.Errorf("Error() = %q", se.Error())
+	}
+}
+
+func TestDeeplyNested(t *testing.T) {
+	const depth = 500
+	var sb strings.Builder
+	for i := 0; i < depth; i++ {
+		sb.WriteString("<a>")
+	}
+	sb.WriteString("x")
+	for i := 0; i < depth; i++ {
+		sb.WriteString("</a>")
+	}
+	doc := mustParse(t, sb.String())
+	if doc.Root.TextContent() != "x" {
+		t.Error("deep nesting lost text")
+	}
+}
+
+func TestElementsNamedAndFirst(t *testing.T) {
+	doc := mustParse(t, `<r><x/><y/><x/></r>`)
+	if got := len(doc.Root.ElementsNamed("x")); got != 2 {
+		t.Errorf("ElementsNamed(x) = %d", got)
+	}
+	if _, ok := doc.Root.First("z"); ok {
+		t.Error("First(z) found element")
+	}
+}
+
+func TestParseReader(t *testing.T) {
+	doc, err := Parse(strings.NewReader(`<a>b</a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root.TextContent() != "b" {
+		t.Error("Parse via reader failed")
+	}
+}
+
+// Property: escaping then parsing yields the original text.
+func TestEscapeRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		// Strip control chars and invalid UTF-8 that XML forbids outright.
+		clean := strings.Map(func(r rune) rune {
+			if r == '�' || (r < 0x20 && r != '\t' && r != '\n' && r != '\r') {
+				return -1
+			}
+			return r
+		}, s)
+		clean = strings.ReplaceAll(clean, "\r", "") // parser keeps \r; writers vary
+		doc, err := ParseString("<a>" + EscapeText(clean) + "</a>")
+		if err != nil {
+			return false
+		}
+		return doc.Root.TextContent() == clean
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttrEscapeRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		clean := strings.Map(func(r rune) rune {
+			if r == '�' || (r < 0x20 && r != '\t' && r != '\n') {
+				return -1
+			}
+			return r
+		}, s)
+		doc, err := ParseString(`<a v="` + EscapeAttr(clean) + `"/>`)
+		if err != nil {
+			return false
+		}
+		v, _ := doc.Root.Attr("v")
+		return v == clean
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNameString(t *testing.T) {
+	if (Name{Prefix: "xsd", Local: "element"}).String() != "xsd:element" {
+		t.Error("prefixed Name.String wrong")
+	}
+	if (Name{Local: "element"}).String() != "element" {
+		t.Error("bare Name.String wrong")
+	}
+}

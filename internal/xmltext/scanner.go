@@ -1,0 +1,155 @@
+package xmltext
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// scanner is a position-tracking cursor over the raw document bytes.
+type scanner struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newScanner(src string) *scanner {
+	return &scanner{src: src, line: 1, col: 1}
+}
+
+func (s *scanner) eof() bool { return s.pos >= len(s.src) }
+
+// peek returns the current byte without consuming it, or 0 at EOF.
+func (s *scanner) peek() byte {
+	if s.eof() {
+		return 0
+	}
+	return s.src[s.pos]
+}
+
+// peekAt returns the byte at offset n from the cursor, or 0 past EOF.
+func (s *scanner) peekAt(n int) byte {
+	if s.pos+n >= len(s.src) {
+		return 0
+	}
+	return s.src[s.pos+n]
+}
+
+// next consumes and returns one byte.
+func (s *scanner) next() byte {
+	c := s.src[s.pos]
+	s.pos++
+	if c == '\n' {
+		s.line++
+		s.col = 1
+	} else {
+		s.col++
+	}
+	return c
+}
+
+// hasPrefix reports whether the remaining input starts with p.
+func (s *scanner) hasPrefix(p string) bool {
+	return strings.HasPrefix(s.src[s.pos:], p)
+}
+
+// skip consumes n bytes (which the caller has already inspected).
+func (s *scanner) skip(n int) {
+	for i := 0; i < n && !s.eof(); i++ {
+		s.next()
+	}
+}
+
+// skipSpace consumes XML whitespace (space, tab, CR, LF).
+func (s *scanner) skipSpace() {
+	for !s.eof() {
+		switch s.peek() {
+		case ' ', '\t', '\r', '\n':
+			s.next()
+		default:
+			return
+		}
+	}
+}
+
+func (s *scanner) errf(format string, args ...interface{}) *SyntaxError {
+	return &SyntaxError{Line: s.line, Col: s.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// isNameStart reports whether b can start an XML name. Multi-byte UTF-8
+// sequences are accepted wholesale; full Unicode name validation is beyond
+// what metadata documents need.
+func isNameStart(b byte) bool {
+	return b == '_' || b == ':' ||
+		(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z') || b >= 0x80
+}
+
+// isNameChar reports whether b can appear inside an XML name.
+func isNameChar(b byte) bool {
+	return isNameStart(b) || b == '-' || b == '.' || (b >= '0' && b <= '9')
+}
+
+// readName consumes an XML name and returns it.
+func (s *scanner) readName() (string, error) {
+	if s.eof() || !isNameStart(s.peek()) {
+		return "", s.errf("expected name")
+	}
+	start := s.pos
+	for !s.eof() && isNameChar(s.peek()) {
+		s.next()
+	}
+	return s.src[start:s.pos], nil
+}
+
+// expandEntities replaces entity and character references in raw character
+// data or attribute text.
+func (s *scanner) expandEntities(raw string) (string, error) {
+	if !strings.ContainsRune(raw, '&') {
+		return raw, nil
+	}
+	var sb strings.Builder
+	sb.Grow(len(raw))
+	for i := 0; i < len(raw); {
+		c := raw[i]
+		if c != '&' {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		end := strings.IndexByte(raw[i:], ';')
+		if end < 0 {
+			return "", s.errf("unterminated entity reference")
+		}
+		ref := raw[i+1 : i+end]
+		i += end + 1
+		switch {
+		case ref == "amp":
+			sb.WriteByte('&')
+		case ref == "lt":
+			sb.WriteByte('<')
+		case ref == "gt":
+			sb.WriteByte('>')
+		case ref == "apos":
+			sb.WriteByte('\'')
+		case ref == "quot":
+			sb.WriteByte('"')
+		case strings.HasPrefix(ref, "#x") || strings.HasPrefix(ref, "#X"):
+			n, err := strconv.ParseUint(ref[2:], 16, 32)
+			if err != nil || !utf8.ValidRune(rune(n)) {
+				return "", s.errf("invalid character reference &%s;", ref)
+			}
+			sb.WriteRune(rune(n))
+		case strings.HasPrefix(ref, "#"):
+			n, err := strconv.ParseUint(ref[1:], 10, 32)
+			if err != nil || !utf8.ValidRune(rune(n)) {
+				return "", s.errf("invalid character reference &%s;", ref)
+			}
+			sb.WriteRune(rune(n))
+		default:
+			return "", s.errf("unknown entity &%s;", ref)
+		}
+	}
+	return sb.String(), nil
+}

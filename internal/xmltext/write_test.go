@@ -1,0 +1,124 @@
+package xmltext
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarshalCompact(t *testing.T) {
+	el := &Element{
+		Name:  Name{Prefix: "xsd", Local: "element"},
+		Attrs: []Attr{{Name: Name{Local: "name"}, Value: "fltNum"}, {Name: Name{Local: "type"}, Value: "xsd:integer"}},
+	}
+	got := Marshal(el, "")
+	want := `<xsd:element name="fltNum" type="xsd:integer" />`
+	if got != want {
+		t.Errorf("Marshal = %q, want %q", got, want)
+	}
+}
+
+func TestMarshalEscapes(t *testing.T) {
+	el := &Element{
+		Name:     Name{Local: "f"},
+		Attrs:    []Attr{{Name: Name{Local: "v"}, Value: `a"<&`}},
+		Children: []Node{&Text{Data: `<&>`}},
+	}
+	got := Marshal(el, "")
+	want := `<f v="a&quot;&lt;&amp;">&lt;&amp;&gt;</f>`
+	if got != want {
+		t.Errorf("Marshal = %q, want %q", got, want)
+	}
+}
+
+func TestMarshalCDATAAndComment(t *testing.T) {
+	el := &Element{
+		Name: Name{Local: "a"},
+		Children: []Node{
+			&Text{Data: "<raw>", CDATA: true},
+			&Comment{Data: " c "},
+			&ProcInst{Target: "pi", Data: "x"},
+		},
+	}
+	got := Marshal(el, "")
+	want := `<a><![CDATA[<raw>]]><!-- c --><?pi x?></a>`
+	if got != want {
+		t.Errorf("Marshal = %q, want %q", got, want)
+	}
+}
+
+func TestWriteDocumentRoundTrip(t *testing.T) {
+	src := `<?xml version="1.0"?><s:root xmlns:s="urn:s" a="1"><s:child>text &amp; more</s:child><empty /></s:root>`
+	doc, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := NewWriter(&sb, "").WriteDocument(doc); err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := ParseString(sb.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", sb.String(), err)
+	}
+	if doc2.Root.Name.Space != "urn:s" {
+		t.Error("namespace lost in round trip")
+	}
+	c := doc2.Root.Elements()[0]
+	if c.TextContent() != "text & more" {
+		t.Errorf("text = %q", c.TextContent())
+	}
+}
+
+func TestPrettyPrint(t *testing.T) {
+	doc, err := ParseString(`<r><a><b/></a></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := NewWriter(&sb, "  ").WriteDocument(doc); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "<r>\n  <a>\n    <b />\n  </a>\n</r>\n"
+	if got != want {
+		t.Errorf("pretty output = %q, want %q", got, want)
+	}
+}
+
+func TestPrettyPrintPreservesMixedContent(t *testing.T) {
+	doc, err := ParseString(`<r>mixed <b>content</b> here</r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := NewWriter(&sb, "  ").WriteDocument(doc); err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := ParseString(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc2.Root.TextContent() != "mixed content here" {
+		t.Errorf("mixed content mangled: %q", doc2.Root.TextContent())
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n -= len(p)
+	if w.n <= 0 {
+		return 0, errWriteFailed
+	}
+	return len(p), nil
+}
+
+var errWriteFailed = &SyntaxError{Msg: "write failed"}
+
+func TestWriterPropagatesError(t *testing.T) {
+	doc, _ := ParseString(`<r><a/><b/><c/></r>`)
+	w := NewWriter(&failWriter{n: 4}, "")
+	if err := w.WriteDocument(doc); err == nil {
+		t.Error("writer error not propagated")
+	}
+}

@@ -1,0 +1,236 @@
+package xmlwire
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"openmeta/internal/machine"
+	"openmeta/internal/pbio"
+)
+
+func structureB(t *testing.T) *pbio.Format {
+	t.Helper()
+	ctx, err := pbio.NewContext(machine.Sparc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ctx.RegisterSpec("ASDOffEvent", []pbio.FieldSpec{
+		{Name: "cntrID", Kind: pbio.String},
+		{Name: "arln", Kind: pbio.String},
+		{Name: "fltNum", Kind: pbio.Int, CType: machine.CInt},
+		{Name: "equip", Kind: pbio.String},
+		{Name: "org", Kind: pbio.String},
+		{Name: "dest", Kind: pbio.String},
+		{Name: "off", Kind: pbio.Uint, CType: machine.CULong, Count: 5},
+		{Name: "eta", Kind: pbio.Uint, CType: machine.CULong, Dynamic: true, CountField: "eta_count"},
+		{Name: "eta_count", Kind: pbio.Int, CType: machine.CInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func sampleRec() pbio.Record {
+	return pbio.Record{
+		"cntrID": "ZTL", "arln": "DL", "fltNum": int64(1842),
+		"equip": "B757", "org": "ATL", "dest": "MCO",
+		"off": []uint64{10, 20, 30, 40, 50},
+		"eta": []uint64{1000, 2000, 3000},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	f := structureB(t)
+	data, err := EncodeRecord(f, sampleRec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	if !strings.HasPrefix(text, "<ASDOffEvent>") || !strings.HasSuffix(text, "</ASDOffEvent>") {
+		t.Errorf("text = %q", text)
+	}
+	if strings.Count(text, "<off>") != 5 || strings.Count(text, "<eta>") != 3 {
+		t.Errorf("repetition wrong: %q", text)
+	}
+	out, err := DecodeRecord(f, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["cntrID"] != "ZTL" || out["fltNum"] != int64(1842) {
+		t.Errorf("out = %v", out)
+	}
+	if !reflect.DeepEqual(out["off"], []uint64{10, 20, 30, 40, 50}) {
+		t.Errorf("off = %v", out["off"])
+	}
+	if !reflect.DeepEqual(out["eta"], []uint64{1000, 2000, 3000}) {
+		t.Errorf("eta = %v", out["eta"])
+	}
+	if out["eta_count"] != int64(3) {
+		t.Errorf("eta_count = %v", out["eta_count"])
+	}
+}
+
+func TestExpansionFactor(t *testing.T) {
+	// The paper cites 6–8x expansion for ASCII encoding of binary data.
+	// Verify the text form is several times the NDR form for numeric data.
+	ctx, _ := pbio.NewContext(machine.X86_64)
+	f, err := ctx.RegisterSpec("Nums", []pbio.FieldSpec{
+		{Name: "vals", Kind: pbio.Float, CType: machine.CDouble, Dynamic: true, CountField: "n"},
+		{Name: "n", Kind: pbio.Int, CType: machine.CInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = 0.1234567890123 * float64(i+1)
+	}
+	rec := pbio.Record{"vals": vals}
+	ndr, err := f.Encode(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := EncodeRecord(f, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(text)) / float64(len(ndr))
+	if ratio < 3 {
+		t.Errorf("expansion ratio = %.1f, expected several-fold expansion", ratio)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	ctx, _ := pbio.NewContext(machine.X86_64)
+	f, err := ctx.RegisterSpec("Msg", []pbio.FieldSpec{
+		{Name: "body", Kind: pbio.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := pbio.Record{"body": `a <b> & "c"`}
+	data, err := EncodeRecord(f, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeRecord(f, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["body"] != in["body"] {
+		t.Errorf("body = %q", out["body"])
+	}
+}
+
+func TestNestedRoundTrip(t *testing.T) {
+	ctx, _ := pbio.NewContext(machine.X86_64)
+	if _, err := ctx.RegisterSpec("Point", []pbio.FieldSpec{
+		{Name: "x", Kind: pbio.Float, CType: machine.CDouble},
+		{Name: "y", Kind: pbio.Float, CType: machine.CDouble},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ctx.RegisterSpec("Seg", []pbio.FieldSpec{
+		{Name: "a", Kind: pbio.Nested, NestedName: "Point"},
+		{Name: "pts", Kind: pbio.Nested, NestedName: "Point", Dynamic: true, CountField: "n"},
+		{Name: "n", Kind: pbio.Int, CType: machine.CInt},
+		{Name: "ok", Kind: pbio.Bool, CType: machine.CChar},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := pbio.Record{
+		"a":   pbio.Record{"x": 1.5, "y": 2.5},
+		"pts": []pbio.Record{{"x": 3.0, "y": 4.0}},
+		"ok":  true,
+	}
+	data, err := EncodeRecord(f, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeRecord(f, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := out["a"].(pbio.Record)
+	if a["x"] != 1.5 {
+		t.Errorf("a = %v", a)
+	}
+	pts := out["pts"].([]pbio.Record)
+	if len(pts) != 1 || pts[0]["y"] != 4.0 {
+		t.Errorf("pts = %v", out["pts"])
+	}
+	if out["ok"] != true {
+		t.Errorf("ok = %v", out["ok"])
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	f := structureB(t)
+	cases := []struct {
+		name string
+		text string
+		want error
+	}{
+		{"wrong root", "<Other></Other>", ErrWrongRoot},
+		{"unknown element", "<ASDOffEvent><bogus>1</bogus></ASDOffEvent>", ErrBadElement},
+		{"missing scalar", "<ASDOffEvent></ASDOffEvent>", ErrBadCount},
+		{"bad number", strings.Replace(valid(t, f), "<fltNum>1842</fltNum>", "<fltNum>xyz</fltNum>", 1), ErrBadValue},
+		{"wrong static count", strings.Replace(valid(t, f), "<off>10</off>", "", 1), ErrBadCount},
+		{"duplicate scalar", strings.Replace(valid(t, f), "<fltNum>1842</fltNum>", "<fltNum>1</fltNum><fltNum>2</fltNum>", 1), ErrBadCount},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := DecodeRecord(f, []byte(tt.text))
+			if !errors.Is(err, tt.want) {
+				t.Errorf("err = %v, want %v", err, tt.want)
+			}
+		})
+	}
+	if _, err := DecodeRecord(f, []byte("not xml")); err == nil {
+		t.Error("malformed XML accepted")
+	}
+}
+
+func valid(t *testing.T, f *pbio.Format) string {
+	t.Helper()
+	data, err := EncodeRecord(f, sampleRec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestEncodeErrors(t *testing.T) {
+	f := structureB(t)
+	if _, err := EncodeRecord(f, pbio.Record{"fltNum": "nope"}); err == nil {
+		t.Error("bad scalar accepted")
+	}
+	if _, err := EncodeRecord(f, pbio.Record{"off": 7}); err == nil {
+		t.Error("bad array accepted")
+	}
+	if _, err := EncodeRecord(f, pbio.Record{"off": []uint64{1, 2, 3, 4, 5, 6}}); err == nil {
+		t.Error("oversized static array accepted")
+	}
+}
+
+func TestZeroRecord(t *testing.T) {
+	f := structureB(t)
+	data, err := EncodeRecord(f, pbio.Record{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeRecord(f, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["cntrID"] != "" || out["eta_count"] != int64(0) {
+		t.Errorf("out = %v", out)
+	}
+	if !reflect.DeepEqual(out["off"], []uint64{0, 0, 0, 0, 0}) {
+		t.Errorf("off = %v", out["off"])
+	}
+}

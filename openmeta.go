@@ -1,0 +1,233 @@
+package openmeta
+
+import (
+	"context"
+	"net"
+	"net/http"
+
+	"openmeta/internal/core"
+	"openmeta/internal/dcg"
+	"openmeta/internal/discovery"
+	"openmeta/internal/eventbus"
+	"openmeta/internal/machine"
+	"openmeta/internal/pbio"
+	"openmeta/internal/xdr"
+	"openmeta/internal/xmlschema"
+	"openmeta/internal/xmlwire"
+)
+
+// Core types, re-exported so applications depend on one import path.
+type (
+	// Arch describes a machine architecture (byte order, C type sizes,
+	// alignment); formats are laid out for an Arch.
+	Arch = machine.Arch
+	// Context owns the catalog of registered formats.
+	Context = pbio.Context
+	// Format is a registered message format.
+	Format = pbio.Format
+	// FormatID is the compact wire identifier of a format.
+	FormatID = pbio.FormatID
+	// Record is a dynamically typed record value for discovered formats.
+	Record = pbio.Record
+	// Binding pairs a Format with a Go struct type.
+	Binding = pbio.Binding
+	// IOField is the paper-style explicit field descriptor.
+	IOField = pbio.IOField
+	// FieldSpec declares a field whose layout is computed per architecture.
+	FieldSpec = pbio.FieldSpec
+	// FormatSet is the result of registering one schema document.
+	FormatSet = core.FormatSet
+	// Schema is a parsed XML Schema metadata document.
+	Schema = xmlschema.Schema
+	// ConversionPlan converts records between two formats.
+	ConversionPlan = dcg.Plan
+	// PlanCache memoizes conversion plans per format pair.
+	PlanCache = dcg.Cache
+	// Repository stores schema documents for remote discovery.
+	Repository = discovery.Repository
+	// DiscoveryClient fetches schema documents from a repository.
+	DiscoveryClient = discovery.Client
+	// DiscoverySource is one way of finding metadata by name.
+	DiscoverySource = discovery.Source
+	// Resolver chains discovery sources with fallback.
+	Resolver = discovery.Resolver
+	// Broker is the event backbone.
+	Broker = eventbus.Broker
+	// Publisher publishes records onto backbone streams.
+	Publisher = eventbus.Publisher
+	// Subscriber receives records from backbone streams.
+	Subscriber = eventbus.Subscriber
+	// Event is one delivered record.
+	Event = eventbus.Event
+)
+
+// Field kinds for FieldSpec declarations.
+const (
+	Int    = pbio.Int
+	Uint   = pbio.Uint
+	Float  = pbio.Float
+	Char   = pbio.Char
+	String = pbio.String
+	Bool   = pbio.Bool
+	Nested = pbio.Nested
+)
+
+// C element types for FieldSpec declarations.
+const (
+	CChar      = machine.CChar
+	CUChar     = machine.CUChar
+	CShort     = machine.CShort
+	CUShort    = machine.CUShort
+	CInt       = machine.CInt
+	CUInt      = machine.CUInt
+	CLong      = machine.CLong
+	CULong     = machine.CULong
+	CLongLong  = machine.CLongLong
+	CULongLong = machine.CULongLong
+	CFloat     = machine.CFloat
+	CDouble    = machine.CDouble
+)
+
+// Predefined architectures. NativeArch is the profile used when encoding on
+// this machine; the others simulate heterogeneous peers.
+var (
+	NativeArch  = machine.Native
+	ArchX86     = machine.X86
+	ArchX86_64  = machine.X86_64
+	ArchSparc   = machine.Sparc
+	ArchSparc64 = machine.Sparc64
+)
+
+// ArchByName resolves a predefined architecture name ("x86", "sparc", ...).
+func ArchByName(name string) (*Arch, error) { return machine.ArchByName(name) }
+
+// ArchNames lists the predefined architecture names.
+func ArchNames() []string { return machine.ArchNames() }
+
+// NewContext creates a format catalog laying formats out for arch.
+func NewContext(arch *Arch) (*Context, error) { return pbio.NewContext(arch) }
+
+// ParseSchema parses an XML Schema metadata document.
+func ParseSchema(doc string) (*Schema, error) { return xmlschema.ParseString(doc) }
+
+// RegisterSchema binds a parsed schema's types to the context architecture
+// and registers them (the xml2wire pipeline).
+func RegisterSchema(ctx *Context, s *Schema) (*FormatSet, error) {
+	return core.RegisterSchema(ctx, s)
+}
+
+// RegisterSchemaDocument parses and registers schema text.
+func RegisterSchemaDocument(ctx *Context, doc string) (*FormatSet, error) {
+	return core.RegisterDocument(ctx, []byte(doc))
+}
+
+// RegisterSchemaFile loads and registers a schema from the file system.
+func RegisterSchemaFile(ctx *Context, path string) (*FormatSet, error) {
+	return core.RegisterFile(ctx, path)
+}
+
+// RegisterSchemaURL retrieves a schema document from an arbitrary URL and
+// registers it — the paper's "a URL can be used instead" mode.
+func RegisterSchemaURL(ctx context.Context, pctx *Context, url string) (*FormatSet, error) {
+	s, err := discovery.FetchURL(ctx, nil, url)
+	if err != nil {
+		return nil, err
+	}
+	return core.RegisterSchema(pctx, s)
+}
+
+// MarshalFormatMeta serializes a format (and its nested dependencies) for
+// transmission to peers.
+func MarshalFormatMeta(f *Format) []byte { return pbio.MarshalMeta(f) }
+
+// UnmarshalFormatMeta reconstructs a format received from a peer.
+func UnmarshalFormatMeta(data []byte) (*Format, error) { return pbio.UnmarshalMeta(data) }
+
+// NewWireWriter returns a record writer over a byte stream that transmits
+// each format's metadata once.
+func NewWireWriter(w interface{ Write([]byte) (int, error) }) *pbio.Writer {
+	return pbio.NewWriter(w)
+}
+
+// NewWireReader returns a record reader that adopts incoming formats into
+// ctx.
+func NewWireReader(r interface{ Read([]byte) (int, error) }, ctx *Context) *pbio.Reader {
+	return pbio.NewReader(r, ctx)
+}
+
+// CompilePlan builds a conversion program from src records to dst records.
+func CompilePlan(src, dst *Format) (*ConversionPlan, error) { return dcg.Compile(src, dst) }
+
+// NewPlanCache returns a memoizing conversion-plan cache.
+func NewPlanCache() *PlanCache { return dcg.NewCache() }
+
+// NewRepository returns an empty metadata repository; serve it with
+// (*Repository).Handler and net/http.
+func NewRepository() *Repository { return discovery.NewRepository() }
+
+// NewDiscoveryClient returns a caching client for a repository base URL.
+func NewDiscoveryClient(baseURL string) (*DiscoveryClient, error) {
+	return discovery.NewClient(baseURL)
+}
+
+// NewResolver chains discovery sources, primary first, with fallback — the
+// remote-then-compiled-in pattern of the paper's fault-tolerance design.
+func NewResolver(sources ...DiscoverySource) *Resolver {
+	return discovery.NewResolver(sources...)
+}
+
+// StaticSchemas builds a compiled-in discovery source from name -> schema
+// document text.
+func StaticSchemas(docs map[string]string) DiscoverySource {
+	return discovery.StaticSource(docs)
+}
+
+// DirSchemas builds a discovery source over a directory of <name>.xsd files.
+func DirSchemas(dir string) DiscoverySource { return discovery.DirSource{Dir: dir} }
+
+// DiscoverAndRegister resolves a format name through a discovery source and
+// registers the schema's types.
+func DiscoverAndRegister(ctx context.Context, src DiscoverySource, pctx *Context, name string) (*FormatSet, error) {
+	s, err := src.Schema(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return core.RegisterSchema(pctx, s)
+}
+
+// ListenBroker starts an event backbone broker on addr ("host:0" picks a
+// free port).
+func ListenBroker(addr string) (*Broker, error) { return eventbus.Listen(addr) }
+
+// NewBroker starts a broker on an existing listener.
+func NewBroker(ln net.Listener) *Broker { return eventbus.NewBroker(ln) }
+
+// DialPublisher connects a publisher to a broker.
+func DialPublisher(addr string) (*Publisher, error) { return eventbus.DialPublisher(addr) }
+
+// DialSubscriber connects a subscriber to a broker, adopting stream formats
+// into ctx.
+func DialSubscriber(addr string, ctx *Context) (*Subscriber, error) {
+	return eventbus.DialSubscriber(addr, ctx)
+}
+
+// EncodeXDR marshals a record in canonical XDR (RFC 1014) — the baseline
+// wire format the paper compares against.
+func EncodeXDR(f *Format, rec Record) ([]byte, error) { return xdr.EncodeRecord(f, rec) }
+
+// DecodeXDR unmarshals a canonical XDR record.
+func DecodeXDR(f *Format, data []byte) (Record, error) { return xdr.DecodeRecord(f, data) }
+
+// EncodeXMLText marshals a record as an XML text message — the wire format
+// of XML-RPC-era systems, provided as the measured baseline.
+func EncodeXMLText(f *Format, rec Record) ([]byte, error) { return xmlwire.EncodeRecord(f, rec) }
+
+// DecodeXMLText unmarshals an XML text message.
+func DecodeXMLText(f *Format, data []byte) (Record, error) { return xmlwire.DecodeRecord(f, data) }
+
+// ServeRepository serves a metadata repository over HTTP until the listener
+// closes; a convenience for examples and tools.
+func ServeRepository(ln net.Listener, repo *Repository) error {
+	srv := &http.Server{Handler: repo.Handler()}
+	return srv.Serve(ln)
+}

@@ -1,0 +1,97 @@
+package openmeta
+
+import (
+	"io"
+	"time"
+
+	"openmeta/internal/core"
+	"openmeta/internal/discovery"
+	"openmeta/internal/gen"
+	"openmeta/internal/pbio"
+)
+
+// Additional capabilities beyond the core pipeline: record files, schema
+// generation, format matching, format scoping, change watching and code
+// generation.
+
+type (
+	// FileWriter appends self-describing NDR records to a file.
+	FileWriter = pbio.FileWriter
+	// FileReader reads a self-describing record file.
+	FileReader = pbio.FileReader
+	// MatchScore grades how well a format fits a message.
+	MatchScore = core.MatchScore
+	// SchemaWatcher polls a discovery source and reports schema changes.
+	SchemaWatcher = discovery.Watcher
+	// SchemaUpdate is one change notification from a SchemaWatcher.
+	SchemaUpdate = discovery.Update
+	// GenOptions configures Go code generation from schemas.
+	GenOptions = gen.Options
+)
+
+// CreateRecordFile creates (or truncates) a PBIO record file at path.
+func CreateRecordFile(path string) (*FileWriter, error) { return pbio.CreateFile(path) }
+
+// NewRecordFileWriter starts a record stream on any writer.
+func NewRecordFileWriter(w io.Writer) (*FileWriter, error) { return pbio.NewFileWriter(w) }
+
+// OpenRecordFile opens a PBIO record file, adopting its formats into ctx.
+func OpenRecordFile(path string, ctx *Context) (*FileReader, error) {
+	return pbio.OpenFile(path, ctx)
+}
+
+// NewRecordFileReader reads a record stream from any reader.
+func NewRecordFileReader(r io.Reader, ctx *Context) (*FileReader, error) {
+	return pbio.NewFileReader(r, ctx)
+}
+
+// SchemaForFormats renders registered formats back into an XML Schema
+// document model — for publishing programmatically created (or adopted)
+// formats on a metadata repository.
+func SchemaForFormats(targetNamespace string, formats ...*Format) (*Schema, error) {
+	return core.SchemaForFormats(targetNamespace, formats...)
+}
+
+// SchemaDocumentForFormats is SchemaForFormats rendered as XML text.
+func SchemaDocumentForFormats(targetNamespace string, formats ...*Format) (string, error) {
+	return core.SchemaDocumentForFormats(targetNamespace, formats...)
+}
+
+// MatchXML determines which candidate format an XML text message most
+// closely fits (the schema-checking application of the paper's §4.1.1).
+// Scores come back sorted best-first.
+func MatchXML(candidates []*Format, instance []byte) ([]MatchScore, error) {
+	return core.MatchXML(candidates, instance)
+}
+
+// MatchBinary determines which candidate format a raw NDR record most
+// closely fits — e.g. when a record's format ID is unknown.
+func MatchBinary(candidates []*Format, record []byte) ([]MatchScore, error) {
+	return core.MatchBinary(candidates, record)
+}
+
+// DeriveSubset builds a format containing only the named fields of f — a
+// "slice" of an information stream (the paper's §4.4 format-scoping).
+func DeriveSubset(f *Format, fields []string) (*Format, error) {
+	return pbio.DeriveSubset(f, fields)
+}
+
+// WatchSchemas polls a discovery source for schema changes; add names with
+// Add and drain Updates. Close when done.
+func WatchSchemas(src DiscoverySource, interval time.Duration) *SchemaWatcher {
+	return discovery.NewWatcher(src, interval)
+}
+
+// GenerateGo renders Go message types, a registration helper and the schema
+// document itself as gofmt-formatted source (the §7 language-binding
+// generator; also available as cmd/xml2gen).
+func GenerateGo(schemaDoc string, opts GenOptions) (string, error) {
+	return gen.GoSource(schemaDoc, opts)
+}
+
+// ValidateRecord checks a decoded record against the facet constraints its
+// schema declares through simple types (enumerations, numeric ranges,
+// string lengths) — schema checking applied to live messages (§4.1.1).
+func ValidateRecord(s *Schema, typeName string, rec Record) error {
+	return core.ValidateRecord(s, typeName, rec)
+}
