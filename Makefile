@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test check bench tables
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Pre-push gate: vet + full suite + race detector on the concurrent packages.
+check:
+	@sh scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+tables:
+	$(GO) run ./cmd/benchtab

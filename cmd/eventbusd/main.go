@@ -7,6 +7,12 @@
 // Usage:
 //
 //	eventbusd -addr :8701
+//	eventbusd -addr :8701 -debug-addr 127.0.0.1:8781 -queue-depth 512
+//
+// With -debug-addr the broker serves live counters (/stats, /debug/vars)
+// and pprof profiles (/debug/pprof/) on a second listener:
+//
+//	curl http://127.0.0.1:8781/stats
 //
 // The broker exits cleanly on SIGINT/SIGTERM.
 package main
@@ -19,6 +25,7 @@ import (
 	"syscall"
 
 	"openmeta/internal/eventbus"
+	"openmeta/internal/obsv"
 )
 
 func main() {
@@ -31,14 +38,27 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("eventbusd", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8701", "listen address")
+	debugAddr := fs.String("debug-addr", "", "serve /stats, /debug/vars and /debug/pprof on this address")
+	queueDepth := fs.Int("queue-depth", 0, "per-subscriber outbound queue depth (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	broker, err := eventbus.Listen(*addr)
+	var opts []eventbus.BrokerOption
+	if *queueDepth > 0 {
+		opts = append(opts, eventbus.WithQueueDepth(*queueDepth))
+	}
+	broker, err := eventbus.Listen(*addr, opts...)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("eventbusd: event backbone listening on %s\n", broker.Addr())
+	if *debugAddr != "" {
+		dbg, err := obsv.ListenAndServeDebug(*debugAddr, obsv.Default())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("eventbusd: stats and pprof at http://%s/stats\n", dbg)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -22,6 +22,7 @@ import (
 
 	"openmeta/internal/airline"
 	"openmeta/internal/discovery"
+	"openmeta/internal/obsv"
 )
 
 func main() {
@@ -37,6 +38,7 @@ func run(args []string) error {
 	dir := fs.String("dir", "", "directory of <name>.xsd schema documents to serve")
 	builtin := fs.Bool("builtin", false, "serve the built-in airline scenario schemas")
 	writable := fs.Bool("writable", false, "accept PUT/DELETE so streams can publish their own metadata")
+	debugAddr := fs.String("debug-addr", "", "serve /stats, /debug/vars and /debug/pprof on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,6 +84,13 @@ func run(args []string) error {
 	}
 	fmt.Printf("metaserver: serving %d schemas at http://%s%s\n",
 		loaded, ln.Addr(), discovery.SchemaPathPrefix)
+	if *debugAddr != "" {
+		dbg, err := obsv.ListenAndServeDebug(*debugAddr, obsv.Default())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("metaserver: stats and pprof at http://%s/stats\n", dbg)
+	}
 	for _, n := range repo.Names() {
 		fmt.Printf("  %s\n", n)
 	}

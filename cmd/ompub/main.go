@@ -21,6 +21,7 @@ import (
 	"openmeta/internal/core"
 	"openmeta/internal/eventbus"
 	"openmeta/internal/machine"
+	"openmeta/internal/obsv"
 	"openmeta/internal/pbio"
 	"openmeta/internal/xmlwire"
 )
@@ -41,8 +42,16 @@ func run(args []string) error {
 	demo := fs.String("demo", "", "publish synthetic events: flights | weather | mining")
 	n := fs.Int("n", 10, "number of demo events")
 	seed := fs.Int64("seed", 1, "demo generator seed")
+	debugAddr := fs.String("debug-addr", "", "serve /stats, /debug/vars and /debug/pprof on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		dbg, err := obsv.ListenAndServeDebug(*debugAddr, obsv.Default())
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ompub: stats and pprof at http://%s/stats\n", dbg)
 	}
 
 	pctx, err := pbio.NewContext(machine.Native)

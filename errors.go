@@ -1,0 +1,64 @@
+package openmeta
+
+import (
+	"openmeta/internal/core"
+	"openmeta/internal/dcg"
+	"openmeta/internal/discovery"
+	"openmeta/internal/eventbus"
+	"openmeta/internal/pbio"
+)
+
+// Sentinel errors. Every error returned through the facade wraps (with %w)
+// one of these when the failure matches, so callers branch with errors.Is
+// instead of string matching:
+//
+//	if errors.Is(err, openmeta.ErrUnknownFormat) { ... }
+//
+// The values are shared with the internal packages, so errors.Is works on
+// errors surfaced from any layer.
+var (
+	// ErrUnknownFormat reports a reference to a format name that is not
+	// registered in the context (e.g. a nested field's type).
+	ErrUnknownFormat = pbio.ErrUnknownFormat
+	// ErrDuplicateField reports a format declaring the same field twice.
+	ErrDuplicateField = pbio.ErrDuplicateField
+	// ErrBadFieldSize reports a field whose declared size does not match its
+	// type on the target architecture.
+	ErrBadFieldSize = pbio.ErrBadFieldSize
+	// ErrFieldOverlap reports a field layout that overlaps or violates
+	// alignment.
+	ErrFieldOverlap = pbio.ErrFieldOverlap
+	// ErrBadMetadata reports malformed format metadata received from a peer.
+	ErrBadMetadata = pbio.ErrBadMeta
+	// ErrMissingField reports a record value missing a required field.
+	ErrMissingField = pbio.ErrMissingField
+	// ErrBadValue reports a record value whose type does not fit its field.
+	ErrBadValue = pbio.ErrBadValue
+	// ErrTruncated reports an encoded record shorter than its format's
+	// fixed region.
+	ErrTruncated = pbio.ErrTruncated
+	// ErrEmptySubset reports a DeriveSubset call that keeps no fields.
+	ErrEmptySubset = pbio.ErrEmptySubset
+
+	// ErrFieldMismatch reports two formats whose same-named fields are
+	// incompatible, so no conversion plan exists between them.
+	ErrFieldMismatch = dcg.ErrIncompatible
+
+	// ErrSlowSubscriber reports a subscriber whose outbound queue stalled
+	// past the broker's must-send deadline; the broker disconnects it.
+	ErrSlowSubscriber = eventbus.ErrSlowSubscriber
+	// ErrBusClosed reports an operation on a closed backbone connection.
+	ErrBusClosed = eventbus.ErrClosed
+
+	// ErrSchemaNotFound reports a schema name no discovery source knows.
+	ErrSchemaNotFound = discovery.ErrNotFound
+
+	// ErrInvalidRecord reports a record violating its schema's facet
+	// constraints (enumerations, ranges, lengths).
+	ErrInvalidRecord = core.ErrInvalidRecord
+	// ErrUnsupportedSchema reports an XML Schema construct outside the
+	// binary-compatibility model xml2wire supports.
+	ErrUnsupportedSchema = core.ErrUnsupportedSchema
+	// ErrNoCandidates reports a Match call with no candidate formats.
+	ErrNoCandidates = core.ErrNoCandidates
+)

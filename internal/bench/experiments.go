@@ -7,6 +7,7 @@ import (
 	"openmeta/internal/core"
 	"openmeta/internal/dcg"
 	"openmeta/internal/machine"
+	"openmeta/internal/obsv"
 	"openmeta/internal/pbio"
 	"openmeta/internal/xdr"
 	"openmeta/internal/xmlwire"
@@ -171,14 +172,16 @@ func Table1(cfg Config) (*Table, error) {
 		Caption: "Format registration costs using xml2wire and PBIO (arch: sparc, as in the paper)",
 		Headers: []string{"Structure", "Struct Size (B)",
 			"Encoded PBIO (B)", "Encoded xml2wire (B)",
-			"Reg Time PBIO", "Reg Time xml2wire", "xml2wire/PBIO"},
+			"Reg Time PBIO", "Reg Time xml2wire", "xml2wire/PBIO", "Live Counters Δ"},
 		Notes: []string{
 			"paper reports 32/52/180 struct bytes and identical encoded sizes for both paths",
 			"paper's C+D row reports the unpadded extent (180); conforming sizeof is 184",
 			"expected shape: xml2wire ~2-3x PBIO registration, both growing with field count",
+			"Live Counters Δ cross-checks each row against the obsv registry: pbio.formats.registered and pbio.encode.calls deltas over the row's work (timing loops included)",
 		},
 	}
 	for _, c := range RegistrationCases() {
+		statsBefore := obsv.Default().Snapshot()
 		// Resolve once for sizes and encoded sizes.
 		ctx, err := pbio.NewContext(machine.Sparc)
 		if err != nil {
@@ -240,7 +243,11 @@ func Table1(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(c.Name, last.Size, len(encNative), len(encXML), tPBIO, tXML, Ratio(tXML, tPBIO))
+		sd := obsv.Delta(statsBefore, obsv.Default().Snapshot())
+		statsCol := fmt.Sprintf("regs +%d, encodes +%d",
+			sd["pbio.formats.registered"], sd["pbio.encode.calls"])
+		t.AddRow(c.Name, last.Size, len(encNative), len(encXML), tPBIO, tXML,
+			Ratio(tXML, tPBIO), statsCol)
 	}
 	return t, nil
 }

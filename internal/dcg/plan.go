@@ -241,6 +241,7 @@ func (p *Plan) AppendConvert(out, src []byte) ([]byte, error) {
 		return nil, fmt.Errorf("dcg: record of %d bytes, source fixed region needs %d",
 			len(src), p.Src.Size)
 	}
+	conversions.Add(1)
 	if p.Identity {
 		return append(out, src...), nil
 	}

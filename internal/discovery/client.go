@@ -13,7 +13,37 @@ import (
 	"sync"
 	"time"
 
+	"openmeta/internal/obsv"
 	"openmeta/internal/xmlschema"
+)
+
+// clientMetrics bundles the discovery client's instruments.
+type clientMetrics struct {
+	fetches       *obsv.Counter   // HTTP requests issued
+	cacheHits     *obsv.Counter   // served from cache within the TTL
+	revalidations *obsv.Counter   // 304 Not Modified responses
+	fetchErrors   *obsv.Counter   // failed fetches (network or HTTP status)
+	fetchNS       *obsv.Histogram // HTTP round-trip latency
+}
+
+func newClientMetrics(r *obsv.Registry) clientMetrics {
+	s := r.Scope("discovery")
+	return clientMetrics{
+		fetches:       s.Counter("fetches"),
+		cacheHits:     s.Counter("cache_hits"),
+		revalidations: s.Counter("revalidations"),
+		fetchErrors:   s.Counter("fetch_errors"),
+		fetchNS:       s.Histogram("fetch_ns"),
+	}
+}
+
+// Package-level defaults created at init so the discovery.* metric names are
+// present (zero-valued) from process start.
+var (
+	defaultClientMetrics = newClientMetrics(obsv.Default())
+
+	watcherRefires = obsv.Default().Counter("discovery.watch.refires")
+	watcherDropped = obsv.Default().Counter("discovery.watch.dropped")
 )
 
 // Source is one way of discovering the schema document for a format name.
@@ -35,6 +65,7 @@ type Client struct {
 	http *http.Client
 	ttl  time.Duration
 	now  func() time.Time
+	obs  clientMetrics
 
 	mu    sync.Mutex
 	cache map[string]*clientEntry
@@ -67,6 +98,12 @@ func withClock(now func() time.Time) ClientOption {
 	return func(c *Client) { c.now = now }
 }
 
+// WithObserver directs the client's metrics (fetches, cache hits,
+// revalidations, fetch latency) into r instead of the default registry.
+func WithObserver(r *obsv.Registry) ClientOption {
+	return func(c *Client) { c.obs = newClientMetrics(r) }
+}
+
 // NewClient returns a client for the repository rooted at baseURL (e.g.
 // "http://metadata.example.com"; the /schemas/ prefix is appended).
 func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
@@ -82,6 +119,7 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 		http:  &http.Client{Timeout: 10 * time.Second},
 		ttl:   time.Minute,
 		now:   time.Now,
+		obs:   defaultClientMetrics,
 		cache: make(map[string]*clientEntry),
 	}
 	for _, opt := range opts {
@@ -100,6 +138,7 @@ func (c *Client) Schema(ctx context.Context, name string) (*xmlschema.Schema, er
 	if entry != nil && c.now().Sub(entry.fetched) < c.ttl {
 		s := entry.schema
 		c.mu.Unlock()
+		c.obs.cacheHits.Add(1)
 		return s, nil
 	}
 	var etag string
@@ -117,8 +156,12 @@ func (c *Client) Schema(ctx context.Context, name string) (*xmlschema.Schema, er
 	if etag != "" {
 		req.Header.Set("If-None-Match", etag)
 	}
+	c.obs.fetches.Add(1)
+	start := c.now()
 	resp, err := c.http.Do(req)
+	c.obs.fetchNS.Observe(c.now().Sub(start).Nanoseconds())
 	if err != nil {
+		c.obs.fetchErrors.Add(1)
 		return nil, fmt.Errorf("discovery: fetch %q: %w", name, err)
 	}
 	defer func() {
@@ -128,6 +171,7 @@ func (c *Client) Schema(ctx context.Context, name string) (*xmlschema.Schema, er
 
 	switch resp.StatusCode {
 	case http.StatusNotModified:
+		c.obs.revalidations.Add(1)
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		if entry := c.cache[name]; entry != nil {
@@ -136,10 +180,12 @@ func (c *Client) Schema(ctx context.Context, name string) (*xmlschema.Schema, er
 		}
 		return nil, fmt.Errorf("discovery: fetch %q: 304 without cache entry", name)
 	case http.StatusNotFound:
+		c.obs.fetchErrors.Add(1)
 		return nil, fmt.Errorf("%w: %q at %s", ErrNotFound, name, c.Describe())
 	case http.StatusOK:
 		// fall through
 	default:
+		c.obs.fetchErrors.Add(1)
 		return nil, fmt.Errorf("discovery: fetch %q: HTTP %d", name, resp.StatusCode)
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))

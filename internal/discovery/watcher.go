@@ -170,7 +170,11 @@ func (w *Watcher) pollOne(name string) {
 	}
 	select {
 	case w.updates <- *send:
+		// A refire is one delivered change/failure notification — the
+		// paper's "dynamic incorporation of new message formats" firing.
+		watcherRefires.Add(1)
 	default:
+		watcherDropped.Add(1)
 		w.mu.Lock()
 		w.dropped++
 		w.mu.Unlock()

@@ -9,10 +9,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"openmeta/internal/dcg"
+	"openmeta/internal/obsv"
 	"openmeta/internal/pbio"
 )
 
@@ -22,10 +22,14 @@ import (
 // preceding each record with its format metadata the first time that format
 // travels to that subscriber.
 type Broker struct {
-	ln     net.Listener
-	logf   func(format string, args ...interface{})
-	wg     sync.WaitGroup
-	closed chan struct{}
+	ln         net.Listener
+	logf       func(format string, args ...interface{})
+	wg         sync.WaitGroup
+	closed     chan struct{}
+	queueDepth int
+
+	obs obsv.Scope
+	m   brokerMetrics
 
 	mu      sync.Mutex
 	conns   map[*brokerConn]bool
@@ -36,6 +40,30 @@ type Broker struct {
 	plans  *dcg.Cache
 	scoped map[scopeKey]*scopedFormat
 }
+
+// brokerMetrics bundles the broker-wide instruments. Brokers sharing a
+// registry (the default unless WithObserver is given) share counters.
+type brokerMetrics struct {
+	published   *obsv.Counter // records accepted from publishers
+	delivered   *obsv.Counter // event frames enqueued to subscribers
+	dropped     *obsv.Counter // frames discarded on full subscriber queues
+	formatsSent *obsv.Counter // format-metadata frames sent to subscribers
+	slowStalls  *obsv.Counter // must-send stalls on slow subscribers
+}
+
+func newBrokerMetrics(s obsv.Scope) brokerMetrics {
+	return brokerMetrics{
+		published:   s.Counter("published"),
+		delivered:   s.Counter("delivered"),
+		dropped:     s.Counter("dropped"),
+		formatsSent: s.Counter("formats_sent"),
+		slowStalls:  s.Counter("slow_subscriber_stalls"),
+	}
+}
+
+// Package-level default instruments, created at init so the eventbus.*
+// metric names exist (zero-valued) in openmeta.Stats() from process start.
+var defaultBrokerMetrics = newBrokerMetrics(obsv.Default().Scope("eventbus"))
 
 // scopeKey identifies one slice of one concrete format.
 type scopeKey struct {
@@ -57,6 +85,12 @@ type stream struct {
 	// arrival order, so late subscribers receive them on subscription.
 	formats []formatMeta
 	subs    map[*brokerConn]bool
+
+	// Per-stream instruments (eventbus.stream.<name>.published|delivered|
+	// dropped), resolved once when the stream is created.
+	published *obsv.Counter
+	delivered *obsv.Counter
+	dropped   *obsv.Counter
 }
 
 type formatMeta struct {
@@ -69,13 +103,13 @@ type brokerConn struct {
 
 	// out is the bounded outbound queue; a dedicated writer goroutine
 	// drains it so one slow subscriber cannot stall publishers. Event
-	// frames are dropped (and counted) when the queue is full; format
-	// frames are never dropped, because later records are undecodable
-	// without them.
+	// frames are dropped (and counted in the broker's obsv registry) when
+	// the queue is full; format frames are never dropped, because later
+	// records are undecodable without them.
 	out        chan outFrame
 	outClose   chan struct{} // closed when the connection is being torn down
 	writerDone chan struct{} // closed when the writer goroutine has exited
-	dropped    atomic.Int64
+	dropped    *obsv.Counter // broker-wide drop counter (persists past the conn)
 
 	wmu sync.Mutex // guards sentFormats ordering decisions
 
@@ -95,8 +129,9 @@ type outFrame struct {
 	payload []byte
 }
 
-// outQueueDepth bounds the per-subscriber backlog. At 1 KB records this is
-// a quarter-megabyte of tolerated lag before events drop.
+// outQueueDepth is the default per-subscriber backlog bound (override with
+// WithQueueDepth). At 1 KB records this is a quarter-megabyte of tolerated
+// lag before events drop.
 const outQueueDepth = 256
 
 // BrokerOption configures a Broker.
@@ -107,24 +142,73 @@ func WithLogger(logf func(format string, args ...interface{})) BrokerOption {
 	return func(b *Broker) { b.logf = logf }
 }
 
+// WithQueueDepth bounds each subscriber's outbound frame queue to n frames
+// (default 256). Smaller queues drop sooner under slow consumers; larger
+// queues tolerate more lag at the cost of memory.
+func WithQueueDepth(n int) BrokerOption {
+	return func(b *Broker) {
+		if n > 0 {
+			b.queueDepth = n
+		}
+	}
+}
+
+// WithObserver directs the broker's metrics (published/delivered/dropped,
+// per-stream counters, queue depth, slow-subscriber stalls) into r instead
+// of the process default registry.
+func WithObserver(r *obsv.Registry) BrokerOption {
+	return func(b *Broker) {
+		b.obs = r.Scope("eventbus")
+		b.m = newBrokerMetrics(b.obs)
+	}
+}
+
+// WithPlanCache substitutes the conversion-plan cache used for format
+// scoping — share one cache across brokers, or bound it with
+// dcg.WithMaxEntries.
+func WithPlanCache(c *dcg.Cache) BrokerOption {
+	return func(b *Broker) {
+		if c != nil {
+			b.plans = c
+		}
+	}
+}
+
 // NewBroker starts a broker on the given listener. The broker owns the
 // listener and closes it on Close.
 func NewBroker(ln net.Listener, opts ...BrokerOption) *Broker {
 	b := &Broker{
-		ln:      ln,
-		logf:    log.Printf,
-		closed:  make(chan struct{}),
-		conns:   make(map[*brokerConn]bool),
-		streams: make(map[string]*stream),
-		plans:   dcg.NewCache(),
-		scoped:  make(map[scopeKey]*scopedFormat),
+		ln:         ln,
+		logf:       log.Printf,
+		closed:     make(chan struct{}),
+		queueDepth: outQueueDepth,
+		obs:        obsv.Default().Scope("eventbus"),
+		m:          defaultBrokerMetrics,
+		conns:      make(map[*brokerConn]bool),
+		streams:    make(map[string]*stream),
+		plans:      dcg.NewCache(),
+		scoped:     make(map[scopeKey]*scopedFormat),
 	}
 	for _, opt := range opts {
 		opt(b)
 	}
+	// Queue depth is observable at snapshot time; with a shared registry the
+	// most recent broker wins the name, which is the common one-broker case.
+	b.obs.Func("queue_depth", b.queuedFrames)
 	b.wg.Add(1)
 	go b.acceptLoop()
 	return b
+}
+
+// queuedFrames sums the frames currently queued to all subscribers.
+func (b *Broker) queuedFrames() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var n int64
+	for c := range b.conns {
+		n += int64(len(c.out))
+	}
+	return n
 }
 
 // Listen starts a broker on a fresh TCP listener at addr (e.g.
@@ -198,9 +282,10 @@ func (b *Broker) acceptLoop() {
 		}
 		bc := &brokerConn{
 			conn:         conn,
-			out:          make(chan outFrame, outQueueDepth),
+			out:          make(chan outFrame, b.queueDepth),
 			outClose:     make(chan struct{}),
 			writerDone:   make(chan struct{}),
+			dropped:      b.m.dropped,
 			sentFormats:  make(map[pbio.FormatID]bool),
 			knownFormats: make(map[pbio.FormatID][]byte),
 			scopes:       make(map[string][]string),
@@ -329,7 +414,14 @@ func (b *Broker) dispatch(bc *brokerConn, typ byte, payload []byte) error {
 func (b *Broker) ensureStream(name string) *stream {
 	st, ok := b.streams[name]
 	if !ok {
-		st = &stream{name: name, subs: make(map[*brokerConn]bool)}
+		sc := b.obs.Counter // eventbus.stream.<name>.*
+		st = &stream{
+			name:      name,
+			subs:      make(map[*brokerConn]bool),
+			published: sc("stream." + name + ".published"),
+			delivered: sc("stream." + name + ".delivered"),
+			dropped:   sc("stream." + name + ".dropped"),
+		}
 		b.streams[name] = st
 	}
 	return st
@@ -362,9 +454,11 @@ func (b *Broker) publish(bc *brokerConn, payload []byte) error {
 	}
 	b.mu.Unlock()
 
+	b.m.published.Add(1)
+	st.published.Add(1)
 	fm := formatMeta{id: id, meta: meta}
 	for _, sub := range subs {
-		if err := b.deliver(sub, name, fm, rest[8:], payload); err != nil {
+		if err := b.deliver(sub, st, fm, rest[8:], payload); err != nil {
 			b.logf("eventbus: drop subscriber %s: %v", sub.conn.RemoteAddr(), err)
 			b.drop(sub)
 		}
@@ -374,15 +468,15 @@ func (b *Broker) publish(bc *brokerConn, payload []byte) error {
 
 // deliver routes one record to one subscriber, projecting it onto the
 // subscriber's scope when one is set.
-func (b *Broker) deliver(sub *brokerConn, streamName string, fm formatMeta, record, fullPayload []byte) error {
+func (b *Broker) deliver(sub *brokerConn, st *stream, fm formatMeta, record, fullPayload []byte) error {
 	b.mu.Lock()
-	scope := sub.scopes[streamName]
+	scope := sub.scopes[st.name]
 	b.mu.Unlock()
 	if scope == nil {
 		if err := b.sendFormat(sub, fm); err != nil {
 			return err
 		}
-		return sub.send(frameEvent, fullPayload)
+		return b.sendEvent(sub, st, fullPayload)
 	}
 	sf, err := b.scopedFor(fm, scope)
 	if err != nil {
@@ -396,10 +490,26 @@ func (b *Broker) deliver(sub *brokerConn, streamName string, fm formatMeta, reco
 	if err := b.sendFormat(sub, formatMeta{id: sf.format.ID, meta: sf.meta}); err != nil {
 		return err
 	}
-	payload := putStr(nil, streamName)
+	payload := putStr(nil, st.name)
 	payload = append(payload, sf.format.ID[:]...)
 	payload = append(payload, converted...)
-	return sub.send(frameEvent, payload)
+	return b.sendEvent(sub, st, payload)
+}
+
+// sendEvent enqueues one event frame, counting delivery or the per-stream
+// drop.
+func (b *Broker) sendEvent(sub *brokerConn, st *stream, payload []byte) error {
+	queued, err := sub.trySend(frameEvent, payload)
+	if err != nil {
+		return err
+	}
+	if queued {
+		b.m.delivered.Add(1)
+		st.delivered.Add(1)
+	} else {
+		st.dropped.Add(1)
+	}
+	return nil
 }
 
 // deliverFormat sends a stream format (or its scoped slice) to a subscriber.
@@ -469,8 +579,12 @@ func (b *Broker) sendFormat(sub *brokerConn, fm formatMeta) error {
 		return nil
 	}
 	if err := sub.sendMust(frameFormat, fm.meta); err != nil {
+		if errors.Is(err, ErrSlowSubscriber) {
+			b.m.slowStalls.Add(1)
+		}
 		return err
 	}
+	b.m.formatsSent.Add(1)
 	sub.sentFormats[fm.id] = true
 	return nil
 }
@@ -510,15 +624,22 @@ func (b *Broker) writeLoop(bc *brokerConn) {
 // the subscriber's queue is full the frame is discarded and counted — a
 // slow consumer loses records, never stalls the bus.
 func (bc *brokerConn) send(typ byte, payload []byte) error {
+	_, err := bc.trySend(typ, payload)
+	return err
+}
+
+// trySend enqueues a droppable frame, reporting whether it was queued
+// (false: discarded on a full queue, counted in the broker's drop counter).
+func (bc *brokerConn) trySend(typ byte, payload []byte) (bool, error) {
 	f := outFrame{typ: typ, payload: append([]byte(nil), payload...)}
 	select {
 	case bc.out <- f:
-		return nil
+		return true, nil
 	case <-bc.outClose:
-		return ErrClosed
+		return false, ErrClosed
 	default:
 		bc.dropped.Add(1)
-		return nil
+		return false, nil
 	}
 }
 
@@ -534,7 +655,7 @@ func (bc *brokerConn) sendMust(typ byte, payload []byte) error {
 	case <-bc.outClose:
 		return ErrClosed
 	case <-t.C:
-		return fmt.Errorf("eventbus: subscriber write queue stalled")
+		return fmt.Errorf("%w: write queue stalled for 5s", ErrSlowSubscriber)
 	}
 }
 
@@ -571,14 +692,48 @@ func (b *Broker) drop(bc *brokerConn) {
 	_ = bc.conn.Close()
 }
 
-// DroppedEvents reports how many event frames the broker has discarded
-// because subscriber queues were full (aggregate over live connections).
-func (b *Broker) DroppedEvents() int64 {
+// BrokerStats is a point-in-time view of the broker's delivery health.
+type BrokerStats struct {
+	// Streams and Subscribers describe current routing state.
+	Streams     int
+	Subscribers int
+	// QueuedFrames is the total outbound backlog across subscriber queues.
+	QueuedFrames int64
+	// Cumulative counters (shared with other brokers on the same obsv
+	// registry; pass WithObserver for per-broker isolation).
+	Published            int64
+	Delivered            int64
+	Dropped              int64
+	FormatsSent          int64
+	SlowSubscriberStalls int64
+}
+
+// Stats reports the broker's delivery health. Unlike the pre-obsv dropped
+// counter, drop counts persist after the dropping connection closes.
+func (b *Broker) Stats() BrokerStats {
+	s := BrokerStats{
+		Published:            b.m.published.Load(),
+		Delivered:            b.m.delivered.Load(),
+		Dropped:              b.m.dropped.Load(),
+		FormatsSent:          b.m.formatsSent.Load(),
+		SlowSubscriberStalls: b.m.slowStalls.Load(),
+		QueuedFrames:         b.queuedFrames(),
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	var n int64
-	for c := range b.conns {
-		n += c.dropped.Load()
+	s.Streams = len(b.streams)
+	seen := make(map[*brokerConn]bool)
+	for _, st := range b.streams {
+		for c := range st.subs {
+			seen[c] = true
+		}
 	}
-	return n
+	s.Subscribers = len(seen)
+	return s
 }
+
+// DroppedEvents reports how many event frames the broker has discarded
+// because subscriber queues were full.
+//
+// Deprecated: use Stats().Dropped, which also survives connection teardown.
+func (b *Broker) DroppedEvents() int64 { return b.m.dropped.Load() }

@@ -39,6 +39,10 @@ var (
 	ErrFrameTooBig = errors.New("eventbus: frame exceeds maximum size")
 	ErrBadFrame    = errors.New("eventbus: malformed frame")
 	ErrClosed      = errors.New("eventbus: connection closed")
+	// ErrSlowSubscriber reports a subscriber whose outbound queue stayed
+	// full past the must-send deadline for an undroppable (format) frame;
+	// the broker disconnects such subscribers rather than stall the bus.
+	ErrSlowSubscriber = errors.New("eventbus: slow subscriber")
 )
 
 func writeFrame(w io.Writer, typ byte, payload []byte) error {

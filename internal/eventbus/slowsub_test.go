@@ -95,4 +95,83 @@ func TestSlowSubscriberDoesNotStallBus(t *testing.T) {
 	}
 	t.Logf("published %d records in %v; dropped for stuck subscriber: %d",
 		msgs, publishTime, b.DroppedEvents())
+
+	// Regression for the write-only dropped counter: the drop count must be
+	// visible through Broker.Stats, agree with DroppedEvents, and the other
+	// delivery counters must be coherent with the run.
+	stats := b.Stats()
+	if stats.Dropped == 0 {
+		t.Error("Stats().Dropped = 0 after drops were observed")
+	}
+	if stats.Dropped != b.DroppedEvents() {
+		t.Errorf("Stats().Dropped = %d, DroppedEvents() = %d; want equal",
+			stats.Dropped, b.DroppedEvents())
+	}
+	if stats.Published < msgs {
+		t.Errorf("Stats().Published = %d, want >= %d", stats.Published, msgs)
+	}
+	// The healthy subscriber received every record, so at least msgs event
+	// frames were delivered.
+	if stats.Delivered < msgs {
+		t.Errorf("Stats().Delivered = %d, want >= %d", stats.Delivered, msgs)
+	}
+}
+
+// TestDroppedCountSurvivesDisconnect verifies the obsv fold-in: drops are
+// counted broker-wide, not on the (transient) connection, so tearing the
+// stuck subscriber down must not zero the count.
+func TestDroppedCountSurvivesDisconnect(t *testing.T) {
+	b := newBroker(t)
+	ctx, err := pbio.NewContext(machine.Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ctx.RegisterSpec("Tiny", []pbio.FieldSpec{
+		{Name: "seq", Kind: pbio.Int, CType: machine.CInt},
+		{Name: "pad", Kind: pbio.Uint, CType: machine.CULong, Count: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stuckConn, err := net.Dial("tcp", b.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(stuckConn, frameSubscribe, putStr(nil, "tiny")); err != nil {
+		t.Fatal(err)
+	}
+	waitForStream(t, b, "tiny", 1)
+
+	pub, err := DialPublisher(b.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	before := b.Stats().Dropped
+	rec := pbio.Record{"seq": 1}
+	deadline := time.Now().Add(20 * time.Second)
+	for b.Stats().Dropped == before {
+		if time.Now().After(deadline) {
+			t.Fatal("no drops observed before deadline")
+		}
+		if err := pub.PublishRecord("tiny", f, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	droppedWhileConnected := b.Stats().Dropped
+
+	// Tear the stuck subscriber down; the count must persist.
+	_ = stuckConn.Close()
+	deadline = time.Now().Add(10 * time.Second)
+	for b.SubscriberCount("tiny") != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stuck subscriber never unregistered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := b.Stats().Dropped; got < droppedWhileConnected {
+		t.Errorf("Stats().Dropped fell from %d to %d after disconnect", droppedWhileConnected, got)
+	}
 }

@@ -1,0 +1,71 @@
+package obsv
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Handler serves the registry snapshot as a sorted JSON object — the stats
+// endpoint mounted at /stats by DebugMux and exposed at the facade as
+// openmeta.StatsHandler().
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap) // maps marshal with sorted keys
+	})
+}
+
+// DebugMux returns the debug endpoint served behind the daemons'
+// -debug-addr flag:
+//
+//	/stats            registry snapshot as JSON
+//	/debug/stats      alias of /stats
+//	/debug/vars       expvar (includes the registry, see PublishExpvar)
+//	/debug/pprof/...  net/http/pprof profiles
+func DebugMux(r *Registry) *http.ServeMux {
+	PublishExpvar("obsv", r)
+	mux := http.NewServeMux()
+	mux.Handle("/stats", r.Handler())
+	mux.Handle("/debug/stats", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServeDebug starts the DebugMux on addr in a background goroutine
+// and returns the bound address ("host:0" picks a free port). The server
+// lives for the rest of the process — it is the daemons' -debug-addr
+// endpoint, torn down with the process itself.
+func ListenAndServeDebug(addr string, r *Registry) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: DebugMux(r)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), nil
+}
+
+// expvarPublished guards against expvar.Publish's panic on duplicate names
+// when several components export the same registry.
+var expvarPublished sync.Map
+
+// PublishExpvar exposes the registry under the given expvar name (idempotent
+// per name; later registries publishing an already-used name are ignored).
+func PublishExpvar(name string, r *Registry) {
+	if _, loaded := expvarPublished.LoadOrStore(name, true); loaded {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() interface{} { return r.Snapshot() }))
+}

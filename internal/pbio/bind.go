@@ -196,7 +196,12 @@ func (b *Binding) AppendEncode(dst []byte, v interface{}) ([]byte, error) {
 	}
 	base := len(dst)
 	dst = append(dst, make([]byte, b.Format.Size)...)
-	return b.encodeFixed(dst, base, base, rv)
+	out, err := b.encodeFixed(dst, base, base, rv)
+	if err == nil {
+		b.Format.obs.encodeCalls.Add(1)
+		b.Format.obs.encodeBytes.Add(int64(len(out) - base))
+	}
+	return out, err
 }
 
 func (b *Binding) encodeFixed(dst []byte, recBase, fixedBase int, rv reflect.Value) ([]byte, error) {
@@ -316,7 +321,12 @@ func (b *Binding) Decode(data []byte, out interface{}) error {
 	if len(data) < b.Format.Size {
 		return fmt.Errorf("%w: %d bytes, fixed region needs %d", ErrTruncated, len(data), b.Format.Size)
 	}
-	return b.decodeFixed(data, 0, rv)
+	if err := b.decodeFixed(data, 0, rv); err != nil {
+		return err
+	}
+	b.Format.obs.decodeCalls.Add(1)
+	b.Format.obs.decodeBytes.Add(int64(len(data)))
+	return nil
 }
 
 func (b *Binding) decodeFixed(data []byte, fixedBase int, rv reflect.Value) error {

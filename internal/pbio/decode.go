@@ -18,7 +18,12 @@ func (f *Format) Decode(data []byte) (Record, error) {
 	if len(data) > MaxRecordSize {
 		return nil, ErrRecordTooBig
 	}
-	return f.decodeFixed(data, 0)
+	rec, err := f.decodeFixed(data, 0)
+	if err == nil {
+		f.obs.decodeCalls.Add(1)
+		f.obs.decodeBytes.Add(int64(len(data)))
+	}
+	return rec, err
 }
 
 // decodeFixed decodes one (possibly nested) record whose fixed region starts

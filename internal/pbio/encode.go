@@ -45,7 +45,12 @@ func (f *Format) Encode(rec Record) ([]byte, error) {
 func (f *Format) AppendEncode(dst []byte, rec Record) ([]byte, error) {
 	base := len(dst)
 	dst = append(dst, make([]byte, f.Size)...)
-	return f.encodeFixed(dst, base, base, rec)
+	out, err := f.encodeFixed(dst, base, base, rec)
+	if err == nil {
+		f.obs.encodeCalls.Add(1)
+		f.obs.encodeBytes.Add(int64(len(out) - base))
+	}
+	return out, err
 }
 
 // encodeFixed fills in the fixed region of one (possibly nested) record

@@ -38,6 +38,10 @@ type Format struct {
 	ID FormatID
 
 	byName map[string]int
+	// obs carries the owning context's instruments so Encode/Decode on the
+	// hot path report without a context lookup. Zero (all-nil) for formats
+	// that are not adopted into a context.
+	obs obsMetrics
 }
 
 // FieldByName returns the field with the given name.
@@ -65,6 +69,7 @@ func (f *Format) IOFields() []IOField {
 // concurrent use.
 type Context struct {
 	arch *machine.Arch
+	obs  obsMetrics
 
 	mu      sync.RWMutex
 	byName  map[string]*Format
@@ -73,16 +78,22 @@ type Context struct {
 }
 
 // NewContext creates a Context registering formats laid out for arch. Pass
-// machine.Native for the local machine.
-func NewContext(arch *machine.Arch) (*Context, error) {
+// machine.Native for the local machine. Options configure observability and
+// future knobs.
+func NewContext(arch *machine.Arch, opts ...ContextOption) (*Context, error) {
 	if err := arch.Validate(); err != nil {
 		return nil, err
 	}
-	return &Context{
+	c := &Context{
 		arch:   arch,
+		obs:    defaultMetrics,
 		byName: make(map[string]*Format),
 		byID:   make(map[FormatID]*Format),
-	}, nil
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
 }
 
 // Arch returns the architecture this context lays formats out for.
@@ -285,6 +296,7 @@ func (c *Context) adopt(f *Format, local bool) (*Format, error) {
 	if existing, ok := c.byID[f.ID]; ok {
 		return existing, nil
 	}
+	f.obs = c.obs
 	if existing, ok := c.byName[f.Name]; ok {
 		if local {
 			return nil, fmt.Errorf("pbio: format %q already registered with different definition (id %s vs %s)",
@@ -292,9 +304,15 @@ func (c *Context) adopt(f *Format, local bool) (*Format, error) {
 		}
 		// Remote format with a colliding name: keep it addressable by ID
 		// only. Name lookup continues to find the local definition.
+		c.obs.adopted.Add(1)
 		c.byID[f.ID] = f
 		c.ordered = append(c.ordered, f)
 		return f, nil
+	}
+	if local {
+		c.obs.registered.Add(1)
+	} else {
+		c.obs.adopted.Add(1)
 	}
 	c.byName[f.Name] = f
 	c.byID[f.ID] = f

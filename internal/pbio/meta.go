@@ -43,7 +43,10 @@ var metaMagic = [4]byte{'P', 'B', 'F', '1'}
 var ErrBadMeta = errors.New("pbio: malformed format metadata")
 
 // MarshalMeta serializes f and its nested format dependencies.
-func MarshalMeta(f *Format) []byte { return marshalMeta(f) }
+func MarshalMeta(f *Format) []byte {
+	metaMarshals.Add(1)
+	return marshalMeta(f)
+}
 
 func marshalMeta(f *Format) []byte {
 	var deps []*Format
@@ -102,6 +105,7 @@ func marshalMeta(f *Format) []byte {
 // format carries a synthetic Arch with the origin's byte order, pointer size
 // and alignment cap, which is everything decoding needs.
 func UnmarshalMeta(data []byte) (*Format, error) {
+	metaUnmarshals.Add(1)
 	r := &metaReader{data: data}
 	var magic [4]byte
 	r.bytes(magic[:])

@@ -1,0 +1,48 @@
+package pbio
+
+import "openmeta/internal/obsv"
+
+// obsMetrics bundles the instruments a Context (and the formats it owns)
+// reports into. It is held by value so a zero obsMetrics — e.g. on a Format
+// built by UnmarshalMeta that has not been adopted into a context — is a
+// set of nil, no-op instruments.
+type obsMetrics struct {
+	registered  *obsv.Counter // formats registered locally
+	adopted     *obsv.Counter // formats adopted from remote peers
+	encodeCalls *obsv.Counter
+	encodeBytes *obsv.Counter
+	decodeCalls *obsv.Counter
+	decodeBytes *obsv.Counter
+}
+
+func contextMetrics(r *obsv.Registry) obsMetrics {
+	s := r.Scope("pbio")
+	return obsMetrics{
+		registered:  s.Counter("formats.registered"),
+		adopted:     s.Counter("formats.adopted"),
+		encodeCalls: s.Counter("encode.calls"),
+		encodeBytes: s.Counter("encode.bytes"),
+		decodeCalls: s.Counter("decode.calls"),
+		decodeBytes: s.Counter("decode.bytes"),
+	}
+}
+
+// Package-level instruments on the default registry. Created at init so the
+// metric names are present (zero-valued) in openmeta.Stats() from process
+// start, and shared by every Context that does not bring its own registry.
+var (
+	defaultMetrics = contextMetrics(obsv.Default())
+
+	metaMarshals   = obsv.Default().Counter("pbio.meta.marshals")
+	metaUnmarshals = obsv.Default().Counter("pbio.meta.unmarshals")
+)
+
+// ContextOption configures a Context at construction.
+type ContextOption func(*Context)
+
+// WithObserver directs the context's metrics (format registrations and
+// adoptions, encode/decode calls and bytes) into r instead of the process
+// default registry.
+func WithObserver(r *obsv.Registry) ContextOption {
+	return func(c *Context) { c.obs = contextMetrics(r) }
+}

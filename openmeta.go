@@ -104,11 +104,30 @@ func ArchByName(name string) (*Arch, error) { return machine.ArchByName(name) }
 // ArchNames lists the predefined architecture names.
 func ArchNames() []string { return machine.ArchNames() }
 
-// NewContext creates a format catalog laying formats out for arch.
-func NewContext(arch *Arch) (*Context, error) { return pbio.NewContext(arch) }
-
 // ParseSchema parses an XML Schema metadata document.
 func ParseSchema(doc string) (*Schema, error) { return xmlschema.ParseString(doc) }
+
+// The Register family: three ways to put a format into a Context, one per
+// metadata source. RegisterIOFields takes the paper's explicit descriptors,
+// RegisterSpecs computes layout for the context's architecture, and
+// RegisterSchema (with its Document/File/URL variants) runs the xml2wire
+// pipeline over an XML Schema. All of them return formats that encode,
+// decode and convert identically.
+
+// RegisterIOFields registers a format from paper-style explicit IOField
+// descriptors — name, type string, size and offset exactly as they would
+// appear in a PBIO field list. Use it when the layout is already known,
+// e.g. when mirroring a C struct byte-for-byte.
+func RegisterIOFields(ctx *Context, name string, fields []IOField) (*Format, error) {
+	return ctx.Register(name, fields)
+}
+
+// RegisterSpecs registers a format from portable FieldSpec declarations;
+// sizes, alignment and offsets are computed for the context's architecture,
+// the way a compiler would lay out the equivalent struct.
+func RegisterSpecs(ctx *Context, name string, specs []FieldSpec) (*Format, error) {
+	return ctx.RegisterSpec(name, specs)
+}
 
 // RegisterSchema binds a parsed schema's types to the context architecture
 // and registers them (the xml2wire pipeline).
@@ -158,9 +177,6 @@ func NewWireReader(r interface{ Read([]byte) (int, error) }, ctx *Context) *pbio
 // CompilePlan builds a conversion program from src records to dst records.
 func CompilePlan(src, dst *Format) (*ConversionPlan, error) { return dcg.Compile(src, dst) }
 
-// NewPlanCache returns a memoizing conversion-plan cache.
-func NewPlanCache() *PlanCache { return dcg.NewCache() }
-
 // NewRepository returns an empty metadata repository; serve it with
 // (*Repository).Handler and net/http.
 func NewRepository() *Repository { return discovery.NewRepository() }
@@ -194,13 +210,6 @@ func DiscoverAndRegister(ctx context.Context, src DiscoverySource, pctx *Context
 	}
 	return core.RegisterSchema(pctx, s)
 }
-
-// ListenBroker starts an event backbone broker on addr ("host:0" picks a
-// free port).
-func ListenBroker(addr string) (*Broker, error) { return eventbus.Listen(addr) }
-
-// NewBroker starts a broker on an existing listener.
-func NewBroker(ln net.Listener) *Broker { return eventbus.NewBroker(ln) }
 
 // DialPublisher connects a publisher to a broker.
 func DialPublisher(addr string) (*Publisher, error) { return eventbus.DialPublisher(addr) }

@@ -1,0 +1,103 @@
+package openmeta
+
+import (
+	"net"
+
+	"openmeta/internal/dcg"
+	"openmeta/internal/eventbus"
+	"openmeta/internal/pbio"
+)
+
+// Option configures a Context built with New. The zero configuration lays
+// formats out for the native architecture and reports metrics to the
+// default observer (see Stats).
+type Option func(*contextConfig)
+
+type contextConfig struct {
+	arch *Arch
+	obs  *Observer
+}
+
+// WithArch lays formats out for arch instead of the native architecture —
+// how tests and tools simulate heterogeneous peers.
+func WithArch(arch *Arch) Option {
+	return func(c *contextConfig) { c.arch = arch }
+}
+
+// WithObserver directs the context's metrics (format registrations and
+// adoptions, encode/decode calls and bytes) into obs instead of the
+// process-wide default registry snapshotted by Stats.
+func WithObserver(obs *Observer) Option {
+	return func(c *contextConfig) { c.obs = obs }
+}
+
+// New creates a format catalog. With no options it lays formats out for the
+// native architecture:
+//
+//	ctx, err := openmeta.New()
+//	ctx, err := openmeta.New(openmeta.WithArch(openmeta.ArchSparc64))
+func New(opts ...Option) (*Context, error) {
+	cfg := contextConfig{arch: NativeArch}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	var popts []pbio.ContextOption
+	if cfg.obs != nil {
+		popts = append(popts, pbio.WithObserver(cfg.obs))
+	}
+	return pbio.NewContext(cfg.arch, popts...)
+}
+
+// NewContext creates a format catalog laying formats out for arch.
+//
+// Deprecated: use New with WithArch; NewContext remains so existing callers
+// keep compiling.
+func NewContext(arch *Arch) (*Context, error) { return New(WithArch(arch)) }
+
+// BrokerOption configures a Broker (see NewBroker and ListenBroker).
+type BrokerOption = eventbus.BrokerOption
+
+// WithBrokerLogger directs broker diagnostics to logf (default log.Printf).
+func WithBrokerLogger(logf func(format string, args ...interface{})) BrokerOption {
+	return eventbus.WithLogger(logf)
+}
+
+// WithQueueDepth bounds each subscriber's outbound frame queue (default
+// 256). A slow subscriber whose queue fills loses event frames rather than
+// stalling the bus.
+func WithQueueDepth(n int) BrokerOption { return eventbus.WithQueueDepth(n) }
+
+// WithBrokerObserver directs the broker's metrics (published, delivered,
+// dropped, per-stream counters, queue depth) into obs instead of the
+// default registry.
+func WithBrokerObserver(obs *Observer) BrokerOption { return eventbus.WithObserver(obs) }
+
+// WithPlanCache substitutes the conversion-plan cache the broker uses for
+// format scoping — share one across brokers or bound it with
+// NewPlanCache(WithPlanCacheLimit(n)).
+func WithPlanCache(c *PlanCache) BrokerOption { return eventbus.WithPlanCache(c) }
+
+// ListenBroker starts an event backbone broker on addr ("host:0" picks a
+// free port).
+func ListenBroker(addr string, opts ...BrokerOption) (*Broker, error) {
+	return eventbus.Listen(addr, opts...)
+}
+
+// NewBroker starts a broker on an existing listener.
+func NewBroker(ln net.Listener, opts ...BrokerOption) *Broker {
+	return eventbus.NewBroker(ln, opts...)
+}
+
+// PlanCacheOption configures a PlanCache built with NewPlanCache.
+type PlanCacheOption = dcg.CacheOption
+
+// WithPlanCacheLimit bounds the cache to n memoized plans (0 = unbounded);
+// the oldest format pairing is evicted when the bound is exceeded.
+func WithPlanCacheLimit(n int) PlanCacheOption { return dcg.WithMaxEntries(n) }
+
+// WithPlanCacheObserver directs the cache's hit/miss/eviction counters and
+// compile-time histogram into obs instead of the default registry.
+func WithPlanCacheObserver(obs *Observer) PlanCacheOption { return dcg.WithObserver(obs) }
+
+// NewPlanCache returns a memoizing conversion-plan cache.
+func NewPlanCache(opts ...PlanCacheOption) *PlanCache { return dcg.NewCache(opts...) }

@@ -1,0 +1,414 @@
+package openmeta_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"openmeta"
+	"openmeta/internal/airline"
+)
+
+// publishUntilReceived publishes rec repeatedly until sub receives an event
+// — subscription registration at the broker races the first publish, so a
+// single publish can be delivered to no one.
+func publishUntilReceived(t *testing.T, pub *openmeta.Publisher, sub *openmeta.Subscriber, f *openmeta.Format, rec openmeta.Record) {
+	t.Helper()
+	got := make(chan error, 1)
+	go func() {
+		_, err := sub.Next()
+		got <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := pub.PublishRecord(airline.FlightStream, f, rec); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-got:
+			if err != nil {
+				t.Fatal(err)
+			}
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no event received after 10s of publishing")
+		}
+	}
+}
+
+// TestStatsQuickstartFlow runs the README quickstart plus a broker round
+// trip and checks the process-wide Stats snapshot moved for every layer the
+// flow touched. The default registry is shared across tests in the binary,
+// so all assertions are on before/after deltas.
+func TestStatsQuickstartFlow(t *testing.T) {
+	before := openmeta.Stats()
+
+	ctx, err := openmeta.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := openmeta.RegisterSchemaDocument(ctx, airline.FlightSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := set.Lookup("ASDOffEvent")
+	if !ok {
+		t.Fatal("format not registered")
+	}
+	rec := openmeta.Record{
+		"cntrID": "ZTL", "fltNum": 1842, "dest": "MCO",
+		"off": []uint64{1, 2, 3, 4, 5}, "eta": []uint64{100},
+	}
+	wire, err := f.Encode(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Decode(wire); err != nil {
+		t.Fatal(err)
+	}
+
+	broker, err := openmeta.ListenBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+	subCtx, err := openmeta.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := openmeta.DialSubscriber(broker.Addr().String(), subCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Subscribe(airline.FlightStream); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := openmeta.DialPublisher(broker.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	publishUntilReceived(t, pub, sub, f, rec)
+
+	delta := openmeta.StatsDelta(before, openmeta.Stats())
+	for _, key := range []string{
+		"pbio.formats.registered",
+		"pbio.encode.calls",
+		"pbio.encode.bytes",
+		"pbio.decode.calls",
+		"pbio.meta.marshals",
+		"eventbus.published",
+		"eventbus.delivered",
+	} {
+		if delta[key] <= 0 {
+			t.Errorf("delta[%q] = %d, want > 0 (delta: %v)", key, delta[key], delta)
+		}
+	}
+}
+
+// TestStatsHandlerServesJSON checks the HTTP snapshot is valid JSON and
+// carries the documented keys even before any traffic (instruments are
+// created zero-valued at package init).
+func TestStatsHandlerServesJSON(t *testing.T) {
+	srv := httptest.NewServer(openmeta.StatsHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var m map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, key := range []string{
+		"eventbus.delivered",
+		"dcg.plan_cache.hits",
+		"pbio.formats.registered",
+		"discovery.fetches",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("stats JSON missing key %q", key)
+		}
+	}
+}
+
+func TestDebugHandlerEndpoints(t *testing.T) {
+	srv := httptest.NewServer(openmeta.DebugHandler())
+	defer srv.Close()
+	for _, path := range []string{"/stats", "/debug/stats", "/debug/vars", "/debug/pprof/"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s = %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestWithObserverIsolation checks a private Observer captures a context's
+// traffic without polluting other registries.
+func TestWithObserverIsolation(t *testing.T) {
+	obs := openmeta.NewObserver()
+	ctx, err := openmeta.New(openmeta.WithObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := openmeta.RegisterSchemaDocument(ctx, airline.FlightSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := set.Lookup("ASDOffEvent")
+	if _, err := f.Encode(openmeta.Record{
+		"cntrID": "ZTL", "fltNum": 7, "dest": "ATL",
+		"off": []uint64{1}, "eta": []uint64{2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap := obs.Snapshot()
+	if snap["pbio.formats.registered"] <= 0 {
+		t.Errorf("private observer pbio.formats.registered = %d, want > 0", snap["pbio.formats.registered"])
+	}
+	if snap["pbio.encode.calls"] != 1 {
+		t.Errorf("private observer pbio.encode.calls = %d, want 1", snap["pbio.encode.calls"])
+	}
+}
+
+func TestBrokerOptionsAndStats(t *testing.T) {
+	obs := openmeta.NewObserver()
+	broker, err := openmeta.ListenBroker("127.0.0.1:0",
+		openmeta.WithQueueDepth(8),
+		openmeta.WithBrokerObserver(obs),
+		openmeta.WithPlanCache(openmeta.NewPlanCache()),
+		openmeta.WithBrokerLogger(func(string, ...interface{}) {}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+
+	ctx, err := openmeta.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := openmeta.RegisterSchemaDocument(ctx, airline.FlightSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := set.Lookup("ASDOffEvent")
+	subCtx, _ := openmeta.New()
+	sub, err := openmeta.DialSubscriber(broker.Addr().String(), subCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Subscribe(airline.FlightStream); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := openmeta.DialPublisher(broker.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	rec := openmeta.Record{
+		"cntrID": "ZOB", "fltNum": 12, "dest": "ORD",
+		"off": []uint64{9}, "eta": []uint64{10},
+	}
+	publishUntilReceived(t, pub, sub, f, rec)
+
+	var st openmeta.BrokerStats
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st = broker.Stats()
+		if st.Delivered >= 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Published < 1 || st.Delivered < 1 {
+		t.Errorf("broker stats = %+v, want published/delivered >= 1", st)
+	}
+	if st.Streams < 1 || st.Subscribers < 1 {
+		t.Errorf("broker stats = %+v, want streams/subscribers >= 1", st)
+	}
+	snap := obs.Snapshot()
+	if snap["eventbus.delivered"] < 1 {
+		t.Errorf("private broker observer eventbus.delivered = %d, want >= 1", snap["eventbus.delivered"])
+	}
+	if snap["eventbus.stream."+airline.FlightStream+".published"] < 1 {
+		t.Errorf("missing per-stream published counter: %v", snap)
+	}
+}
+
+func TestPlanCacheOptions(t *testing.T) {
+	obs := openmeta.NewObserver()
+	cache := openmeta.NewPlanCache(
+		openmeta.WithPlanCacheLimit(1),
+		openmeta.WithPlanCacheObserver(obs),
+	)
+
+	mk := func(arch *openmeta.Arch) *openmeta.Format {
+		ctx, err := openmeta.New(openmeta.WithArch(arch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := openmeta.RegisterSpecs(ctx, "P", []openmeta.FieldSpec{
+			{Name: "a", Kind: openmeta.Int, CType: openmeta.CInt},
+			{Name: "b", Kind: openmeta.Float, CType: openmeta.CDouble},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	src, d1, d2 := mk(openmeta.ArchSparc), mk(openmeta.ArchX86_64), mk(openmeta.ArchX86)
+
+	if _, err := cache.Plan(src, d1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Plan(src, d1); err != nil { // hit
+		t.Fatal(err)
+	}
+	if _, err := cache.Plan(src, d2); err != nil { // miss; evicts first pair
+		t.Fatal(err)
+	}
+	snap := obs.Snapshot()
+	if snap["dcg.plan_cache.hits"] != 1 {
+		t.Errorf("hits = %d, want 1", snap["dcg.plan_cache.hits"])
+	}
+	if snap["dcg.plan_cache.misses"] != 2 {
+		t.Errorf("misses = %d, want 2", snap["dcg.plan_cache.misses"])
+	}
+	if snap["dcg.plan_cache.evictions"] != 1 {
+		t.Errorf("evictions = %d, want 1", snap["dcg.plan_cache.evictions"])
+	}
+	if snap["dcg.plan.compile_ns.count"] != 2 {
+		t.Errorf("compile_ns.count = %d, want 2", snap["dcg.plan.compile_ns.count"])
+	}
+}
+
+func TestRegistrationFamily(t *testing.T) {
+	ctx, err := openmeta.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := openmeta.RegisterSpecs(ctx, "SpecFmt", []openmeta.FieldSpec{
+		{Name: "x", Kind: openmeta.Int, CType: openmeta.CInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirror the computed layout through the explicit-IOField path.
+	fi, err := openmeta.RegisterIOFields(ctx, "IOFmt", fs.IOFields())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire, err := fi.Encode(openmeta.Record{"x": 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := fi.Decode(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec["x"] != int64(41) {
+		t.Errorf("rec = %v", rec)
+	}
+}
+
+// TestSentinelErrors checks each facade sentinel is reachable with errors.Is
+// from the operation that produces it.
+func TestSentinelErrors(t *testing.T) {
+	ctx, err := openmeta.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = openmeta.RegisterSpecs(ctx, "Bad", []openmeta.FieldSpec{
+		{Name: "n", Kind: openmeta.Nested, NestedName: "NoSuchFormat"},
+	})
+	if !errors.Is(err, openmeta.ErrUnknownFormat) {
+		t.Errorf("nested unknown type: err = %v, want ErrUnknownFormat", err)
+	}
+
+	_, err = openmeta.RegisterSpecs(ctx, "Dup", []openmeta.FieldSpec{
+		{Name: "a", Kind: openmeta.Int, CType: openmeta.CInt},
+		{Name: "a", Kind: openmeta.Int, CType: openmeta.CInt},
+	})
+	if !errors.Is(err, openmeta.ErrDuplicateField) {
+		t.Errorf("duplicate field: err = %v, want ErrDuplicateField", err)
+	}
+
+	f, err := openmeta.RegisterSpecs(ctx, "One", []openmeta.FieldSpec{
+		{Name: "x", Kind: openmeta.Int, CType: openmeta.CInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Encode(openmeta.Record{"x": "nope"}); !errors.Is(err, openmeta.ErrBadValue) {
+		t.Errorf("bad value: err = %v, want ErrBadValue", err)
+	}
+	if _, err := f.Decode([]byte{1}); !errors.Is(err, openmeta.ErrTruncated) {
+		t.Errorf("truncated: err = %v, want ErrTruncated", err)
+	}
+
+	g, err := openmeta.RegisterSpecs(ctx, "Other", []openmeta.FieldSpec{
+		{Name: "x", Kind: openmeta.String},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openmeta.CompilePlan(f, g); !errors.Is(err, openmeta.ErrFieldMismatch) {
+		t.Errorf("incompatible formats: err = %v, want ErrFieldMismatch", err)
+	}
+
+	if _, err := openmeta.UnmarshalFormatMeta([]byte("garbage")); !errors.Is(err, openmeta.ErrBadMetadata) {
+		t.Errorf("bad metadata: err = %v, want ErrBadMetadata", err)
+	}
+
+	src := openmeta.StaticSchemas(map[string]string{})
+	if _, err := openmeta.DiscoverAndRegister(context.Background(), src, ctx, "missing"); !errors.Is(err, openmeta.ErrSchemaNotFound) {
+		t.Errorf("schema not found: err = %v, want ErrSchemaNotFound", err)
+	}
+
+	// Sentinels produced deeper in the stack than this test reaches: check
+	// they survive wrapping the way the producing layers wrap them.
+	for name, sentinel := range map[string]error{
+		"ErrSlowSubscriber": openmeta.ErrSlowSubscriber,
+		"ErrMissingField":   openmeta.ErrMissingField,
+		"ErrBusClosed":      openmeta.ErrBusClosed,
+		"ErrInvalidRecord":  openmeta.ErrInvalidRecord,
+	} {
+		wrapped := fmt.Errorf("delivering: %w", sentinel)
+		if !errors.Is(wrapped, sentinel) {
+			t.Errorf("%s does not survive wrapping", name)
+		}
+	}
+}
+
+// TestDeprecatedConstructorsStillWork keeps the pre-options signatures
+// compiling and behaving.
+func TestDeprecatedConstructorsStillWork(t *testing.T) {
+	ctx, err := openmeta.NewContext(openmeta.ArchSparc64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := openmeta.RegisterSchemaDocument(ctx, airline.FlightSchema); err != nil {
+		t.Fatal(err)
+	}
+	if c := openmeta.NewPlanCache(); c == nil {
+		t.Fatal("NewPlanCache() = nil")
+	}
+}
