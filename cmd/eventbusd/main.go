@@ -40,12 +40,16 @@ func run(args []string) error {
 	addr := fs.String("addr", "127.0.0.1:8701", "listen address")
 	debugAddr := fs.String("debug-addr", "", "serve /stats, /debug/vars and /debug/pprof on this address")
 	queueDepth := fs.Int("queue-depth", 0, "per-subscriber outbound queue depth (0 = default)")
+	writeDeadline := fs.Duration("write-deadline", 0, "per-subscriber flush deadline before a stalled peer is dropped (0 = default 2s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	var opts []eventbus.BrokerOption
 	if *queueDepth > 0 {
 		opts = append(opts, eventbus.WithQueueDepth(*queueDepth))
+	}
+	if *writeDeadline > 0 {
+		opts = append(opts, eventbus.WithWriteDeadline(*writeDeadline))
 	}
 	broker, err := eventbus.Listen(*addr, opts...)
 	if err != nil {

@@ -8,6 +8,11 @@
 //
 //	ompub -broker 127.0.0.1:8701 -stream test -schema flight.xsd -type ASDOffEvent < records.xml
 //	ompub -broker 127.0.0.1:8701 -demo flights -n 100
+//	ompub -broker 127.0.0.1:8701 -demo flights -reconnect
+//
+// With -reconnect the publisher survives broker restarts: it redials with
+// backoff, re-announces its streams and re-sends format metadata before
+// continuing.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"openmeta/internal/machine"
 	"openmeta/internal/obsv"
 	"openmeta/internal/pbio"
+	"openmeta/internal/retry"
 	"openmeta/internal/xmlwire"
 )
 
@@ -43,6 +49,8 @@ func run(args []string) error {
 	n := fs.Int("n", 10, "number of demo events")
 	seed := fs.Int64("seed", 1, "demo generator seed")
 	debugAddr := fs.String("debug-addr", "", "serve /stats, /debug/vars and /debug/pprof on this address")
+	reconnect := fs.Bool("reconnect", false, "redial the broker with backoff when the connection breaks")
+	dialTimeout := fs.Duration("dial-timeout", 0, "per-attempt broker dial timeout (0 = default 10s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,7 +66,14 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	pub, err := eventbus.DialPublisher(*broker)
+	var copts []eventbus.ClientOption
+	if *reconnect {
+		copts = append(copts, eventbus.WithReconnect(retry.Policy{}))
+	}
+	if *dialTimeout > 0 {
+		copts = append(copts, eventbus.WithDialTimeout(*dialTimeout))
+	}
+	pub, err := eventbus.DialPublisher(*broker, copts...)
 	if err != nil {
 		return err
 	}

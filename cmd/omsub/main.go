@@ -8,6 +8,10 @@
 //	omsub -broker 127.0.0.1:8701 -stream faa.asd.departures
 //	omsub -broker 127.0.0.1:8701 -stream faa.asd.departures -fields cntrID,fltNum
 //	omsub -broker 127.0.0.1:8701 -list
+//	omsub -broker 127.0.0.1:8701 -stream faa.asd.departures -reconnect
+//
+// With -reconnect the subscriber survives broker restarts: it redials with
+// backoff and replays every subscription, field scopes intact.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"openmeta/internal/eventbus"
 	"openmeta/internal/machine"
 	"openmeta/internal/pbio"
+	"openmeta/internal/retry"
 	"openmeta/internal/xmlwire"
 )
 
@@ -38,6 +43,7 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list streams and exit")
 	asXML := fs.Bool("xml", false, "print records as XML text messages")
 	count := fs.Int("n", 0, "exit after n records (0 = run until killed)")
+	reconnect := fs.Bool("reconnect", false, "redial the broker with backoff when the connection breaks, replaying subscriptions")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,7 +51,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	sub, err := eventbus.DialSubscriber(*broker, ctx)
+	var copts []eventbus.ClientOption
+	if *reconnect {
+		copts = append(copts, eventbus.WithReconnect(retry.Policy{}))
+	}
+	sub, err := eventbus.DialSubscriber(*broker, ctx, copts...)
 	if err != nil {
 		return err
 	}

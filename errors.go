@@ -6,6 +6,7 @@ import (
 	"openmeta/internal/discovery"
 	"openmeta/internal/eventbus"
 	"openmeta/internal/pbio"
+	"openmeta/internal/retry"
 )
 
 // Sentinel errors. Every error returned through the facade wraps (with %w)
@@ -52,6 +53,15 @@ var (
 
 	// ErrSchemaNotFound reports a schema name no discovery source knows.
 	ErrSchemaNotFound = discovery.ErrNotFound
+	// ErrStale reports a discovery cache entry too old to serve even under
+	// the client's stale-serve window (see WithStaleServe); the error also
+	// wraps the fetch failure that forced the degraded path.
+	ErrStale = discovery.ErrStale
+
+	// ErrRetriesExhausted reports an operation that kept failing until its
+	// retry policy ran out of attempts; the error wraps the final attempt's
+	// failure.
+	ErrRetriesExhausted = retry.ErrExhausted
 
 	// ErrInvalidRecord reports a record violating its schema's facet
 	// constraints (enumerations, ranges, lengths).

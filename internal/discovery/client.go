@@ -14,8 +14,15 @@ import (
 	"time"
 
 	"openmeta/internal/obsv"
+	"openmeta/internal/retry"
 	"openmeta/internal/xmlschema"
 )
+
+// ErrStale reports a schema that exists in the client's cache but is older
+// than the configured stale-serve window while the repository is
+// unreachable: the client refuses to serve it, and the error wraps both
+// ErrStale and the underlying fetch failure.
+var ErrStale = errors.New("discovery: cached schema too stale to serve")
 
 // clientMetrics bundles the discovery client's instruments.
 type clientMetrics struct {
@@ -23,6 +30,7 @@ type clientMetrics struct {
 	cacheHits     *obsv.Counter   // served from cache within the TTL
 	revalidations *obsv.Counter   // 304 Not Modified responses
 	fetchErrors   *obsv.Counter   // failed fetches (network or HTTP status)
+	staleServed   *obsv.Counter   // stale cache entries served while the repo was down
 	fetchNS       *obsv.Histogram // HTTP round-trip latency
 }
 
@@ -33,6 +41,7 @@ func newClientMetrics(r *obsv.Registry) clientMetrics {
 		cacheHits:     s.Counter("cache_hits"),
 		revalidations: s.Counter("revalidations"),
 		fetchErrors:   s.Counter("fetch_errors"),
+		staleServed:   s.Counter("stale_served"),
 		fetchNS:       s.Histogram("fetch_ns"),
 	}
 }
@@ -61,11 +70,17 @@ type Source interface {
 // caching them with ETag revalidation so repeated discovery of an unchanged
 // format costs one conditional request (or nothing, within the TTL).
 type Client struct {
-	base *url.URL
-	http *http.Client
-	ttl  time.Duration
-	now  func() time.Time
-	obs  clientMetrics
+	base    *url.URL
+	http    *http.Client
+	ttl     time.Duration
+	timeout time.Duration
+	retry   retry.Policy
+	// staleFor is how far past the TTL a cached schema may still be served
+	// when every fetch attempt fails (0 disables stale serving; negative
+	// serves stale entries of any age).
+	staleFor time.Duration
+	now      func() time.Time
+	obs      clientMetrics
 
 	mu    sync.Mutex
 	cache map[string]*clientEntry
@@ -93,6 +108,34 @@ func WithTTL(ttl time.Duration) ClientOption {
 	return func(c *Client) { c.ttl = ttl }
 }
 
+// WithTimeout bounds each HTTP request (default 10s). It applies to the
+// default HTTP client or one supplied with WithHTTPClient, regardless of
+// option order.
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithRetry makes every fetch retry transport errors and 5xx responses
+// under the given policy (exponential backoff with jitter; see
+// retry.Policy). The default performs no retries, preserving one-request-
+// per-fetch semantics. 4xx responses and unparseable documents are
+// permanent and never retried.
+func WithRetry(p retry.Policy) ClientOption {
+	return func(c *Client) { c.retry = p }
+}
+
+// WithStaleServe enables graceful degradation: when the repository is
+// unreachable (every attempt failed) but a previously fetched schema is
+// cached, the client serves the stale schema — counting it in
+// discovery.stale_served — as long as the entry is no more than max past
+// its TTL. A negative max serves stale entries regardless of age. Entries
+// older than the window fail with an error wrapping ErrStale. This is the
+// paper's §3.3 degraded mode, applied to the cache instead of compiled-in
+// metadata.
+func WithStaleServe(max time.Duration) ClientOption {
+	return func(c *Client) { c.staleFor = max }
+}
+
 // withClock substitutes the time source in tests.
 func withClock(now func() time.Time) ClientOption {
 	return func(c *Client) { c.now = now }
@@ -116,8 +159,9 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 	}
 	c := &Client{
 		base:  u,
-		http:  &http.Client{Timeout: 10 * time.Second},
+		http:  &http.Client{},
 		ttl:   time.Minute,
+		retry: retry.Policy{MaxAttempts: 1},
 		now:   time.Now,
 		obs:   defaultClientMetrics,
 		cache: make(map[string]*clientEntry),
@@ -125,13 +169,23 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 	for _, opt := range opts {
 		opt(c)
 	}
+	// Apply the request timeout without mutating a caller-owned client.
+	if c.timeout == 0 && c.http.Timeout == 0 {
+		c.timeout = 10 * time.Second
+	}
+	if c.timeout > 0 && c.http.Timeout != c.timeout {
+		clone := *c.http
+		clone.Timeout = c.timeout
+		c.http = &clone
+	}
 	return c, nil
 }
 
 // Describe implements Source.
 func (c *Client) Describe() string { return c.base.String() + SchemaPathPrefix }
 
-// Schema implements Source with caching and ETag revalidation.
+// Schema implements Source with caching, ETag revalidation, optional
+// retries (WithRetry) and optional stale-serve degradation (WithStaleServe).
 func (c *Client) Schema(ctx context.Context, name string) (*xmlschema.Schema, error) {
 	c.mu.Lock()
 	entry := c.cache[name]
@@ -147,11 +201,60 @@ func (c *Client) Schema(ctx context.Context, name string) (*xmlschema.Schema, er
 	}
 	c.mu.Unlock()
 
+	var out *xmlschema.Schema
+	err := retry.Do(ctx, c.retry, func(ctx context.Context) error {
+		s, ferr := c.fetchOnce(ctx, name, etag)
+		if ferr != nil {
+			return ferr
+		}
+		out = s
+		return nil
+	})
+	if err == nil {
+		return out, nil
+	}
+	if errors.Is(err, ErrNotFound) {
+		// Absence is an answer, not an outage; never mask it with a stale
+		// copy (the repository may have deliberately unpublished it).
+		return nil, err
+	}
+	return c.serveStale(name, err)
+}
+
+// serveStale is the degraded path after every fetch attempt failed: serve
+// the cached schema if stale serving is enabled and the entry is within the
+// window, otherwise surface the fetch error (wrapping ErrStale when a
+// too-old entry exists).
+func (c *Client) serveStale(name string, fetchErr error) (*xmlschema.Schema, error) {
+	if c.staleFor == 0 {
+		return nil, fetchErr
+	}
+	c.mu.Lock()
+	entry := c.cache[name]
+	if entry == nil {
+		c.mu.Unlock()
+		return nil, fetchErr
+	}
+	age := c.now().Sub(entry.fetched)
+	s := entry.schema
+	c.mu.Unlock()
+	if c.staleFor > 0 && age > c.ttl+c.staleFor {
+		return nil, fmt.Errorf("%w: %q cached %v ago (window %v): %w",
+			ErrStale, name, age.Round(time.Millisecond), c.ttl+c.staleFor, fetchErr)
+	}
+	c.obs.staleServed.Add(1)
+	return s, nil
+}
+
+// fetchOnce performs one conditional GET for name. Errors marked
+// retry.Permanent (4xx, unparseable documents) stop a retrying caller
+// immediately; everything else (transport errors, 5xx) is retryable.
+func (c *Client) fetchOnce(ctx context.Context, name, etag string) (*xmlschema.Schema, error) {
 	u := *c.base
 	u.Path = strings.TrimSuffix(u.Path, "/") + SchemaPathPrefix + url.PathEscape(name)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
 	if err != nil {
-		return nil, fmt.Errorf("discovery: %w", err)
+		return nil, retry.Permanent(fmt.Errorf("discovery: %w", err))
 	}
 	if etag != "" {
 		req.Header.Set("If-None-Match", etag)
@@ -178,15 +281,19 @@ func (c *Client) Schema(ctx context.Context, name string) (*xmlschema.Schema, er
 			entry.fetched = c.now()
 			return entry.schema, nil
 		}
-		return nil, fmt.Errorf("discovery: fetch %q: 304 without cache entry", name)
+		return nil, retry.Permanent(fmt.Errorf("discovery: fetch %q: 304 without cache entry", name))
 	case http.StatusNotFound:
 		c.obs.fetchErrors.Add(1)
-		return nil, fmt.Errorf("%w: %q at %s", ErrNotFound, name, c.Describe())
+		return nil, retry.Permanent(fmt.Errorf("%w: %q at %s", ErrNotFound, name, c.Describe()))
 	case http.StatusOK:
 		// fall through
 	default:
 		c.obs.fetchErrors.Add(1)
-		return nil, fmt.Errorf("discovery: fetch %q: HTTP %d", name, resp.StatusCode)
+		err := fmt.Errorf("discovery: fetch %q: HTTP %d", name, resp.StatusCode)
+		if resp.StatusCode >= 500 {
+			return nil, err // server-side trouble: worth retrying
+		}
+		return nil, retry.Permanent(err)
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
 	if err != nil {
@@ -194,7 +301,9 @@ func (c *Client) Schema(ctx context.Context, name string) (*xmlschema.Schema, er
 	}
 	s, err := xmlschema.ParseString(string(body))
 	if err != nil {
-		return nil, fmt.Errorf("discovery: fetch %q: %w", name, err)
+		// A document the parser rejects will be rejected again; don't
+		// hammer the repository for it.
+		return nil, retry.Permanent(fmt.Errorf("discovery: fetch %q: %w", name, err))
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -22,11 +22,12 @@ import (
 // preceding each record with its format metadata the first time that format
 // travels to that subscriber.
 type Broker struct {
-	ln         net.Listener
-	logf       func(format string, args ...interface{})
-	wg         sync.WaitGroup
-	closed     chan struct{}
-	queueDepth int
+	ln            net.Listener
+	logf          func(format string, args ...interface{})
+	wg            sync.WaitGroup
+	closed        chan struct{}
+	queueDepth    int
+	writeDeadline time.Duration
 
 	obs obsv.Scope
 	m   brokerMetrics
@@ -153,6 +154,18 @@ func WithQueueDepth(n int) BrokerOption {
 	}
 }
 
+// WithWriteDeadline bounds how long the broker spends flushing a closing
+// connection's queued frames (default 2s). Shorter deadlines free writer
+// goroutines faster under churn; longer ones give slow peers more chance to
+// receive final error frames.
+func WithWriteDeadline(d time.Duration) BrokerOption {
+	return func(b *Broker) {
+		if d > 0 {
+			b.writeDeadline = d
+		}
+	}
+}
+
 // WithObserver directs the broker's metrics (published/delivered/dropped,
 // per-stream counters, queue depth, slow-subscriber stalls) into r instead
 // of the process default registry.
@@ -178,16 +191,17 @@ func WithPlanCache(c *dcg.Cache) BrokerOption {
 // listener and closes it on Close.
 func NewBroker(ln net.Listener, opts ...BrokerOption) *Broker {
 	b := &Broker{
-		ln:         ln,
-		logf:       log.Printf,
-		closed:     make(chan struct{}),
-		queueDepth: outQueueDepth,
-		obs:        obsv.Default().Scope("eventbus"),
-		m:          defaultBrokerMetrics,
-		conns:      make(map[*brokerConn]bool),
-		streams:    make(map[string]*stream),
-		plans:      dcg.NewCache(),
-		scoped:     make(map[scopeKey]*scopedFormat),
+		ln:            ln,
+		logf:          log.Printf,
+		closed:        make(chan struct{}),
+		queueDepth:    outQueueDepth,
+		writeDeadline: 2 * time.Second,
+		obs:           obsv.Default().Scope("eventbus"),
+		m:             defaultBrokerMetrics,
+		conns:         make(map[*brokerConn]bool),
+		streams:       make(map[string]*stream),
+		plans:         dcg.NewCache(),
+		scoped:        make(map[scopeKey]*scopedFormat),
 	}
 	for _, opt := range opts {
 		opt(b)
@@ -605,7 +619,7 @@ func (b *Broker) writeLoop(bc *brokerConn) {
 				return
 			}
 		case <-bc.outClose:
-			_ = bc.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			_ = bc.conn.SetWriteDeadline(time.Now().Add(b.writeDeadline))
 			for {
 				select {
 				case f := <-bc.out:

@@ -1,59 +1,257 @@
 package eventbus
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"strings"
 	"sync"
+	"time"
 
+	"openmeta/internal/obsv"
 	"openmeta/internal/pbio"
+	"openmeta/internal/retry"
 )
 
+// Client-side reconnect instruments on the default registry, created at
+// init so the eventbus.pub.* / eventbus.sub.* names exist (zero-valued) in
+// openmeta.Stats() from process start.
+var (
+	pubReconnects   = obsv.Default().Counter("eventbus.pub.reconnects")
+	pubRedialErrors = obsv.Default().Counter("eventbus.pub.redial_errors")
+	subReconnects   = obsv.Default().Counter("eventbus.sub.reconnects")
+	subRedialErrors = obsv.Default().Counter("eventbus.sub.redial_errors")
+)
+
+// DialFunc dials the broker. Tests substitute one (via WithDialFunc) that
+// wraps the connection in a faultnet schedule.
+type DialFunc func(ctx context.Context, network, addr string) (net.Conn, error)
+
+// clientConfig is shared by Publisher and Subscriber dialing.
+type clientConfig struct {
+	dial        DialFunc
+	dialTimeout time.Duration
+	reconnect   bool
+	policy      retry.Policy
+}
+
+func defaultClientConfig() clientConfig {
+	return clientConfig{
+		dialTimeout: 10 * time.Second,
+		policy: retry.Policy{
+			MaxAttempts: 5,
+			Initial:     100 * time.Millisecond,
+			Max:         5 * time.Second,
+		},
+	}
+}
+
+// dialContext applies the configured dial function and timeout.
+func (c *clientConfig) dialContext(ctx context.Context, addr string) (net.Conn, error) {
+	if c.dialTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.dialTimeout)
+		defer cancel()
+	}
+	if c.dial != nil {
+		return c.dial(ctx, "tcp", addr)
+	}
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// ClientOption configures how publishers and subscribers dial the broker
+// and whether they survive broken connections.
+type ClientOption func(*clientConfig)
+
+// WithDialFunc substitutes the dialer — how tests interpose
+// fault-injection wrappers, and how deployments add TLS or proxies.
+func WithDialFunc(f DialFunc) ClientOption {
+	return func(c *clientConfig) { c.dial = f }
+}
+
+// WithDialTimeout bounds each dial attempt (default 10s; 0 disables).
+func WithDialTimeout(d time.Duration) ClientOption {
+	return func(c *clientConfig) { c.dialTimeout = d }
+}
+
+// WithReconnect enables automatic reconnection under the given retry
+// policy: when the broker connection breaks, the client redials with
+// backoff, re-announces its streams (publishers) or re-subscribes with
+// scopes intact (subscribers), resets its format-metadata dedup state so
+// metadata is re-sent on the fresh connection, and retries the failed
+// operation. A zero Policy uses the retry package defaults (four attempts,
+// 50ms initial backoff doubling to 5s).
+func WithReconnect(p retry.Policy) ClientOption {
+	return func(c *clientConfig) {
+		c.reconnect = true
+		c.policy = p
+	}
+}
+
 // Publisher is a capture point: it announces streams and publishes NDR
-// records onto them. Publisher is safe for concurrent use.
+// records onto them. Publisher is safe for concurrent use. With
+// WithReconnect it transparently survives broken broker connections,
+// re-sending stream announcements and format metadata on the new
+// connection.
 type Publisher struct {
+	addr string
+	cfg  clientConfig
+
 	mu          sync.Mutex
 	conn        net.Conn
+	closed      bool
+	lastErr     error
 	sentFormats map[pbio.FormatID]bool
+	announced   map[string]bool
 	scratch     []byte
 }
 
 // DialPublisher connects a publisher to the broker at addr.
-func DialPublisher(addr string) (*Publisher, error) {
-	conn, err := net.Dial("tcp", addr)
+func DialPublisher(addr string, opts ...ClientOption) (*Publisher, error) {
+	return DialPublisherContext(context.Background(), addr, opts...)
+}
+
+// DialPublisherContext connects a publisher to the broker at addr under
+// ctx. With WithReconnect the initial dial also retries under the policy.
+func DialPublisherContext(ctx context.Context, addr string, opts ...ClientOption) (*Publisher, error) {
+	cfg := defaultClientConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	p := &Publisher{
+		addr:        addr,
+		cfg:         cfg,
+		sentFormats: make(map[pbio.FormatID]bool),
+		announced:   make(map[string]bool),
+	}
+	dial := func(ctx context.Context) error { return p.connectLocked(ctx) }
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var err error
+	if cfg.reconnect {
+		err = retry.Do(ctx, cfg.policy, dial)
+	} else {
+		err = dial(ctx)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("eventbus: dial publisher: %w", err)
 	}
-	return &Publisher{conn: conn, sentFormats: make(map[pbio.FormatID]bool)}, nil
+	return p, nil
+}
+
+// connectLocked dials a fresh broker connection and replays the
+// publisher's announced streams onto it. The format-metadata dedup map is
+// reset so the next Publish of each format re-sends its metadata — the new
+// broker connection has never seen it. Caller holds p.mu.
+func (p *Publisher) connectLocked(ctx context.Context) error {
+	reconnecting := p.conn != nil || p.lastErr != nil
+	if p.conn != nil {
+		_ = p.conn.Close()
+		p.conn = nil
+	}
+	conn, err := p.cfg.dialContext(ctx, p.addr)
+	if err != nil {
+		if reconnecting {
+			pubRedialErrors.Add(1)
+		}
+		return err
+	}
+	p.sentFormats = make(map[pbio.FormatID]bool)
+	for name := range p.announced {
+		if err := writeFrame(conn, frameAnnounce, putStr(nil, name)); err != nil {
+			_ = conn.Close()
+			if reconnecting {
+				pubRedialErrors.Add(1)
+			}
+			return err
+		}
+	}
+	p.conn = conn
+	p.lastErr = nil
+	if reconnecting {
+		pubReconnects.Add(1)
+	}
+	return nil
+}
+
+// withConn runs op against a healthy connection, holding p.mu across the
+// network write (records from concurrent Publish calls must not interleave
+// mid-frame). On failure the connection is torn down; with reconnect
+// enabled the publisher redials under its retry policy and re-runs op.
+func (p *Publisher) withConn(op func(conn net.Conn) error) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return fmt.Errorf("eventbus: publisher: %w", ErrClosed)
+	}
+	attempt := func(ctx context.Context) error {
+		if p.conn == nil {
+			if !p.cfg.reconnect {
+				return retry.Permanent(fmt.Errorf("eventbus: publisher connection lost: %w (%v)", ErrClosed, p.lastErr))
+			}
+			if err := p.connectLocked(ctx); err != nil {
+				return err
+			}
+		}
+		if err := op(p.conn); err != nil {
+			p.teardownLocked(err)
+			return err
+		}
+		return nil
+	}
+	if !p.cfg.reconnect {
+		return attempt(context.Background())
+	}
+	return retry.Do(context.Background(), p.cfg.policy, attempt)
+}
+
+// teardownLocked abandons the current connection after a write failure; a
+// partially written frame leaves the stream unframeable, so the connection
+// can never be reused. Caller holds p.mu.
+func (p *Publisher) teardownLocked(err error) {
+	if p.conn != nil {
+		_ = p.conn.Close()
+		p.conn = nil
+	}
+	p.lastErr = err
 }
 
 // Announce declares a stream so it appears in broker listings before the
-// first record is published.
+// first record is published. Announced streams are re-announced
+// automatically after a reconnect.
 func (p *Publisher) Announce(streamName string) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return writeFrame(p.conn, frameAnnounce, putStr(nil, streamName))
+	err := p.withConn(func(conn net.Conn) error {
+		return writeFrame(conn, frameAnnounce, putStr(nil, streamName))
+	})
+	if err == nil {
+		p.mu.Lock()
+		p.announced[streamName] = true
+		p.mu.Unlock()
+	}
+	return err
 }
 
 // Publish sends one encoded record of format f onto the stream, announcing
-// the format's metadata to the broker the first time.
+// the format's metadata to the broker the first time (and again after any
+// reconnect — the fresh broker connection has no memory of it).
 func (p *Publisher) Publish(streamName string, f *pbio.Format, record []byte) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if !p.sentFormats[f.ID] {
-		if err := writeFrame(p.conn, frameFormat, pbio.MarshalMeta(f)); err != nil {
-			return err
+	return p.withConn(func(conn net.Conn) error {
+		if !p.sentFormats[f.ID] {
+			if err := writeFrame(conn, frameFormat, pbio.MarshalMeta(f)); err != nil {
+				return err
+			}
+			p.sentFormats[f.ID] = true
 		}
-		p.sentFormats[f.ID] = true
-	}
-	payload := p.scratch[:0]
-	payload = putStr(payload, streamName)
-	payload = append(payload, f.ID[:]...)
-	payload = append(payload, record...)
-	p.scratch = payload
-	return writeFrame(p.conn, framePublish, payload)
+		payload := p.scratch[:0]
+		payload = putStr(payload, streamName)
+		payload = append(payload, f.ID[:]...)
+		payload = append(payload, record...)
+		p.scratch = payload
+		return writeFrame(conn, framePublish, payload)
+	})
 }
 
 // PublishRecord encodes a generic record and publishes it.
@@ -65,11 +263,17 @@ func (p *Publisher) PublishRecord(streamName string, f *pbio.Format, rec pbio.Re
 	return p.Publish(streamName, f, data)
 }
 
-// Close closes the broker connection.
+// Close closes the broker connection. Further operations return ErrClosed.
 func (p *Publisher) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.conn.Close()
+	p.closed = true
+	if p.conn == nil {
+		return nil
+	}
+	err := p.conn.Close()
+	p.conn = nil
+	return err
 }
 
 // Event is one record delivered to a subscriber.
@@ -90,33 +294,157 @@ func (e *Event) Decode() (pbio.Record, error) { return e.Format.Decode(e.Data) }
 // and receives their records together with the metadata needed to decode
 // them. Next must be called from a single goroutine; control methods
 // (Subscribe, Unsubscribe, Streams issued before the Next loop starts) and
-// Close are safe to call from others.
+// Close are safe to call from others. With WithReconnect a subscriber
+// whose broker connection breaks redials with backoff and re-subscribes to
+// every stream (scopes intact); the broker re-sends format metadata on the
+// new connection, so Next keeps delivering decodable events.
 type Subscriber struct {
-	conn net.Conn
+	addr string
+	cfg  clientConfig
 	ctx  *pbio.Context
-	wmu  sync.Mutex
-	buf  []byte
+
+	wmu     sync.Mutex
+	conn    net.Conn
+	closed  bool
+	lastErr error
+	// subs maps stream name to its field scope (nil = full format), the
+	// state replayed onto a fresh connection after reconnect.
+	subs map[string][]string
+
+	buf []byte
 }
 
 // DialSubscriber connects a subscriber to the broker at addr, adopting
 // incoming format metadata into ctx.
-func DialSubscriber(addr string, ctx *pbio.Context) (*Subscriber, error) {
-	conn, err := net.Dial("tcp", addr)
+func DialSubscriber(addr string, ctx *pbio.Context, opts ...ClientOption) (*Subscriber, error) {
+	return DialSubscriberContext(context.Background(), addr, ctx, opts...)
+}
+
+// DialSubscriberContext connects a subscriber to the broker at addr under
+// dialCtx, adopting incoming format metadata into ctx.
+func DialSubscriberContext(dialCtx context.Context, addr string, ctx *pbio.Context, opts ...ClientOption) (*Subscriber, error) {
+	cfg := defaultClientConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	s := &Subscriber{
+		addr: addr,
+		cfg:  cfg,
+		ctx:  ctx,
+		subs: make(map[string][]string),
+	}
+	dial := func(ctx context.Context) error { return s.connectLocked(ctx) }
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	var err error
+	if cfg.reconnect {
+		err = retry.Do(dialCtx, cfg.policy, dial)
+	} else {
+		err = dial(dialCtx)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("eventbus: dial subscriber: %w", err)
 	}
-	return &Subscriber{conn: conn, ctx: ctx}, nil
+	return s, nil
 }
 
 // Context returns the pbio context formats are adopted into.
 func (s *Subscriber) Context() *pbio.Context { return s.ctx }
 
-// Subscribe joins a stream. Records published after the subscription (and
-// the formats needed to decode them) will be delivered via Next.
-func (s *Subscriber) Subscribe(streamName string) error {
+// connectLocked dials a fresh broker connection and replays every
+// subscription (with its scope) onto it. Caller holds s.wmu.
+func (s *Subscriber) connectLocked(ctx context.Context) error {
+	reconnecting := s.conn != nil || s.lastErr != nil
+	if s.conn != nil {
+		_ = s.conn.Close()
+		s.conn = nil
+	}
+	conn, err := s.cfg.dialContext(ctx, s.addr)
+	if err != nil {
+		if reconnecting {
+			subRedialErrors.Add(1)
+		}
+		return err
+	}
+	for name, scope := range s.subs {
+		if err := writeFrame(conn, frameSubscribe, subscribePayload(name, scope)); err != nil {
+			_ = conn.Close()
+			if reconnecting {
+				subRedialErrors.Add(1)
+			}
+			return err
+		}
+	}
+	s.conn = conn
+	s.lastErr = nil
+	if reconnecting {
+		subReconnects.Add(1)
+	}
+	return nil
+}
+
+// subscribePayload encodes a subscribe frame for name with an optional
+// field scope.
+func subscribePayload(name string, fields []string) []byte {
+	payload := putStr(nil, name)
+	if len(fields) > 0 {
+		payload = append(payload, byte(len(fields)))
+		for _, f := range fields {
+			payload = putStr(payload, f)
+		}
+	}
+	return payload
+}
+
+// writeControl sends one control frame, redialing under the retry policy
+// when reconnect is enabled.
+func (s *Subscriber) writeControl(typ byte, payload []byte) error {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	return writeFrame(s.conn, frameSubscribe, putStr(nil, streamName))
+	if s.closed {
+		return fmt.Errorf("eventbus: subscriber: %w", ErrClosed)
+	}
+	attempt := func(ctx context.Context) error {
+		if s.conn == nil {
+			if !s.cfg.reconnect {
+				return retry.Permanent(fmt.Errorf("eventbus: subscriber connection lost: %w (%v)", ErrClosed, s.lastErr))
+			}
+			if err := s.connectLocked(ctx); err != nil {
+				return err
+			}
+		}
+		if err := writeFrame(s.conn, typ, payload); err != nil {
+			s.teardownLocked(err)
+			return err
+		}
+		return nil
+	}
+	if !s.cfg.reconnect {
+		return attempt(context.Background())
+	}
+	return retry.Do(context.Background(), s.cfg.policy, attempt)
+}
+
+// teardownLocked abandons the current connection. Caller holds s.wmu.
+func (s *Subscriber) teardownLocked(err error) {
+	if s.conn != nil {
+		_ = s.conn.Close()
+		s.conn = nil
+	}
+	s.lastErr = err
+}
+
+// Subscribe joins a stream. Records published after the subscription (and
+// the formats needed to decode them) will be delivered via Next.
+// Subscriptions are replayed automatically after a reconnect.
+func (s *Subscriber) Subscribe(streamName string) error {
+	err := s.writeControl(frameSubscribe, subscribePayload(streamName, nil))
+	if err == nil {
+		s.wmu.Lock()
+		s.subs[streamName] = nil
+		s.wmu.Unlock()
+	}
+	return err
 }
 
 // SubscribeFields joins a stream scoped to a slice of its fields — the
@@ -131,35 +459,66 @@ func (s *Subscriber) SubscribeFields(streamName string, fields ...string) error 
 	if len(fields) > 255 {
 		return fmt.Errorf("eventbus: scope of %d fields exceeds protocol limit", len(fields))
 	}
-	payload := putStr(nil, streamName)
-	payload = append(payload, byte(len(fields)))
-	for _, f := range fields {
-		payload = putStr(payload, f)
+	err := s.writeControl(frameSubscribe, subscribePayload(streamName, fields))
+	if err == nil {
+		s.wmu.Lock()
+		s.subs[streamName] = append([]string(nil), fields...)
+		s.wmu.Unlock()
 	}
-	s.wmu.Lock()
-	defer s.wmu.Unlock()
-	return writeFrame(s.conn, frameSubscribe, payload)
+	return err
 }
 
 // Unsubscribe leaves a stream. Records already in flight may still arrive.
 func (s *Subscriber) Unsubscribe(streamName string) error {
+	err := s.writeControl(frameUnsub, putStr(nil, streamName))
+	if err == nil {
+		s.wmu.Lock()
+		delete(s.subs, streamName)
+		s.wmu.Unlock()
+	}
+	return err
+}
+
+// currentConn snapshots the live connection (nil when torn down) and the
+// closed flag.
+func (s *Subscriber) currentConn() (net.Conn, bool) {
 	s.wmu.Lock()
 	defer s.wmu.Unlock()
-	return writeFrame(s.conn, frameUnsub, putStr(nil, streamName))
+	return s.conn, s.closed
+}
+
+// reconnect redials and re-subscribes after prev broke with cause, unless
+// another goroutine already replaced it.
+func (s *Subscriber) reconnect(prev net.Conn, cause error) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.closed {
+		return io.EOF
+	}
+	if s.conn != nil && s.conn != prev {
+		return nil // someone else already reconnected
+	}
+	if s.conn == prev && s.conn != nil {
+		_ = s.conn.Close()
+		s.conn = nil
+		s.lastErr = cause
+	}
+	return retry.Do(context.Background(), s.cfg.policy, s.connectLocked)
 }
 
 // Streams asks the broker for the current stream list. It must not be
 // interleaved with Next (both read from the connection); call it before
 // entering the receive loop.
 func (s *Subscriber) Streams() ([]string, error) {
-	s.wmu.Lock()
-	err := writeFrame(s.conn, frameList, nil)
-	s.wmu.Unlock()
-	if err != nil {
+	if err := s.writeControl(frameList, nil); err != nil {
 		return nil, err
 	}
+	conn, closed := s.currentConn()
+	if closed || conn == nil {
+		return nil, fmt.Errorf("eventbus: subscriber: %w", ErrClosed)
+	}
 	for {
-		typ, payload, buf, err := readFrame(s.conn, s.buf)
+		typ, payload, buf, err := readFrame(conn, s.buf)
 		if err != nil {
 			return nil, err
 		}
@@ -183,16 +542,43 @@ func (s *Subscriber) Streams() ([]string, error) {
 }
 
 // Next blocks until the next record arrives and returns it. Format frames
-// are absorbed transparently. Returns io.EOF when the broker closes the
-// connection.
+// are absorbed transparently. Returns io.EOF when the subscriber is closed
+// — or, without reconnect, when the broker closes the connection. With
+// reconnect enabled a broken connection is redialed under the retry policy
+// and the receive loop continues on the new connection.
 func (s *Subscriber) Next() (Event, error) {
 	for {
-		typ, payload, buf, err := readFrame(s.conn, s.buf)
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return Event{}, io.EOF
+		conn, closed := s.currentConn()
+		if closed {
+			return Event{}, io.EOF
+		}
+		if conn == nil {
+			if !s.cfg.reconnect {
+				return Event{}, fmt.Errorf("eventbus: subscriber connection lost: %w", ErrClosed)
 			}
-			return Event{}, err
+			if err := s.reconnect(nil, nil); err != nil {
+				return Event{}, err
+			}
+			continue
+		}
+		typ, payload, buf, err := readFrame(conn, s.buf)
+		if err != nil {
+			if _, closedNow := s.currentConn(); closedNow {
+				return Event{}, io.EOF // our own Close raced the read
+			}
+			if !s.cfg.reconnect {
+				if errors.Is(err, net.ErrClosed) {
+					return Event{}, io.EOF
+				}
+				return Event{}, err
+			}
+			if rerr := s.reconnect(conn, err); rerr != nil {
+				if errors.Is(rerr, io.EOF) {
+					return Event{}, io.EOF
+				}
+				return Event{}, fmt.Errorf("eventbus: reconnect: %w", rerr)
+			}
+			continue
 		}
 		s.buf = buf
 		switch typ {
@@ -236,4 +622,14 @@ func (s *Subscriber) adoptFormat(meta []byte) error {
 }
 
 // Close closes the broker connection; a blocked Next returns io.EOF.
-func (s *Subscriber) Close() error { return s.conn.Close() }
+func (s *Subscriber) Close() error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	s.closed = true
+	if s.conn == nil {
+		return nil
+	}
+	err := s.conn.Close()
+	s.conn = nil
+	return err
+}

@@ -1,0 +1,63 @@
+package faultnet
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Transport is an http.RoundTripper that consumes one scheduled fault per
+// round trip before delegating to Base. It exercises the discovery client's
+// retry and stale-serve paths without a real bad network:
+//
+//   - Latency sleeps, then performs the request.
+//   - HTTPStatus short-circuits with a synthetic response of that status.
+//   - Reset, PartialWrite, ShortRead and DropAfter fail the round trip with
+//     an error wrapping ErrInjected (a transport-level failure, as the
+//     net/http client would surface a torn connection).
+//   - None delegates untouched.
+type Transport struct {
+	// Base performs clean round trips (default http.DefaultTransport).
+	Base http.RoundTripper
+	// Sched supplies the fault per round trip (nil = always clean).
+	Sched *Schedule
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	f := t.Sched.next()
+	switch f.Kind {
+	case Latency:
+		timer := time.NewTimer(f.Delay)
+		select {
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		case <-timer.C:
+		}
+	case HTTPStatus:
+		code := f.N
+		if code == 0 {
+			code = http.StatusInternalServerError
+		}
+		return &http.Response{
+			Status:     fmt.Sprintf("%d %s", code, http.StatusText(code)),
+			StatusCode: code,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     make(http.Header),
+			Body:       io.NopCloser(strings.NewReader("")),
+			Request:    req,
+		}, nil
+	case Reset, PartialWrite, ShortRead, DropAfter:
+		return nil, fmt.Errorf("%w: %s during round trip to %s", ErrInjected, f.Kind, req.URL)
+	}
+	return base.RoundTrip(req)
+}

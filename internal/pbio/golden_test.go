@@ -1,0 +1,100 @@
+package pbio_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"openmeta/internal/bench"
+	"openmeta/internal/machine"
+	"openmeta/internal/pbio"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSlugs maps the Appendix A registration cases (paper order) to
+// stable file names.
+var goldenSlugs = []string{"structure_a", "structure_b", "structure_cd"}
+
+// TestGoldenNDRImages pins the exact NDR byte images and format metadata
+// for the paper's Appendix A structures on the SPARC evaluation
+// architecture. Any byte-level drift in the encoder, the layout engine or
+// the metadata marshaler is a wire-compatibility break and fails here.
+func TestGoldenNDRImages(t *testing.T) {
+	cases := bench.RegistrationCases()
+	if len(cases) != len(goldenSlugs) {
+		t.Fatalf("have %d registration cases, want %d", len(cases), len(goldenSlugs))
+	}
+	for i, c := range cases {
+		slug := goldenSlugs[i]
+		t.Run(slug, func(t *testing.T) {
+			ctx, err := pbio.NewContext(machine.Sparc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var f *pbio.Format
+			for _, nf := range c.Formats {
+				if f, err = ctx.Register(nf.Name, nf.Fields); err != nil {
+					t.Fatal(err)
+				}
+			}
+			record, err := f.Encode(c.Record)
+			if err != nil {
+				t.Fatal(err)
+			}
+			meta := pbio.MarshalMeta(f)
+
+			checkGolden(t, slug+".ndr.golden", record)
+			checkGolden(t, slug+".meta.golden", meta)
+
+			// The metadata image must reconstruct a format that decodes the
+			// golden record back to the source values on a different
+			// architecture.
+			remote, err := pbio.UnmarshalMeta(meta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if remote.ID != f.ID {
+				t.Fatalf("metadata round trip changed ID: %s != %s", remote.ID, f.ID)
+			}
+			if _, err := remote.Decode(record); err != nil {
+				t.Fatalf("golden record undecodable via metadata: %v", err)
+			}
+		})
+	}
+}
+
+// checkGolden compares got against testdata/name, rewriting it under
+// -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden image (%d bytes, want %d)\ngot:  %s\nwant: %s",
+			name, len(got), len(want), hexdump(got), hexdump(want))
+	}
+}
+
+func hexdump(b []byte) string {
+	const max = 96
+	if len(b) > max {
+		return fmt.Sprintf("%x… (+%d bytes)", b[:max], len(b)-max)
+	}
+	return fmt.Sprintf("%x", b)
+}

@@ -1,0 +1,78 @@
+package pbio
+
+import (
+	"bytes"
+	"testing"
+
+	"openmeta/internal/machine"
+)
+
+// fuzzSeedMetas builds valid metadata images covering strings, dynamic
+// arrays and nesting, so the fuzzer starts from the interesting corners of
+// the encoding.
+func fuzzSeedMetas(f *testing.F) [][]byte {
+	f.Helper()
+	ctx, err := NewContext(machine.Sparc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	flat, err := ctx.RegisterSpec("Flat", []FieldSpec{
+		{Name: "id", Kind: String},
+		{Name: "n", Kind: Int, CType: machine.CInt},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	dyn, err := ctx.RegisterSpec("Dyn", []FieldSpec{
+		{Name: "eta", Kind: Uint, CType: machine.CULong, Dynamic: true, CountField: "eta_count"},
+		{Name: "eta_count", Kind: Int, CType: machine.CInt},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	nested, err := ctx.Register("Nested", []IOField{
+		{Name: "inner", Type: "Flat", Size: flat.Size, Offset: 0},
+		{Name: "x", Type: "double", Size: 8, Offset: 8},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return [][]byte{MarshalMeta(flat), MarshalMeta(dyn), MarshalMeta(nested)}
+}
+
+// FuzzDecodeFormatMeta throws arbitrary bytes at UnmarshalMeta. The decoder
+// must never panic, and any metadata it accepts must survive a
+// re-marshal/re-unmarshal round trip with the format's identity intact —
+// the property the event bus relies on when it replays format metadata
+// after a reconnect.
+func FuzzDecodeFormatMeta(f *testing.F) {
+	for _, seed := range fuzzSeedMetas(f) {
+		f.Add(seed)
+		// Truncations and bit flips of valid images probe the error paths.
+		f.Add(seed[:len(seed)/2])
+		mut := append([]byte(nil), seed...)
+		mut[len(mut)/2] ^= 0xFF
+		f.Add(mut)
+	}
+	f.Add([]byte("PBF1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := UnmarshalMeta(data)
+		if err != nil {
+			return
+		}
+		again := MarshalMeta(g)
+		h, err := UnmarshalMeta(again)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted metadata rejected: %v", err)
+		}
+		if h.Name != g.Name || h.ID != g.ID || len(h.Fields) != len(g.Fields) {
+			t.Fatalf("round trip changed identity: %q/%s/%d fields -> %q/%s/%d fields",
+				g.Name, g.ID, len(g.Fields), h.Name, h.ID, len(h.Fields))
+		}
+		// The canonical form is a fixed point: marshaling again is stable.
+		if !bytes.Equal(again, MarshalMeta(h)) {
+			t.Fatal("re-marshal is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,286 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"openmeta/internal/obsv"
+)
+
+// fastPolicy keeps test sleeps negligible.
+func fastPolicy() Policy {
+	return Policy{
+		MaxAttempts: 4,
+		Initial:     time.Microsecond,
+		Max:         50 * time.Microsecond,
+		Multiplier:  2,
+		Jitter:      0.5,
+		Seed:        1,
+	}
+}
+
+func TestDoSucceedsFirstTry(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), fastPolicy(), func(context.Context) error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want nil after 1", err, calls)
+	}
+}
+
+// A zero-value Policy has no Seed, so Do must seed its own jitter source;
+// this used to nil-dereference the rng on the first retry sleep.
+func TestDoZeroPolicyRetries(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{Initial: time.Microsecond, Max: 10 * time.Microsecond}, func(context.Context) error {
+		calls++
+		if calls < 2 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 2 {
+		t.Fatalf("Do = %v after %d calls, want nil after 2", err, calls)
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), fastPolicy(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestDoExhaustsAttempts(t *testing.T) {
+	before := obsv.Default().Snapshot()
+	calls := 0
+	base := errors.New("still down")
+	err := Do(context.Background(), fastPolicy(), func(context.Context) error {
+		calls++
+		return base
+	})
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	if !errors.Is(err, ErrExhausted) || !errors.Is(err, base) {
+		t.Fatalf("err = %v, want wraps ErrExhausted and the last error", err)
+	}
+	d := obsv.Delta(before, obsv.Default().Snapshot())
+	if d["retry.attempts"] < 4 {
+		t.Errorf("retry.attempts delta = %d, want >= 4", d["retry.attempts"])
+	}
+	if d["retry.giveups"] < 1 {
+		t.Errorf("retry.giveups delta = %d, want >= 1", d["retry.giveups"])
+	}
+}
+
+func TestPermanentStopsImmediately(t *testing.T) {
+	calls := 0
+	base := errors.New("schema is garbage")
+	err := Do(context.Background(), fastPolicy(), func(context.Context) error {
+		calls++
+		return Permanent(base)
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if !errors.Is(err, base) || errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want the permanent error without ErrExhausted", err)
+	}
+	if IsPermanent(err) {
+		t.Errorf("returned error should be unwrapped from the permanent marker")
+	}
+	if !IsPermanent(Permanent(base)) {
+		t.Errorf("IsPermanent(Permanent(err)) = false")
+	}
+	if Permanent(nil) != nil {
+		t.Errorf("Permanent(nil) != nil")
+	}
+}
+
+func TestDoHonorsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Do(ctx, fastPolicy(), func(context.Context) error {
+		calls++
+		cancel()
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry after cancel)", calls)
+	}
+}
+
+func TestAttemptTimeout(t *testing.T) {
+	p := fastPolicy()
+	p.MaxAttempts = 2
+	p.AttemptTimeout = 5 * time.Millisecond
+	calls := 0
+	err := Do(context.Background(), p, func(ctx context.Context) error {
+		calls++
+		<-ctx.Done()
+		return ctx.Err()
+	})
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (deadline per attempt, not per call)", calls)
+	}
+	if !errors.Is(err, ErrExhausted) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrExhausted wrapping DeadlineExceeded", err)
+	}
+}
+
+func TestBudgetSuppressesRetries(t *testing.T) {
+	b := NewBudget(1, 0) // one token, never refills
+	p := fastPolicy()
+	p.Budget = b
+	calls := 0
+	err := Do(context.Background(), p, func(context.Context) error {
+		calls++
+		return errors.New("down")
+	})
+	// First attempt free, one budgeted retry, then the empty budget stops it.
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+	if !errors.Is(err, ErrBudgetExhausted) || !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted wrapping ErrBudgetExhausted", err)
+	}
+}
+
+func TestBudgetRefills(t *testing.T) {
+	b := NewBudget(2, 1000)
+	now := time.Unix(0, 0)
+	b.now = func() time.Time { return now }
+	b.last = now
+	if !b.withdraw() || !b.withdraw() {
+		t.Fatal("fresh budget should allow burst withdrawals")
+	}
+	if b.withdraw() {
+		t.Fatal("empty budget should refuse")
+	}
+	now = now.Add(10 * time.Millisecond) // 10 tokens at 1000/s, capped at burst 2
+	if !b.withdraw() {
+		t.Fatal("refilled budget should allow a withdrawal")
+	}
+	if b.Remaining() != 1 {
+		t.Fatalf("Remaining = %d, want 1", b.Remaining())
+	}
+}
+
+func TestNotifyObservesRetries(t *testing.T) {
+	p := fastPolicy()
+	var seen []time.Duration
+	p.Notify = func(err error, sleep time.Duration) { seen = append(seen, sleep) }
+	_ = Do(context.Background(), p, func(context.Context) error { return errors.New("x") })
+	if len(seen) != 3 {
+		t.Fatalf("Notify called %d times, want 3 (MaxAttempts-1)", len(seen))
+	}
+}
+
+// TestBackoffScheduleMonotoneProperty is the ISSUE's property test: for any
+// seed, the jittered schedule is monotone non-decreasing up to the point
+// where the un-jittered base reaches the cap, provided Multiplier >= 1 +
+// Jitter (the documented requirement, satisfied by the defaults).
+func TestBackoffScheduleMonotoneProperty(t *testing.T) {
+	policies := []Policy{
+		{}, // all defaults
+		{Initial: time.Millisecond, Max: time.Second, Multiplier: 2, Jitter: 0.5},
+		{Initial: 10 * time.Millisecond, Max: 2 * time.Second, Multiplier: 3, Jitter: 1},
+		{Initial: time.Millisecond, Max: 100 * time.Millisecond, Multiplier: 1.5, Jitter: 0.25},
+	}
+	seedRng := rand.New(rand.NewSource(42))
+	for pi, p := range policies {
+		norm := p.withDefaults()
+		// First retry index whose base has saturated at the cap.
+		capAt := 0
+		for norm.Backoff(capAt) < norm.Max {
+			capAt++
+		}
+		for trial := 0; trial < 200; trial++ {
+			seed := seedRng.Int63()
+			if seed == 0 {
+				seed = 1
+			}
+			sched := p.Schedule(seed, capAt+4)
+			for i := 1; i < capAt && i < len(sched); i++ {
+				if sched[i] < sched[i-1] {
+					t.Fatalf("policy %d seed %d: schedule decreases below cap at %d: %v < %v",
+						pi, seed, i, sched[i], sched[i-1])
+				}
+			}
+			// Jittered sleeps never exceed cap*(1+Jitter).
+			limit := time.Duration(float64(norm.Max) * (1 + norm.Jitter))
+			for i, s := range sched {
+				if s > limit {
+					t.Fatalf("policy %d seed %d: sleep %d = %v exceeds jittered cap %v", pi, seed, i, s, limit)
+				}
+			}
+		}
+	}
+}
+
+// TestScheduleDeterministic: same seed, same schedule; different seeds,
+// (almost surely) different schedules.
+func TestScheduleDeterministic(t *testing.T) {
+	p := Policy{}
+	a := p.Schedule(7, 10)
+	b := p.Schedule(7, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := p.Schedule(8, 10)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestBackoffSaturatesAtMax(t *testing.T) {
+	p := Policy{Initial: time.Millisecond, Max: 100 * time.Millisecond}
+	for i := 0; i < 64; i++ {
+		if b := p.Backoff(i); b > 100*time.Millisecond {
+			t.Fatalf("Backoff(%d) = %v exceeds cap", i, b)
+		}
+	}
+	if p.Backoff(1000) != 100*time.Millisecond {
+		t.Fatalf("Backoff(1000) = %v, want the cap (overflow must clamp)", p.Backoff(1000))
+	}
+}
+
+func ExampleDo() {
+	calls := 0
+	err := Do(context.Background(), Policy{MaxAttempts: 3, Initial: time.Microsecond, Seed: 1},
+		func(context.Context) error {
+			calls++
+			if calls < 2 {
+				return errors.New("transient")
+			}
+			return nil
+		})
+	fmt.Println(err, calls)
+	// Output: <nil> 2
+}

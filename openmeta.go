@@ -182,8 +182,10 @@ func CompilePlan(src, dst *Format) (*ConversionPlan, error) { return dcg.Compile
 func NewRepository() *Repository { return discovery.NewRepository() }
 
 // NewDiscoveryClient returns a caching client for a repository base URL.
-func NewDiscoveryClient(baseURL string) (*DiscoveryClient, error) {
-	return discovery.NewClient(baseURL)
+// Options configure timeouts, retries and stale-serve degradation (see
+// WithDiscoveryRetry and friends in options.go).
+func NewDiscoveryClient(baseURL string, opts ...DiscoveryClientOption) (*DiscoveryClient, error) {
+	return discovery.NewClient(baseURL, opts...)
 }
 
 // NewResolver chains discovery sources, primary first, with fallback — the
@@ -211,13 +213,28 @@ func DiscoverAndRegister(ctx context.Context, src DiscoverySource, pctx *Context
 	return core.RegisterSchema(pctx, s)
 }
 
-// DialPublisher connects a publisher to a broker.
-func DialPublisher(addr string) (*Publisher, error) { return eventbus.DialPublisher(addr) }
+// DialPublisher connects a publisher to a broker. Options configure dial
+// timeouts and automatic reconnection (see WithBusReconnect in options.go).
+func DialPublisher(addr string, opts ...BusClientOption) (*Publisher, error) {
+	return eventbus.DialPublisher(addr, opts...)
+}
+
+// DialPublisherContext is DialPublisher under a context governing the
+// initial dial.
+func DialPublisherContext(ctx context.Context, addr string, opts ...BusClientOption) (*Publisher, error) {
+	return eventbus.DialPublisherContext(ctx, addr, opts...)
+}
 
 // DialSubscriber connects a subscriber to a broker, adopting stream formats
 // into ctx.
-func DialSubscriber(addr string, ctx *Context) (*Subscriber, error) {
-	return eventbus.DialSubscriber(addr, ctx)
+func DialSubscriber(addr string, ctx *Context, opts ...BusClientOption) (*Subscriber, error) {
+	return eventbus.DialSubscriber(addr, ctx, opts...)
+}
+
+// DialSubscriberContext is DialSubscriber under a context governing the
+// initial dial.
+func DialSubscriberContext(dialCtx context.Context, addr string, ctx *Context, opts ...BusClientOption) (*Subscriber, error) {
+	return eventbus.DialSubscriberContext(dialCtx, addr, ctx, opts...)
 }
 
 // EncodeXDR marshals a record in canonical XDR (RFC 1014) — the baseline

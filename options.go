@@ -2,10 +2,13 @@ package openmeta
 
 import (
 	"net"
+	"time"
 
 	"openmeta/internal/dcg"
+	"openmeta/internal/discovery"
 	"openmeta/internal/eventbus"
 	"openmeta/internal/pbio"
+	"openmeta/internal/retry"
 )
 
 // Option configures a Context built with New. The zero configuration lays
@@ -76,6 +79,65 @@ func WithBrokerObserver(obs *Observer) BrokerOption { return eventbus.WithObserv
 // format scoping — share one across brokers or bound it with
 // NewPlanCache(WithPlanCacheLimit(n)).
 func WithPlanCache(c *PlanCache) BrokerOption { return eventbus.WithPlanCache(c) }
+
+// WithWriteDeadline bounds each subscriber-connection flush (default 2s). A
+// peer that stops draining its socket for longer is treated as slow and
+// disconnected rather than allowed to stall the broker's write loop.
+func WithWriteDeadline(d time.Duration) BrokerOption { return eventbus.WithWriteDeadline(d) }
+
+// RetryPolicy shapes retry behaviour across the robustness layer:
+// MaxAttempts, Initial/Max backoff, Multiplier, Jitter, per-attempt
+// timeouts and an optional shared budget. The zero value uses sensible
+// defaults (four attempts, 50ms initial backoff doubling to a 5s cap with
+// 50% jitter).
+type RetryPolicy = retry.Policy
+
+// RetryBudget caps retry volume across many callers sharing one budget, so
+// a broad outage cannot amplify into a retry storm.
+type RetryBudget = retry.Budget
+
+// NewRetryBudget returns a budget allowing burst retries immediately and
+// perSecond sustained.
+func NewRetryBudget(burst int, perSecond float64) *RetryBudget {
+	return retry.NewBudget(burst, perSecond)
+}
+
+// BusClientOption configures publishers and subscribers dialed with
+// DialPublisher and DialSubscriber.
+type BusClientOption = eventbus.ClientOption
+
+// WithBusReconnect makes a publisher or subscriber survive broken broker
+// connections: it redials under p, re-announces streams or re-subscribes
+// (field scopes intact), and re-sends format metadata on the fresh
+// connection.
+func WithBusReconnect(p RetryPolicy) BusClientOption { return eventbus.WithReconnect(p) }
+
+// WithBusDialTimeout bounds each broker dial attempt (default 10s).
+func WithBusDialTimeout(d time.Duration) BusClientOption { return eventbus.WithDialTimeout(d) }
+
+// DiscoveryClientOption configures clients built with NewDiscoveryClient.
+type DiscoveryClientOption = discovery.ClientOption
+
+// WithDiscoveryTimeout bounds each schema fetch (default 10s).
+func WithDiscoveryTimeout(d time.Duration) DiscoveryClientOption {
+	return discovery.WithTimeout(d)
+}
+
+// WithDiscoveryRetry retries failed schema fetches (transport errors and
+// 5xx responses; 404s and malformed schemas are permanent) under p.
+func WithDiscoveryRetry(p RetryPolicy) DiscoveryClientOption { return discovery.WithRetry(p) }
+
+// WithDiscoveryStaleServe lets the client fall back to an expired cached
+// schema for up to max past its TTL when every fetch attempt fails,
+// counting each degraded answer in discovery.stale_served. Pass a negative
+// max for an unlimited window. Absence (ErrSchemaNotFound) is never masked
+// with stale data.
+func WithDiscoveryStaleServe(max time.Duration) DiscoveryClientOption {
+	return discovery.WithStaleServe(max)
+}
+
+// WithDiscoveryTTL sets how long fetched schemas are cached (default 5m).
+func WithDiscoveryTTL(ttl time.Duration) DiscoveryClientOption { return discovery.WithTTL(ttl) }
 
 // ListenBroker starts an event backbone broker on addr ("host:0" picks a
 // free port).

@@ -41,7 +41,12 @@ func DefaultObserver() *Observer { return obsv.Default() }
 //	eventbus.published/.delivered/.dropped  backbone delivery health
 //	eventbus.stream.<name>.*   the same, per stream
 //	eventbus.queue_depth       current outbound backlog across subscribers
+//	eventbus.pub.reconnects/.redial_errors  publisher reconnect outcomes
+//	eventbus.sub.reconnects/.redial_errors  subscriber reconnect outcomes
 //	discovery.fetches/.cache_hits/.fetch_ns.*  metadata discovery costs
+//	discovery.stale_served     expired schemas served during repo outages
+//	retry.attempts/.retries/.giveups  robustness-layer retry volume
+//	retry.sleep_ns.*           backoff sleep histogram
 func Stats() map[string]int64 { return obsv.Default().Snapshot() }
 
 // StatsDelta returns after-minus-before for two Stats snapshots — the form
