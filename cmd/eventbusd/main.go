@@ -20,12 +20,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"openmeta/internal/eventbus"
 	"openmeta/internal/obsv"
+	"openmeta/internal/trace"
 )
 
 func main() {
@@ -41,9 +43,12 @@ func run(args []string) error {
 	debugAddr := fs.String("debug-addr", "", "serve /stats, /debug/vars and /debug/pprof on this address")
 	queueDepth := fs.Int("queue-depth", 0, "per-subscriber outbound queue depth (0 = default)")
 	writeDeadline := fs.Duration("write-deadline", 0, "per-subscriber flush deadline before a stalled peer is dropped (0 = default 2s)")
+	statsInterval := fs.Duration("stats-interval", 0, "log a one-line stats delta this often (0 = off)")
+	traceSample := fs.Int("trace-sample", 0, "record spans for 1 in N traces (1 = all, 0 = tracing off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	trace.Default().SetSampling(*traceSample)
 	var opts []eventbus.BrokerOption
 	if *queueDepth > 0 {
 		opts = append(opts, eventbus.WithQueueDepth(*queueDepth))
@@ -57,11 +62,16 @@ func run(args []string) error {
 	}
 	fmt.Printf("eventbusd: event backbone listening on %s\n", broker.Addr())
 	if *debugAddr != "" {
-		dbg, err := obsv.ListenAndServeDebug(*debugAddr, obsv.Default())
+		dbg, err := obsv.ListenAndServeDebug(*debugAddr, obsv.Default(),
+			obsv.DebugEndpoint{Path: "/debug/trace", Handler: trace.Handler(trace.Default())})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("eventbusd: stats and pprof at http://%s/stats\n", dbg)
+		fmt.Printf("eventbusd: stats, metrics, traces and pprof at http://%s/stats\n", dbg)
+	}
+	if *statsInterval > 0 {
+		stop := obsv.StartStatsLogger(obsv.Default(), *statsInterval, log.Printf)
+		defer stop()
 	}
 
 	sig := make(chan os.Signal, 1)

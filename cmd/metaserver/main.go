@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"os"
@@ -39,6 +40,7 @@ func run(args []string) error {
 	builtin := fs.Bool("builtin", false, "serve the built-in airline scenario schemas")
 	writable := fs.Bool("writable", false, "accept PUT/DELETE so streams can publish their own metadata")
 	debugAddr := fs.String("debug-addr", "", "serve /stats, /debug/vars and /debug/pprof on this address")
+	statsInterval := fs.Duration("stats-interval", 0, "log a one-line stats delta this often (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,6 +92,10 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("metaserver: stats and pprof at http://%s/stats\n", dbg)
+	}
+	if *statsInterval > 0 {
+		stop := obsv.StartStatsLogger(obsv.Default(), *statsInterval, log.Printf)
+		defer stop()
 	}
 	for _, n := range repo.Names() {
 		fmt.Printf("  %s\n", n)

@@ -29,6 +29,7 @@ import (
 	"openmeta/internal/obsv"
 	"openmeta/internal/pbio"
 	"openmeta/internal/retry"
+	"openmeta/internal/trace"
 	"openmeta/internal/xmlwire"
 )
 
@@ -51,11 +52,14 @@ func run(args []string) error {
 	debugAddr := fs.String("debug-addr", "", "serve /stats, /debug/vars and /debug/pprof on this address")
 	reconnect := fs.Bool("reconnect", false, "redial the broker with backoff when the connection breaks")
 	dialTimeout := fs.Duration("dial-timeout", 0, "per-attempt broker dial timeout (0 = default 10s)")
+	traceSample := fs.Int("trace-sample", 0, "record spans for 1 in N published records (1 = all, 0 = tracing off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	trace.Default().SetSampling(*traceSample)
 	if *debugAddr != "" {
-		dbg, err := obsv.ListenAndServeDebug(*debugAddr, obsv.Default())
+		dbg, err := obsv.ListenAndServeDebug(*debugAddr, obsv.Default(),
+			obsv.DebugEndpoint{Path: "/debug/trace", Handler: trace.Handler(trace.Default())})
 		if err != nil {
 			return err
 		}

@@ -25,6 +25,7 @@ import (
 	"openmeta/internal/machine"
 	"openmeta/internal/pbio"
 	"openmeta/internal/retry"
+	"openmeta/internal/trace"
 	"openmeta/internal/xmlwire"
 )
 
@@ -44,9 +45,11 @@ func run(args []string) error {
 	asXML := fs.Bool("xml", false, "print records as XML text messages")
 	count := fs.Int("n", 0, "exit after n records (0 = run until killed)")
 	reconnect := fs.Bool("reconnect", false, "redial the broker with backoff when the connection breaks, replaying subscriptions")
+	traceSample := fs.Int("trace-sample", 0, "record spans for 1 in N traced records received (1 = all, 0 = tracing off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	trace.Default().SetSampling(*traceSample)
 	ctx, err := pbio.NewContext(machine.Native)
 	if err != nil {
 		return err

@@ -1,0 +1,176 @@
+// Command omtop is a live terminal viewer for a daemon's /stats endpoint —
+// top for the event backbone. Point it at any openmeta daemon started with
+// -debug-addr (eventbusd, metaserver, ompub) and it polls the JSON snapshot,
+// printing per-second rates for counters and p50/p95/p99 latencies for
+// histograms:
+//
+//	omtop -addr 127.0.0.1:8781
+//	omtop -addr http://127.0.0.1:8781 -interval 1s
+//	omtop -addr 127.0.0.1:8781 -once        # one snapshot, no rates
+//	omtop -addr 127.0.0.1:8781 -n 5         # five refreshes, then exit
+//
+// Counters display as rate-per-second computed from consecutive snapshots;
+// gauges display as their current value; a histogram named h collapses the
+// h.count/.sum/.max/.p50/.p95/.p99 keys into one line with the event rate,
+// quantiles and max.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "omtop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("omtop", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8781", "daemon debug address (host:port or http://host:port)")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	n := fs.Int("n", 0, "exit after n refreshes (0 = run until killed)")
+	once := fs.Bool("once", false, "print one snapshot and exit (no rates)")
+	clear := fs.Bool("clear", true, "clear the terminal between refreshes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	url := strings.TrimRight(base, "/") + "/stats"
+
+	prev, err := fetchStats(url)
+	if err != nil {
+		return err
+	}
+	if *once {
+		fmt.Fprint(out, render(url, nil, prev, 0))
+		return nil
+	}
+	for i := 0; *n == 0 || i < *n; i++ {
+		time.Sleep(*interval)
+		cur, err := fetchStats(url)
+		if err != nil {
+			return err
+		}
+		if *clear {
+			fmt.Fprint(out, "\x1b[2J\x1b[H")
+		}
+		fmt.Fprint(out, render(url, prev, cur, *interval))
+		prev = cur
+	}
+	return nil
+}
+
+func fetchStats(url string) (map[string]int64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var snap map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("GET %s: %w", url, err)
+	}
+	return snap, nil
+}
+
+// histSuffixes are the snapshot keys a histogram named h expands to; their
+// shared base name identifies a histogram family in the flat snapshot.
+var histSuffixes = []string{".count", ".sum", ".max", ".p50", ".p95", ".p99"}
+
+// render formats one refresh. With prev == nil (the -once path) counters
+// print as absolute values; otherwise they print as per-second rates over
+// elapsed.
+func render(source string, prev, cur map[string]int64, elapsed time.Duration) string {
+	hists := map[string]bool{}
+	for k := range cur {
+		if base, ok := histBase(k, cur); ok {
+			hists[base] = true
+		}
+	}
+
+	var scalars []string
+	for k := range cur {
+		if _, ok := histBase(k, cur); ok {
+			continue
+		}
+		scalars = append(scalars, k)
+	}
+	sort.Strings(scalars)
+	families := make([]string, 0, len(hists))
+	for b := range hists {
+		families = append(families, b)
+	}
+	sort.Strings(families)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "omtop  %s  %s\n\n", source, time.Now().Format("15:04:05"))
+	for _, k := range scalars {
+		if prev == nil {
+			fmt.Fprintf(&b, "%-44s %12d\n", k, cur[k])
+			continue
+		}
+		rate := perSecond(cur[k]-prev[k], elapsed)
+		fmt.Fprintf(&b, "%-44s %12d %10.1f/s\n", k, cur[k], rate)
+	}
+	if len(families) > 0 {
+		fmt.Fprintf(&b, "\n%-44s %10s %10s %10s %10s %10s\n",
+			"histogram", "events/s", "p50", "p95", "p99", "max")
+		for _, base := range families {
+			var rate float64
+			if prev != nil {
+				rate = perSecond(cur[base+".count"]-prev[base+".count"], elapsed)
+			} else {
+				rate = float64(cur[base+".count"])
+			}
+			fmt.Fprintf(&b, "%-44s %10.1f %10d %10d %10d %10d\n",
+				base, rate, cur[base+".p50"], cur[base+".p95"], cur[base+".p99"], cur[base+".max"])
+		}
+	}
+	return b.String()
+}
+
+// histBase reports whether key belongs to a histogram family — it carries
+// one of the histogram suffixes and the snapshot holds all six sibling keys
+// for the same base name.
+func histBase(key string, snap map[string]int64) (string, bool) {
+	for _, s := range histSuffixes {
+		if !strings.HasSuffix(key, s) {
+			continue
+		}
+		base := strings.TrimSuffix(key, s)
+		all := true
+		for _, s2 := range histSuffixes {
+			if _, ok := snap[base+s2]; !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			return base, true
+		}
+	}
+	return "", false
+}
+
+func perSecond(delta int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(delta) / elapsed.Seconds()
+}

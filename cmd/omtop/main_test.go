@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"openmeta/internal/obsv"
+)
+
+// statsServer serves a live obsv registry the way a daemon's -debug-addr
+// listener does, so omtop is tested against the real /stats shape.
+func statsServer(t *testing.T, r *obsv.Registry) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(obsv.DebugMux(r))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestFetchStats(t *testing.T) {
+	r := obsv.New()
+	r.Counter("evb.published").Add(42)
+	r.Gauge("evb.queue_depth").Set(7)
+	srv := statsServer(t, r)
+
+	snap, err := fetchStats(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap["evb.published"] != 42 || snap["evb.queue_depth"] != 7 {
+		t.Fatalf("unexpected snapshot: %v", snap)
+	}
+}
+
+func TestFetchStatsErrorStatus(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	defer srv.Close()
+	if _, err := fetchStats(srv.URL + "/stats"); err == nil {
+		t.Fatal("expected error for 404 response")
+	}
+}
+
+func TestRenderRatesAndHistograms(t *testing.T) {
+	prev := map[string]int64{
+		"evb.published": 100,
+		"lat.count":     10, "lat.sum": 1000, "lat.max": 200,
+		"lat.p50": 90, "lat.p95": 180, "lat.p99": 195,
+	}
+	cur := map[string]int64{
+		"evb.published": 150,
+		"lat.count":     20, "lat.sum": 2000, "lat.max": 256,
+		"lat.p50": 100, "lat.p95": 200, "lat.p99": 250,
+	}
+	out := render("test", prev, cur, 2*time.Second)
+
+	if !strings.Contains(out, "evb.published") || !strings.Contains(out, "25.0/s") {
+		t.Fatalf("counter rate missing from output:\n%s", out)
+	}
+	// The histogram family must collapse to one line with its quantiles, not
+	// six scalar lines.
+	if strings.Contains(out, "lat.p50") {
+		t.Fatalf("histogram keys leaked as scalars:\n%s", out)
+	}
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "lat ") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("no collapsed histogram line for lat:\n%s", out)
+	}
+	for _, want := range []string{"100", "200", "250", "256", "5.0"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("histogram line missing %q: %q", want, line)
+		}
+	}
+}
+
+func TestRenderOnceUsesAbsoluteValues(t *testing.T) {
+	cur := map[string]int64{"a": 5}
+	out := render("test", nil, cur, 0)
+	if !strings.Contains(out, "5") || strings.Contains(out, "/s") {
+		t.Fatalf("once mode should print absolute values only:\n%s", out)
+	}
+}
+
+func TestRunOnceAgainstLiveServer(t *testing.T) {
+	r := obsv.New()
+	r.Counter("pbio.encode.calls").Add(3)
+	r.Histogram("dcg.plan.compile_ns").Observe(1500)
+	srv := statsServer(t, r)
+
+	var buf bytes.Buffer
+	if err := run([]string{"-addr", srv.URL, "-once"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "pbio.encode.calls") {
+		t.Fatalf("missing counter in output:\n%s", out)
+	}
+	if !strings.Contains(out, "dcg.plan.compile_ns") {
+		t.Fatalf("missing histogram family in output:\n%s", out)
+	}
+}
+
+func TestRunPollsForNRefreshes(t *testing.T) {
+	r := obsv.New()
+	c := r.Counter("ticks")
+	srv := statsServer(t, r)
+	go func() {
+		for range [100]struct{}{} {
+			c.Inc()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	var buf bytes.Buffer
+	err := run([]string{"-addr", srv.URL, "-interval", "30ms", "-n", "2", "-clear=false"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "omtop"); n != 2 {
+		t.Fatalf("want 2 refresh headers, got %d:\n%s", n, buf.String())
+	}
+}

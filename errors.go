@@ -50,6 +50,10 @@ var (
 	ErrSlowSubscriber = eventbus.ErrSlowSubscriber
 	// ErrBusClosed reports an operation on a closed backbone connection.
 	ErrBusClosed = eventbus.ErrClosed
+	// ErrBroker reports an error frame the broker sent in reply to a bad
+	// request (unknown stream, malformed payload). The returned error is an
+	// *eventbus.BrokerError carrying the broker's message.
+	ErrBroker = eventbus.ErrBroker
 
 	// ErrSchemaNotFound reports a schema name no discovery source knows.
 	ErrSchemaNotFound = discovery.ErrNotFound

@@ -6,6 +6,7 @@ import (
 
 	"openmeta/internal/obsv"
 	"openmeta/internal/pbio"
+	"openmeta/internal/trace"
 )
 
 // Cache memoizes compiled plans per (source, destination) format pair, the
@@ -86,6 +87,13 @@ func NewCache(opts ...CacheOption) *Cache {
 // Plan returns the compiled plan from src to dst, compiling and memoizing it
 // on first use.
 func (c *Cache) Plan(src, dst *pbio.Format) (*Plan, error) {
+	return c.PlanCtx(trace.Ctx{}, src, dst)
+}
+
+// PlanCtx is Plan with tracing: when the lookup misses and tc is sampled,
+// the compilation is recorded as a dcg.compile child span (cache hits record
+// nothing — they are the fast path the span exists to contrast against).
+func (c *Cache) PlanCtx(tc trace.Ctx, src, dst *pbio.Format) (*Plan, error) {
 	key := pairKey{src.ID, dst.ID}
 	c.mu.RLock()
 	p, ok := c.plans[key]
@@ -95,12 +103,14 @@ func (c *Cache) Plan(src, dst *pbio.Format) (*Plan, error) {
 		return p, nil
 	}
 	c.obs.misses.Add(1)
+	sp := tc.Child("dcg.compile")
 	start := time.Now()
 	p, err := Compile(src, dst)
 	if err != nil {
 		return nil, err
 	}
 	c.obs.compileNS.Observe(time.Since(start).Nanoseconds())
+	sp.FinishDetail(src.Name + "->" + dst.Name)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if prev, ok := c.plans[key]; ok {

@@ -25,6 +25,7 @@ import (
 
 	"openmeta/internal/machine"
 	"openmeta/internal/pbio"
+	"openmeta/internal/trace"
 )
 
 // Plan is a compiled conversion program from records of one format to
@@ -233,6 +234,18 @@ func (p *Plan) Ops() int { return len(p.prog) }
 // record of the destination format.
 func (p *Plan) Convert(src []byte) ([]byte, error) {
 	return p.AppendConvert(make([]byte, 0, len(src)+p.Dst.Size), src)
+}
+
+// ConvertCtx is Convert with tracing: when tc is sampled the conversion is
+// recorded as a dcg.convert child span naming the format pair.
+func (p *Plan) ConvertCtx(tc trace.Ctx, src []byte) ([]byte, error) {
+	if !tc.Sampled() {
+		return p.Convert(src)
+	}
+	sp := tc.Child("dcg.convert")
+	out, err := p.Convert(src)
+	sp.FinishDetail(p.Src.Name + "->" + p.Dst.Name)
+	return out, err
 }
 
 // AppendConvert appends the converted record to out for buffer reuse.

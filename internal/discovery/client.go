@@ -15,6 +15,7 @@ import (
 
 	"openmeta/internal/obsv"
 	"openmeta/internal/retry"
+	"openmeta/internal/trace"
 	"openmeta/internal/xmlschema"
 )
 
@@ -201,6 +202,10 @@ func (c *Client) Schema(ctx context.Context, name string) (*xmlschema.Schema, er
 	}
 	c.mu.Unlock()
 
+	// A sampled caller (trace.NewContext) sees the whole fetch — retries and
+	// all — as one discovery.fetch child span; cache hits above record
+	// nothing.
+	sp := trace.FromContext(ctx).Child("discovery.fetch")
 	var out *xmlschema.Schema
 	err := retry.Do(ctx, c.retry, func(ctx context.Context) error {
 		s, ferr := c.fetchOnce(ctx, name, etag)
@@ -210,6 +215,7 @@ func (c *Client) Schema(ctx context.Context, name string) (*xmlschema.Schema, er
 		out = s
 		return nil
 	})
+	sp.FinishDetail(name)
 	if err == nil {
 		return out, nil
 	}

@@ -9,11 +9,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"openmeta/internal/dcg"
 	"openmeta/internal/obsv"
 	"openmeta/internal/pbio"
+	"openmeta/internal/trace"
 )
 
 // Broker is the event backbone: it accepts publisher and subscriber
@@ -29,8 +31,13 @@ type Broker struct {
 	queueDepth    int
 	writeDeadline time.Duration
 
-	obs obsv.Scope
-	m   brokerMetrics
+	obs    obsv.Scope
+	m      brokerMetrics
+	tracer *trace.Tracer
+	// legacy makes the broker behave like a pre-hello build: frames 10+ are
+	// rejected with a frameError. Exists so interop tests can prove that a
+	// new client falls back cleanly against an old peer.
+	legacy bool
 
 	mu      sync.Mutex
 	conns   map[*brokerConn]bool
@@ -112,6 +119,11 @@ type brokerConn struct {
 	writerDone chan struct{} // closed when the writer goroutine has exited
 	dropped    *obsv.Counter // broker-wide drop counter (persists past the conn)
 
+	// caps holds the capabilities negotiated in the connection's hello
+	// exchange (0 until one happens). Written by the connection's reader
+	// goroutine, read by publishers' fanout goroutines.
+	caps atomic.Uint32
+
 	wmu sync.Mutex // guards sentFormats ordering decisions
 
 	// sentFormats tracks which format IDs this (subscriber) connection has
@@ -187,6 +199,25 @@ func WithPlanCache(c *dcg.Cache) BrokerOption {
 	}
 }
 
+// WithTracer directs the broker's spans (broker.route, dcg.compile,
+// dcg.convert) into t instead of the process default tracer. Spans are only
+// recorded for records whose publisher sampled them and while t is enabled.
+func WithTracer(t *trace.Tracer) BrokerOption {
+	return func(b *Broker) {
+		if t != nil {
+			b.tracer = t
+		}
+	}
+}
+
+// WithLegacyProtocol makes the broker speak only the base protocol,
+// rejecting frameHello and the traced frame variants exactly like a
+// pre-extension build (frameError + close). It exists so interoperability
+// tests can prove new clients fall back cleanly against old peers.
+func WithLegacyProtocol() BrokerOption {
+	return func(b *Broker) { b.legacy = true }
+}
+
 // NewBroker starts a broker on the given listener. The broker owns the
 // listener and closes it on Close.
 func NewBroker(ln net.Listener, opts ...BrokerOption) *Broker {
@@ -198,6 +229,7 @@ func NewBroker(ln net.Listener, opts ...BrokerOption) *Broker {
 		writeDeadline: 2 * time.Second,
 		obs:           obsv.Default().Scope("eventbus"),
 		m:             defaultBrokerMetrics,
+		tracer:        trace.Default(),
 		conns:         make(map[*brokerConn]bool),
 		streams:       make(map[string]*stream),
 		plans:         dcg.NewCache(),
@@ -337,7 +369,18 @@ func (b *Broker) handle(bc *brokerConn) {
 }
 
 func (b *Broker) dispatch(bc *brokerConn, typ byte, payload []byte) error {
+	if b.legacy && typ >= frameHello {
+		return fmt.Errorf("%w: type %d", ErrBadFrame, typ)
+	}
 	switch typ {
+	case frameHello:
+		_, caps, err := parseHello(payload)
+		if err != nil {
+			return err
+		}
+		bc.caps.Store(caps & localCaps)
+		return bc.sendMust(frameHello, helloPayload(localCaps))
+
 	case frameAnnounce:
 		name, _, err := getStr(payload)
 		if err != nil {
@@ -405,7 +448,13 @@ func (b *Broker) dispatch(bc *brokerConn, typ byte, payload []byte) error {
 		return nil
 
 	case framePublish:
-		return b.publish(bc, payload)
+		return b.publish(bc, payload, false)
+
+	case framePublishTrace:
+		if bc.caps.Load()&capTrace == 0 {
+			return fmt.Errorf("%w: traced publish without trace capability", ErrBadFrame)
+		}
+		return b.publish(bc, payload, true)
 
 	case frameList:
 		names := b.Streams()
@@ -441,10 +490,45 @@ func (b *Broker) ensureStream(name string) *stream {
 	return st
 }
 
-func (b *Broker) publish(bc *brokerConn, payload []byte) error {
+// delivery carries one published record through the fanout loop: the parsed
+// pieces, the payload variants (built lazily, shared across subscribers) and
+// the trace context when the record arrived in a traced frame.
+type delivery struct {
+	st     *stream
+	fm     formatMeta
+	record []byte // NDR record bytes (after the format id)
+	plain  []byte // frameEvent payload: stream || id || record
+	traced []byte // frameEventTrace payload: stream || trace ctx || id || record
+
+	isTraced bool
+	tid      trace.TraceID
+	parent   trace.SpanID // outgoing parent: broker route span, or upstream's
+	route    trace.Ctx    // parents dcg.compile / dcg.convert child spans
+}
+
+// tracedPayload lazily builds the frameEventTrace payload.
+func (d *delivery) tracedPayload() []byte {
+	if d.traced == nil {
+		p := putStr(nil, d.st.name)
+		p = putTraceCtx(p, d.tid, d.parent)
+		p = append(p, d.fm.id[:]...)
+		p = append(p, d.record...)
+		d.traced = p
+	}
+	return d.traced
+}
+
+func (b *Broker) publish(bc *brokerConn, payload []byte, isTraced bool) error {
 	name, rest, err := getStr(payload)
 	if err != nil {
 		return err
+	}
+	var tid trace.TraceID
+	var parent trace.SpanID
+	if isTraced {
+		if tid, parent, rest, err = getTraceCtx(rest); err != nil {
+			return err
+		}
 	}
 	if len(rest) < 8 {
 		return fmt.Errorf("%w: publish without format id", ErrBadFrame)
@@ -470,50 +554,87 @@ func (b *Broker) publish(bc *brokerConn, payload []byte) error {
 
 	b.m.published.Add(1)
 	st.published.Add(1)
-	fm := formatMeta{id: id, meta: meta}
+
+	d := delivery{
+		st:       st,
+		fm:       formatMeta{id: id, meta: meta},
+		record:   rest[8:],
+		isTraced: isTraced,
+		tid:      tid,
+		parent:   parent,
+	}
+	if isTraced {
+		// Record this hop's routing span. If the broker's tracer is off the
+		// record still carries the upstream context downstream, so
+		// subscriber-side spans keep linking into the trace.
+		d.route = b.tracer.Join(tid, parent).Child("broker.route")
+		if d.route.Sampled() {
+			d.parent = d.route.Span()
+		}
+		// The incoming payload embeds the publisher's parent id; rebuild the
+		// plain variant for subscribers that did not negotiate tracing.
+		p := putStr(nil, name)
+		p = append(p, id[:]...)
+		d.plain = append(p, d.record...)
+	} else {
+		d.plain = payload
+	}
+
 	for _, sub := range subs {
-		if err := b.deliver(sub, st, fm, rest[8:], payload); err != nil {
+		if err := b.deliver(sub, &d); err != nil {
 			b.logf("eventbus: drop subscriber %s: %v", sub.conn.RemoteAddr(), err)
 			b.drop(sub)
 		}
 	}
+	d.route.FinishDetail(st.name)
 	return nil
 }
 
 // deliver routes one record to one subscriber, projecting it onto the
-// subscriber's scope when one is set.
-func (b *Broker) deliver(sub *brokerConn, st *stream, fm formatMeta, record, fullPayload []byte) error {
+// subscriber's scope when one is set. Subscribers that negotiated capTrace
+// receive traced records as frameEventTrace with this broker's route span as
+// the parent link; everyone else receives plain frameEvent.
+func (b *Broker) deliver(sub *brokerConn, d *delivery) error {
 	b.mu.Lock()
-	scope := sub.scopes[st.name]
+	scope := sub.scopes[d.st.name]
 	b.mu.Unlock()
+	subTraced := d.isTraced && sub.caps.Load()&capTrace != 0
 	if scope == nil {
-		if err := b.sendFormat(sub, fm); err != nil {
+		if err := b.sendFormat(sub, d.fm); err != nil {
 			return err
 		}
-		return b.sendEvent(sub, st, fullPayload)
+		if subTraced {
+			return b.sendEvent(sub, d.st, frameEventTrace, d.tracedPayload())
+		}
+		return b.sendEvent(sub, d.st, frameEvent, d.plain)
 	}
-	sf, err := b.scopedFor(fm, scope)
+	sf, err := b.scopedFor(d.fm, scope, d.route)
 	if err != nil {
 		// A scope the format cannot satisfy is the subscriber's error.
 		return fmt.Errorf("scope %v: %w", scope, err)
 	}
-	converted, err := sf.plan.Convert(record)
+	converted, err := sf.plan.ConvertCtx(d.route, d.record)
 	if err != nil {
 		return fmt.Errorf("scope projection: %w", err)
 	}
 	if err := b.sendFormat(sub, formatMeta{id: sf.format.ID, meta: sf.meta}); err != nil {
 		return err
 	}
-	payload := putStr(nil, st.name)
+	payload := putStr(nil, d.st.name)
+	typ := frameEvent
+	if subTraced {
+		typ = frameEventTrace
+		payload = putTraceCtx(payload, d.tid, d.parent)
+	}
 	payload = append(payload, sf.format.ID[:]...)
 	payload = append(payload, converted...)
-	return b.sendEvent(sub, st, payload)
+	return b.sendEvent(sub, d.st, typ, payload)
 }
 
 // sendEvent enqueues one event frame, counting delivery or the per-stream
 // drop.
-func (b *Broker) sendEvent(sub *brokerConn, st *stream, payload []byte) error {
-	queued, err := sub.trySend(frameEvent, payload)
+func (b *Broker) sendEvent(sub *brokerConn, st *stream, typ byte, payload []byte) error {
+	queued, err := sub.trySend(typ, payload)
 	if err != nil {
 		return err
 	}
@@ -534,7 +655,7 @@ func (b *Broker) deliverFormat(sub *brokerConn, streamName string, fm formatMeta
 	if scope == nil {
 		return b.sendFormat(sub, fm)
 	}
-	sf, err := b.scopedFor(fm, scope)
+	sf, err := b.scopedFor(fm, scope, trace.Ctx{})
 	if err != nil {
 		return fmt.Errorf("scope %v: %w", scope, err)
 	}
@@ -542,8 +663,9 @@ func (b *Broker) deliverFormat(sub *brokerConn, streamName string, fm formatMeta
 }
 
 // scopedFor returns (building and memoizing if needed) the slice of the
-// format fm restricted to the given fields, with its conversion plan.
-func (b *Broker) scopedFor(fm formatMeta, scope []string) (*scopedFormat, error) {
+// format fm restricted to the given fields, with its conversion plan. A
+// first-use compilation records a dcg.compile child span of tc.
+func (b *Broker) scopedFor(fm formatMeta, scope []string, tc trace.Ctx) (*scopedFormat, error) {
 	key := scopeKey{id: fm.id, scope: strings.Join(scope, ",")}
 	b.mu.Lock()
 	sf, ok := b.scoped[key]
@@ -559,7 +681,7 @@ func (b *Broker) scopedFor(fm formatMeta, scope []string) (*scopedFormat, error)
 	if err != nil {
 		return nil, err
 	}
-	plan, err := b.plans.Plan(full, subset)
+	plan, err := b.plans.PlanCtx(tc, full, subset)
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@ import (
 	"openmeta/internal/obsv"
 	"openmeta/internal/pbio"
 	"openmeta/internal/retry"
+	"openmeta/internal/trace"
 )
 
 // Client-side reconnect instruments on the default registry, created at
@@ -35,6 +36,7 @@ type clientConfig struct {
 	dialTimeout time.Duration
 	reconnect   bool
 	policy      retry.Policy
+	tracer      *trace.Tracer
 }
 
 func defaultClientConfig() clientConfig {
@@ -45,7 +47,53 @@ func defaultClientConfig() clientConfig {
 			Initial:     100 * time.Millisecond,
 			Max:         5 * time.Second,
 		},
+		tracer: trace.Default(),
 	}
+}
+
+// helloTimeout bounds how long a client waits for the broker's frameHello
+// reply before concluding the peer speaks only the base protocol.
+const helloTimeout = 3 * time.Second
+
+// helloExchange negotiates capabilities on a fresh connection: it sends a
+// frameHello and waits for the reply. legacy=true means the peer is an
+// old-protocol build (it answered with frameError, closed the connection,
+// or stayed silent past the hello deadline); the caller should redial and
+// speak the base protocol. A write failure is a real network error.
+func helloExchange(conn net.Conn) (caps uint32, legacy bool, err error) {
+	if err := writeFrame(conn, frameHello, helloPayload(localCaps)); err != nil {
+		return 0, false, err
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(helloTimeout))
+	defer func() { _ = conn.SetReadDeadline(time.Time{}) }()
+	typ, payload, _, rerr := readFrame(conn, nil)
+	if rerr != nil || typ != frameHello {
+		return 0, true, nil
+	}
+	if _, caps, err = parseHello(payload); err != nil {
+		return 0, true, nil
+	}
+	return caps, false, nil
+}
+
+// harvestBrokerError makes a bounded attempt to read a frameError the
+// broker may have sent just before the connection died, so a rejected
+// publish surfaces as a typed *BrokerError instead of a bare write failure.
+func harvestBrokerError(conn net.Conn) *BrokerError {
+	_ = conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	defer func() { _ = conn.SetReadDeadline(time.Time{}) }()
+	var buf []byte
+	for i := 0; i < 4; i++ {
+		typ, payload, newBuf, err := readFrame(conn, buf)
+		if err != nil {
+			return nil
+		}
+		buf = newBuf
+		if typ == frameError {
+			return &BrokerError{Msg: string(payload)}
+		}
+	}
+	return nil
 }
 
 // dialContext applies the configured dial function and timeout.
@@ -75,6 +123,19 @@ func WithDialFunc(f DialFunc) ClientOption {
 // WithDialTimeout bounds each dial attempt (default 10s; 0 disables).
 func WithDialTimeout(d time.Duration) ClientOption {
 	return func(c *clientConfig) { c.dialTimeout = d }
+}
+
+// WithClientTracer directs the client's spans (pub.publish, pbio.encode,
+// pbio.decode) into t instead of the process default tracer. While t is
+// enabled, connections negotiate the trace capability with the broker so
+// sampled records carry their trace context across the wire; against an
+// old-protocol broker the client falls back to the base protocol untraced.
+func WithClientTracer(t *trace.Tracer) ClientOption {
+	return func(c *clientConfig) {
+		if t != nil {
+			c.tracer = t
+		}
+	}
 }
 
 // WithReconnect enables automatic reconnection under the given retry
@@ -107,6 +168,11 @@ type Publisher struct {
 	sentFormats map[pbio.FormatID]bool
 	announced   map[string]bool
 	scratch     []byte
+	// traced reports whether the current connection negotiated capTrace;
+	// peerLegacy remembers a broker that rejected the hello, so reconnects
+	// skip the doomed exchange.
+	traced     bool
+	peerLegacy bool
 }
 
 // DialPublisher connects a publisher to the broker at addr.
@@ -159,6 +225,31 @@ func (p *Publisher) connectLocked(ctx context.Context) error {
 		}
 		return err
 	}
+	p.traced = false
+	if p.cfg.tracer.Enabled() && !p.peerLegacy {
+		caps, legacy, herr := helloExchange(conn)
+		switch {
+		case herr != nil:
+			_ = conn.Close()
+			if reconnecting {
+				pubRedialErrors.Add(1)
+			}
+			return herr
+		case legacy:
+			// Old broker: it answered the hello with an error and closed.
+			// Remember and redial speaking the base protocol.
+			_ = conn.Close()
+			p.peerLegacy = true
+			if conn, err = p.cfg.dialContext(ctx, p.addr); err != nil {
+				if reconnecting {
+					pubRedialErrors.Add(1)
+				}
+				return err
+			}
+		default:
+			p.traced = caps&capTrace != 0
+		}
+	}
 	p.sentFormats = make(map[pbio.FormatID]bool)
 	for name := range p.announced {
 		if err := writeFrame(conn, frameAnnounce, putStr(nil, name)); err != nil {
@@ -197,6 +288,11 @@ func (p *Publisher) withConn(op func(conn net.Conn) error) error {
 			}
 		}
 		if err := op(p.conn); err != nil {
+			// The broker reports why it is rejecting us before closing; fold
+			// that diagnostic into the failure as a typed *BrokerError.
+			if be := harvestBrokerError(p.conn); be != nil {
+				err = fmt.Errorf("%w (%w)", be, err)
+			}
 			p.teardownLocked(err)
 			return err
 		}
@@ -236,8 +332,18 @@ func (p *Publisher) Announce(streamName string) error {
 
 // Publish sends one encoded record of format f onto the stream, announcing
 // the format's metadata to the broker the first time (and again after any
-// reconnect — the fresh broker connection has no memory of it).
+// reconnect — the fresh broker connection has no memory of it). When the
+// client's tracer samples the record and the connection negotiated the
+// trace capability, the record travels with its trace context so every
+// downstream stage links into one span tree.
 func (p *Publisher) Publish(streamName string, f *pbio.Format, record []byte) error {
+	tc := p.cfg.tracer.Start("pub.publish")
+	defer tc.FinishDetail(streamName)
+	return p.publish(tc, streamName, f, record)
+}
+
+// publish sends one publish frame under the given root span.
+func (p *Publisher) publish(tc trace.Ctx, streamName string, f *pbio.Format, record []byte) error {
 	return p.withConn(func(conn net.Conn) error {
 		if !p.sentFormats[f.ID] {
 			if err := writeFrame(conn, frameFormat, pbio.MarshalMeta(f)); err != nil {
@@ -245,22 +351,30 @@ func (p *Publisher) Publish(streamName string, f *pbio.Format, record []byte) er
 			}
 			p.sentFormats[f.ID] = true
 		}
+		typ := framePublish
 		payload := p.scratch[:0]
 		payload = putStr(payload, streamName)
+		if tc.Sampled() && p.traced {
+			typ = framePublishTrace
+			payload = putTraceCtx(payload, tc.Trace(), tc.Span())
+		}
 		payload = append(payload, f.ID[:]...)
 		payload = append(payload, record...)
 		p.scratch = payload
-		return writeFrame(conn, framePublish, payload)
+		return writeFrame(conn, typ, payload)
 	})
 }
 
-// PublishRecord encodes a generic record and publishes it.
+// PublishRecord encodes a generic record and publishes it. A sampled record
+// gets a pbio.encode child span around the encode.
 func (p *Publisher) PublishRecord(streamName string, f *pbio.Format, rec pbio.Record) error {
-	data, err := f.Encode(rec)
+	tc := p.cfg.tracer.Start("pub.publish")
+	defer tc.FinishDetail(streamName)
+	data, err := f.EncodeCtx(tc, rec)
 	if err != nil {
 		return err
 	}
-	return p.Publish(streamName, f, data)
+	return p.publish(tc, streamName, f, data)
 }
 
 // Close closes the broker connection. Further operations return ErrClosed.
@@ -285,10 +399,17 @@ type Event struct {
 	Format *pbio.Format
 	// Data is the NDR record. The slice is owned by the caller.
 	Data []byte
+	// Trace is the record's trace handle when it arrived in a traced frame
+	// and the subscriber's tracer is enabled: Decode records a pbio.decode
+	// child span, and callers can hang their own processing spans off it
+	// with Trace.Child. The zero value (untraced record) is a no-op.
+	Trace trace.Ctx
 }
 
-// Decode unmarshals the event's record generically.
-func (e *Event) Decode() (pbio.Record, error) { return e.Format.Decode(e.Data) }
+// Decode unmarshals the event's record generically. For a traced event the
+// decode is recorded as a pbio.decode span linked under the broker's
+// routing span.
+func (e *Event) Decode() (pbio.Record, error) { return e.Format.DecodeCtx(e.Trace, e.Data) }
 
 // Subscriber is a data access or display point: it subscribes to streams
 // and receives their records together with the metadata needed to decode
@@ -307,6 +428,10 @@ type Subscriber struct {
 	conn    net.Conn
 	closed  bool
 	lastErr error
+	// traced reports whether the current connection negotiated capTrace;
+	// peerLegacy remembers a broker that rejected the hello.
+	traced     bool
+	peerLegacy bool
 	// subs maps stream name to its field scope (nil = full format), the
 	// state replayed onto a fresh connection after reconnect.
 	subs map[string][]string
@@ -365,6 +490,30 @@ func (s *Subscriber) connectLocked(ctx context.Context) error {
 			subRedialErrors.Add(1)
 		}
 		return err
+	}
+	s.traced = false
+	if s.cfg.tracer.Enabled() && !s.peerLegacy {
+		caps, legacy, herr := helloExchange(conn)
+		switch {
+		case herr != nil:
+			_ = conn.Close()
+			if reconnecting {
+				subRedialErrors.Add(1)
+			}
+			return herr
+		case legacy:
+			// Old broker: redial speaking the base protocol.
+			_ = conn.Close()
+			s.peerLegacy = true
+			if conn, err = s.cfg.dialContext(ctx, s.addr); err != nil {
+				if reconnecting {
+					subRedialErrors.Add(1)
+				}
+				return err
+			}
+		default:
+			s.traced = caps&capTrace != 0
+		}
 	}
 	for name, scope := range s.subs {
 		if err := writeFrame(conn, frameSubscribe, subscribePayload(name, scope)); err != nil {
@@ -534,7 +683,7 @@ func (s *Subscriber) Streams() ([]string, error) {
 				return nil, err
 			}
 		case frameError:
-			return nil, fmt.Errorf("eventbus: broker: %s", payload)
+			return nil, &BrokerError{Msg: string(payload)}
 		default:
 			return nil, fmt.Errorf("%w: unexpected frame %d awaiting stream list", ErrBadFrame, typ)
 		}
@@ -586,10 +735,19 @@ func (s *Subscriber) Next() (Event, error) {
 			if err := s.adoptFormat(payload); err != nil {
 				return Event{}, err
 			}
-		case frameEvent:
+		case frameEvent, frameEventTrace:
 			name, rest, err := getStr(payload)
 			if err != nil {
 				return Event{}, err
+			}
+			var etc trace.Ctx
+			if typ == frameEventTrace {
+				var tid trace.TraceID
+				var parent trace.SpanID
+				if tid, parent, rest, err = getTraceCtx(rest); err != nil {
+					return Event{}, err
+				}
+				etc = s.cfg.tracer.Join(tid, parent)
 			}
 			if len(rest) < 8 {
 				return Event{}, fmt.Errorf("%w: event without format id", ErrBadFrame)
@@ -601,11 +759,11 @@ func (s *Subscriber) Next() (Event, error) {
 				return Event{}, fmt.Errorf("eventbus: event references unknown format %s", id)
 			}
 			data := append([]byte(nil), rest[8:]...)
-			return Event{Stream: name, Format: f, Data: data}, nil
+			return Event{Stream: name, Format: f, Data: data, Trace: etc}, nil
 		case frameError:
-			return Event{}, fmt.Errorf("eventbus: broker: %s", payload)
-		case frameStreams:
-			// Stale answer to a Streams call; ignore.
+			return Event{}, &BrokerError{Msg: string(payload)}
+		case frameStreams, frameHello:
+			// Stale answer to a Streams call, or a late hello; ignore.
 		default:
 			return Event{}, fmt.Errorf("%w: unexpected frame %d", ErrBadFrame, typ)
 		}

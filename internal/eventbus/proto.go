@@ -8,12 +8,37 @@
 // the wire are already in the producer's natural representation, and only
 // final consumers pay conversion, and only when their representation
 // actually differs.
+//
+// # Capability negotiation (frameHello)
+//
+// The base protocol (frames 1-9) is what every peer speaks. Extensions ride
+// behind an explicit capability exchange: a client that wants one sends a
+// frameHello — version(1) || caps(u32 BE) — as the first frame of the
+// connection and waits for the broker's frameHello reply before sending
+// anything else. A new broker answers with its own capabilities and
+// remembers the client's; the intersection governs the connection. An old
+// broker answers frameHello the way it answers any unknown frame type — a
+// frameError followed by connection close — which the client treats as "no
+// capabilities": it redials plain and speaks the base protocol. A client
+// that wants no extensions (or an old client) never sends a hello, so old
+// peers in either role keep working untouched.
+//
+// The only capability so far is capTrace: sampled records travel in
+// framePublishTrace/frameEventTrace variants that prepend a 24-byte trace
+// context — TraceID(16) || parent SpanID(8) — to the standard payload, so a
+// record's journey (publisher encode, broker route, subscriber decode,
+// conversions) is recoverable as one parent-linked span tree from
+// /debug/trace on each hop. Untraced subscribers of a traced publish
+// receive plain frameEvent frames; the trace context never reaches peers
+// that did not negotiate it.
 package eventbus
 
 import (
 	"errors"
 	"fmt"
 	"io"
+
+	"openmeta/internal/trace"
 )
 
 // Frame types of the backbone protocol. Every frame is
@@ -28,7 +53,58 @@ const (
 	frameList      byte = 7 // subscriber -> broker: empty
 	frameStreams   byte = 8 // broker -> subscriber: stream names, NUL-separated
 	frameError     byte = 9 // broker -> any: message(str)
+
+	// Negotiated extension frames (see the package comment). A peer may only
+	// send these after a successful frameHello exchange.
+	frameHello        byte = 10 // both ways: version(1) || caps(u32 BE)
+	framePublishTrace byte = 11 // publisher -> broker: stream(str) || TraceID(16) || SpanID(8) || id(8) || record
+	frameEventTrace   byte = 12 // broker -> subscriber: same layout as framePublishTrace
 )
+
+// protoVersion is the hello frame's version byte.
+const protoVersion byte = 1
+
+// Capability bits exchanged in frameHello.
+const (
+	capTrace uint32 = 1 << 0 // trace-context-bearing publish/event frames
+)
+
+// localCaps is the full capability set this build supports.
+const localCaps = capTrace
+
+// traceCtxLen is the wire size of a trace context: TraceID || parent SpanID.
+const traceCtxLen = 16 + 8
+
+// helloPayload encodes a frameHello body.
+func helloPayload(caps uint32) []byte {
+	return []byte{protoVersion, byte(caps >> 24), byte(caps >> 16), byte(caps >> 8), byte(caps)}
+}
+
+// parseHello decodes a frameHello body. Unknown future versions are accepted
+// (capabilities are a bit set; unknown bits are ignored by both sides).
+func parseHello(payload []byte) (version byte, caps uint32, err error) {
+	if len(payload) < 5 {
+		return 0, 0, fmt.Errorf("%w: hello of %d bytes", ErrBadFrame, len(payload))
+	}
+	caps = uint32(payload[1])<<24 | uint32(payload[2])<<16 | uint32(payload[3])<<8 | uint32(payload[4])
+	return payload[0], caps, nil
+}
+
+// putTraceCtx appends the 24-byte wire trace context.
+func putTraceCtx(b []byte, tid trace.TraceID, parent trace.SpanID) []byte {
+	b = append(b, tid[:]...)
+	return append(b, parent[:]...)
+}
+
+// getTraceCtx splits the 24-byte wire trace context off the front of b.
+func getTraceCtx(b []byte) (tid trace.TraceID, parent trace.SpanID, rest []byte, err error) {
+	if len(b) < traceCtxLen {
+		return tid, parent, nil, fmt.Errorf("%w: truncated trace context", ErrBadFrame)
+	}
+	copy(tid[:], b)
+	copy(parent[:], b[16:])
+	return tid, parent, b[traceCtxLen:], nil
+}
 
 // maxFrame bounds one frame (64 MiB leaves room for large records while
 // rejecting corrupt lengths).
@@ -43,7 +119,26 @@ var (
 	// full past the must-send deadline for an undroppable (format) frame;
 	// the broker disconnects such subscribers rather than stall the bus.
 	ErrSlowSubscriber = errors.New("eventbus: slow subscriber")
+	// ErrBroker matches (via errors.Is) any *BrokerError — a frameError
+	// payload the broker sent before closing the connection.
+	ErrBroker = errors.New("eventbus: broker error")
 )
+
+// BrokerError is a broker-reported protocol failure, carried to the client
+// in a frameError payload. It surfaces from Subscriber.Next/Streams and —
+// when the broker rejects a publish and the error frame arrives before the
+// connection dies — from Publisher operations. errors.Is(err, ErrBroker)
+// matches it.
+type BrokerError struct {
+	// Msg is the broker's diagnostic, e.g. `publish on "s" references
+	// unannounced format <id>`.
+	Msg string
+}
+
+func (e *BrokerError) Error() string { return "eventbus: broker: " + e.Msg }
+
+// Is reports ErrBroker as a match so callers can branch without the type.
+func (e *BrokerError) Is(target error) bool { return target == ErrBroker }
 
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	if len(payload) > maxFrame {

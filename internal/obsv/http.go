@@ -22,24 +22,42 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// DebugEndpoint is an extra handler mounted onto DebugMux alongside the
+// built-in endpoints — how the facade attaches /debug/trace without obsv
+// importing the trace package.
+type DebugEndpoint struct {
+	Path    string
+	Handler http.Handler
+}
+
 // DebugMux returns the debug endpoint served behind the daemons'
 // -debug-addr flag:
 //
 //	/stats            registry snapshot as JSON
 //	/debug/stats      alias of /stats
+//	/metrics          Prometheus text exposition (see MetricsHandler)
 //	/debug/vars       expvar (includes the registry, see PublishExpvar)
 //	/debug/pprof/...  net/http/pprof profiles
-func DebugMux(r *Registry) *http.ServeMux {
+//
+// Additional endpoints (such as the tracer's /debug/trace) are mounted via
+// extra.
+func DebugMux(r *Registry, extra ...DebugEndpoint) *http.ServeMux {
 	PublishExpvar("obsv", r)
 	mux := http.NewServeMux()
 	mux.Handle("/stats", r.Handler())
 	mux.Handle("/debug/stats", r.Handler())
+	mux.Handle("/metrics", r.MetricsHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, e := range extra {
+		if e.Path != "" && e.Handler != nil {
+			mux.Handle(e.Path, e.Handler)
+		}
+	}
 	return mux
 }
 
@@ -47,12 +65,12 @@ func DebugMux(r *Registry) *http.ServeMux {
 // and returns the bound address ("host:0" picks a free port). The server
 // lives for the rest of the process — it is the daemons' -debug-addr
 // endpoint, torn down with the process itself.
-func ListenAndServeDebug(addr string, r *Registry) (net.Addr, error) {
+func ListenAndServeDebug(addr string, r *Registry, extra ...DebugEndpoint) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: DebugMux(r)}
+	srv := &http.Server{Handler: DebugMux(r, extra...)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr(), nil
 }

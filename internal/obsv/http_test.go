@@ -1,0 +1,249 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func debugGet(t *testing.T, srv *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp, string(body)
+}
+
+func TestDebugMuxStatsEndpoint(t *testing.T) {
+	r := New()
+	r.Counter("evb.published").Add(9)
+	srv := httptest.NewServer(DebugMux(r))
+	defer srv.Close()
+
+	for _, path := range []string{"/stats", "/debug/stats"} {
+		resp, body := debugGet(t, srv, path)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("%s: content type %q", path, ct)
+		}
+		var snap map[string]int64
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("%s: bad JSON: %v", path, err)
+		}
+		if snap["evb.published"] != 9 {
+			t.Fatalf("%s: snapshot %v", path, snap)
+		}
+	}
+}
+
+func TestDebugMuxExpvarEndpoint(t *testing.T) {
+	r := New()
+	srv := httptest.NewServer(DebugMux(r))
+	defer srv.Close()
+
+	resp, body := debugGet(t, srv, "/debug/vars")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var vars map[string]interface{}
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("expvar not JSON: %v", err)
+	}
+	if _, ok := vars["obsv"]; !ok {
+		t.Fatalf("expvar missing obsv registry: has %v", keysOf(vars))
+	}
+}
+
+func keysOf(m map[string]interface{}) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestDebugMuxExtraEndpoint(t *testing.T) {
+	r := New()
+	extra := DebugEndpoint{
+		Path: "/debug/trace",
+		Handler: http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			w.Write([]byte(`{"spans":[]}`))
+		}),
+	}
+	srv := httptest.NewServer(DebugMux(r, extra))
+	defer srv.Close()
+
+	resp, body := debugGet(t, srv, "/debug/trace")
+	if resp.StatusCode != http.StatusOK || body != `{"spans":[]}` {
+		t.Fatalf("extra endpoint not mounted: %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestMetricsEndpointPrometheusFormat parses /metrics line by line against
+// the text exposition format: every series line is "name value" or
+// "name{le=\"bound\"} value", histogram buckets are cumulative and end at
+// +Inf with the total count, and _sum/_count agree with the instruments.
+func TestMetricsEndpointPrometheusFormat(t *testing.T) {
+	r := New()
+	r.Counter("pbio.encode.calls").Add(5)
+	r.Gauge("evb.queue-depth").Set(3)
+	r.Func("dcg.cache_size", func() int64 { return 11 })
+	h := r.Histogram("lat.ns")
+	for _, v := range []int64{0, 1, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	srv := httptest.NewServer(DebugMux(r))
+	defer srv.Close()
+
+	resp, body := debugGet(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+
+	types := map[string]string{}
+	values := map[string]float64{}
+	var bucketCums []float64
+	for i, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition", i)
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE comment %q", i, line)
+			}
+			types[parts[2]] = parts[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator in %q", i, line)
+		}
+		name, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", i, valStr, err)
+		}
+		if j := strings.IndexByte(name, '{'); j >= 0 {
+			series, label := name[:j], name[j:]
+			if !strings.HasPrefix(label, `{le="`) || !strings.HasSuffix(label, `"}`) {
+				t.Fatalf("line %d: unexpected label %q", i, label)
+			}
+			if series == "lat_ns_bucket" {
+				bucketCums = append(bucketCums, val)
+			}
+			name = series
+			values[name+label] = val
+			continue
+		}
+		// Metric names must be within the Prometheus alphabet.
+		for _, c := range name {
+			ok := c == '_' || c == ':' ||
+				(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+			if !ok {
+				t.Fatalf("line %d: invalid metric name %q", i, name)
+			}
+		}
+		values[name] = val
+	}
+
+	if types["pbio_encode_calls"] != "counter" || values["pbio_encode_calls"] != 5 {
+		t.Fatalf("counter: type=%q value=%v", types["pbio_encode_calls"], values["pbio_encode_calls"])
+	}
+	if types["evb_queue_depth"] != "gauge" || values["evb_queue_depth"] != 3 {
+		t.Fatalf("gauge: type=%q value=%v", types["evb_queue_depth"], values["evb_queue_depth"])
+	}
+	if types["dcg_cache_size"] != "gauge" || values["dcg_cache_size"] != 11 {
+		t.Fatalf("func gauge: type=%q value=%v", types["dcg_cache_size"], values["dcg_cache_size"])
+	}
+	if types["lat_ns"] != "histogram" {
+		t.Fatalf("histogram type %q", types["lat_ns"])
+	}
+	if values["lat_ns_count"] != 5 || values["lat_ns_sum"] != 1104 {
+		t.Fatalf("histogram sum/count: %v/%v", values["lat_ns_sum"], values["lat_ns_count"])
+	}
+	if got := values[`lat_ns_bucket{le="+Inf"}`]; got != 5 {
+		t.Fatalf("+Inf bucket = %v, want 5", got)
+	}
+	if len(bucketCums) == 0 {
+		t.Fatal("no le buckets emitted")
+	}
+	for i := 1; i < len(bucketCums); i++ {
+		if bucketCums[i] < bucketCums[i-1] {
+			t.Fatalf("buckets not cumulative: %v", bucketCums)
+		}
+	}
+	// Zeros land in the le="0" bucket; all five samples are <= 1023.
+	if got := values[`lat_ns_bucket{le="0"}`]; got != 1 {
+		t.Fatalf(`le="0" bucket = %v, want 1`, got)
+	}
+	if got := values[`lat_ns_bucket{le="1023"}`]; got != 5 {
+		t.Fatalf(`le="1023" bucket = %v, want 5`, got)
+	}
+}
+
+func TestSnapshotIncludesP95(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	snap := r.Snapshot()
+	for _, k := range []string{"lat.p50", "lat.p95", "lat.p99"} {
+		if _, ok := snap[k]; !ok {
+			t.Fatalf("snapshot missing %s: %v", k, Names(snap))
+		}
+	}
+	if snap["lat.p50"] > snap["lat.p95"] || snap["lat.p95"] > snap["lat.p99"] {
+		t.Fatalf("quantiles not ordered: p50=%d p95=%d p99=%d",
+			snap["lat.p50"], snap["lat.p95"], snap["lat.p99"])
+	}
+}
+
+func TestStatsLogger(t *testing.T) {
+	r := New()
+	c := r.Counter("evb.published")
+	var mu []string
+	done := make(chan string, 16)
+	logf := func(format string, args ...interface{}) {
+		select {
+		case done <- strings.TrimSpace(fmt.Sprintf(format, args...)):
+		default:
+		}
+	}
+	stop := StartStatsLogger(r, 20*time.Millisecond, logf)
+	defer stop()
+
+	c.Add(7)
+	select {
+	case line := <-done:
+		mu = append(mu, line)
+	case <-time.After(5 * time.Second):
+		t.Fatal("no stats line logged")
+	}
+	if !strings.Contains(mu[0], "evb.published=+7") {
+		t.Fatalf("unexpected stats line %q", mu[0])
+	}
+	stop()
+	stop() // idempotent
+}

@@ -305,8 +305,8 @@ func (s Scope) Func(name string, fn func() int64) { s.r.Func(s.prefix+name, fn) 
 
 // Snapshot returns a point-in-time flattened view of every instrument.
 // Counters and gauges appear under their names; a histogram named h expands
-// to h.count, h.sum, h.max, h.p50 and h.p99; snapshot functions appear under
-// their names. Functions are evaluated with no registry locks held.
+// to h.count, h.sum, h.max, h.p50, h.p95 and h.p99; snapshot functions appear
+// under their names. Functions are evaluated with no registry locks held.
 func (r *Registry) Snapshot() map[string]int64 {
 	if r == nil {
 		return map[string]int64{}
@@ -330,7 +330,7 @@ func (r *Registry) Snapshot() map[string]int64 {
 	}
 	r.mu.RUnlock()
 
-	out := make(map[string]int64, len(counters)+len(gauges)+5*len(hists)+len(funcs))
+	out := make(map[string]int64, len(counters)+len(gauges)+6*len(hists)+len(funcs))
 	for n, c := range counters {
 		out[n] = c.Load()
 	}
@@ -343,6 +343,7 @@ func (r *Registry) Snapshot() map[string]int64 {
 		out[n+".sum"] = v.Sum
 		out[n+".max"] = v.Max
 		out[n+".p50"] = v.Quantile(0.50)
+		out[n+".p95"] = v.Quantile(0.95)
 		out[n+".p99"] = v.Quantile(0.99)
 	}
 	for n, f := range funcs {

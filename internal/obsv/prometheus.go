@@ -1,0 +1,116 @@
+package obsv
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// MetricsHandler serves the registry in the Prometheus text exposition
+// format (version 0.0.4), mounted at /metrics by DebugMux. Counters and
+// gauges map directly; a Histogram is exported with cumulative _bucket
+// series whose le bounds are the histogram's power-of-two bucket upper
+// bounds (bucket i covers [2^(i-1), 2^i), so le="2^i - 1"), plus the usual
+// _sum and _count. Snapshot functions are exported as gauges. Instrument
+// names are sanitized for Prometheus ("." and "-" become "_").
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var b strings.Builder
+		r.writePrometheus(&b)
+		_, _ = w.Write([]byte(b.String()))
+	})
+}
+
+func (r *Registry) writePrometheus(b *strings.Builder) {
+	if r == nil {
+		return
+	}
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	funcs := make(map[string]func() int64, len(r.funcs))
+	for n, f := range r.funcs {
+		funcs[n] = f
+	}
+	r.mu.RUnlock()
+
+	for _, n := range sortedKeys(counters) {
+		pn := promName(n)
+		fmt.Fprintf(b, "# TYPE %s counter\n%s %d\n", pn, pn, counters[n].Load())
+	}
+	for _, n := range sortedKeys(gauges) {
+		pn := promName(n)
+		fmt.Fprintf(b, "# TYPE %s gauge\n%s %d\n", pn, pn, gauges[n].Load())
+	}
+	for _, n := range sortedKeys(funcs) {
+		pn := promName(n)
+		fmt.Fprintf(b, "# TYPE %s gauge\n%s %d\n", pn, pn, funcs[n]())
+	}
+	for _, n := range sortedKeys(hists) {
+		pn := promName(n)
+		v := hists[n].Value()
+		fmt.Fprintf(b, "# TYPE %s histogram\n", pn)
+		// Emit buckets only up to the highest populated one; cumulative
+		// counts keep the series well-formed and +Inf closes it out.
+		last := 0
+		for i, c := range v.Buckets {
+			if c > 0 {
+				last = i
+			}
+		}
+		var cum int64
+		for i := 0; i <= last; i++ {
+			cum += v.Buckets[i]
+			// Upper bound of bucket i is 2^i - 1 (bucket 0 holds zeros);
+			// computed in floating point because bucket 64's bound
+			// overflows int64.
+			le := math.Ldexp(1, i) - 1
+			fmt.Fprintf(b, "%s_bucket{le=\"%g\"} %d\n", pn, le, cum)
+		}
+		fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", pn, v.Count)
+		fmt.Fprintf(b, "%s_sum %d\n", pn, v.Sum)
+		fmt.Fprintf(b, "%s_count %d\n", pn, v.Count)
+	}
+}
+
+// promName maps a registry instrument name onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:], replacing anything else with "_".
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,89 @@
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// StartStatsLogger periodically snapshots the registry and logs a one-line
+// summary of what changed since the previous tick — counter and histogram
+// deltas plus the current value of any gauge that moved. Intervals where
+// nothing changed log nothing. The returned stop function ends the loop
+// (idempotent). logf follows the log.Printf contract.
+//
+// This backs the daemons' -stats-interval flag: a broker left running with
+// -stats-interval=10s prints a compact activity line every ten seconds
+// without anyone having to poll /stats.
+func StartStatsLogger(r *Registry, interval time.Duration, logf func(format string, args ...interface{})) (stop func()) {
+	if r == nil || interval <= 0 || logf == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	prev := r.Snapshot() // baseline taken before returning, so callers'
+	// subsequent activity is guaranteed to show in the first delta
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+			cur := r.Snapshot()
+			line := formatStatsDelta(prev, cur)
+			prev = cur
+			if line != "" {
+				logf("stats: %s", line)
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if !once {
+			once = true
+			close(done)
+		}
+	}
+}
+
+// formatStatsDelta renders the changed keys between two snapshots as
+// "name=+delta" pairs (sorted), using the absolute new value for keys that
+// read like levels rather than totals (gauges and histogram max/quantiles).
+func formatStatsDelta(prev, cur map[string]int64) string {
+	keys := make([]string, 0, len(cur))
+	for k, v := range cur {
+		if v != prev[k] {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		if isLevelKey(k) {
+			parts = append(parts, fmt.Sprintf("%s=%d", k, cur[k]))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s=%+d", k, cur[k]-prev[k]))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// isLevelKey reports whether a snapshot key carries an instantaneous level
+// (report the value) rather than a cumulative total (report the delta).
+// Histogram-derived max and quantile keys are levels; counts and sums are
+// totals. Everything else defaults to delta, which is right for counters
+// and close enough for gauges (a gauge's delta still shows direction).
+func isLevelKey(k string) bool {
+	for _, suffix := range []string{".max", ".p50", ".p95", ".p99"} {
+		if strings.HasSuffix(k, suffix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,31 @@
+package pbio
+
+import "openmeta/internal/trace"
+
+// EncodeCtx is Encode with tracing: when tc is sampled the encode is
+// recorded as a pbio.encode child span naming the format. The eventbus
+// publisher uses this so a sampled record's encode cost appears as the first
+// stage of its end-to-end trace.
+func (f *Format) EncodeCtx(tc trace.Ctx, rec Record) ([]byte, error) {
+	if !tc.Sampled() {
+		return f.Encode(rec)
+	}
+	sp := tc.Child("pbio.encode")
+	data, err := f.Encode(rec)
+	sp.FinishDetail(f.Name)
+	return data, err
+}
+
+// DecodeCtx is Decode with tracing: when tc is sampled the decode is
+// recorded as a pbio.decode child span naming the format. The eventbus
+// subscriber uses this so a traced record's decode cost links into the span
+// tree started at its publisher.
+func (f *Format) DecodeCtx(tc trace.Ctx, data []byte) (Record, error) {
+	if !tc.Sampled() {
+		return f.Decode(data)
+	}
+	sp := tc.Child("pbio.decode")
+	rec, err := f.Decode(data)
+	sp.FinishDetail(f.Name)
+	return rec, err
+}

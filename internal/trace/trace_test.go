@@ -1,0 +1,306 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledTracerNeverSamples(t *testing.T) {
+	tr := NewTracer(8)
+	if tr.Enabled() {
+		t.Fatal("new tracer should start disabled")
+	}
+	c := tr.Start("x")
+	if c.Sampled() {
+		t.Fatal("disabled tracer sampled a root")
+	}
+	c.Finish()
+	if got := tr.Snapshot(); len(got) != 0 {
+		t.Fatalf("recorded %d spans while disabled", len(got))
+	}
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer enabled")
+	}
+	c := tr.Start("x")
+	c.Child("y").Finish()
+	c.Finish()
+	tr.SetSampling(1)
+	tr.Reset()
+	if tr.Snapshot() != nil || tr.Recorded() != 0 {
+		t.Fatal("nil tracer recorded spans")
+	}
+}
+
+func TestSamplingOneInN(t *testing.T) {
+	tr := NewTracer(1024)
+	tr.SetSampling(4)
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		c := tr.Start("s")
+		if c.Sampled() {
+			sampled++
+		}
+		c.Finish()
+	}
+	if sampled != 25 {
+		t.Fatalf("1-in-4 sampling recorded %d of 100", sampled)
+	}
+	if got := len(tr.Snapshot()); got != 25 {
+		t.Fatalf("snapshot has %d spans, want 25", got)
+	}
+}
+
+func TestParentLinksAndIdentity(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetSampling(1)
+	root := tr.Start("root")
+	child := root.Child("child")
+	grand := child.Child("grand")
+	grand.Finish()
+	child.FinishDetail("d1")
+	root.Finish()
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+		if sp.Trace != root.Trace() {
+			t.Fatalf("span %s has trace %s, want %s", sp.Name, sp.Trace, root.Trace())
+		}
+	}
+	if !byName["root"].Parent.IsZero() {
+		t.Fatal("root span has a parent")
+	}
+	if byName["child"].Parent != byName["root"].ID {
+		t.Fatal("child's parent is not root")
+	}
+	if byName["grand"].Parent != byName["child"].ID {
+		t.Fatal("grandchild's parent is not child")
+	}
+	if byName["child"].Detail != "d1" {
+		t.Fatalf("detail = %q, want d1", byName["child"].Detail)
+	}
+}
+
+func TestJoinRecordsChildrenNotSelf(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetSampling(1)
+	var tid TraceID
+	var parent SpanID
+	tid[0], parent[0] = 1, 2
+
+	jc := tr.Join(tid, parent)
+	if !jc.Sampled() {
+		t.Fatal("join on enabled tracer not sampled")
+	}
+	jc.Finish() // foreign span: must not record
+	ch := jc.Child("stage")
+	ch.Finish()
+
+	spans := tr.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1 (joined span itself must not record)", len(spans))
+	}
+	if spans[0].Trace != tid || spans[0].Parent != parent {
+		t.Fatalf("joined child has trace=%s parent=%s", spans[0].Trace, spans[0].Parent)
+	}
+
+	// Disabled tracer or zero trace ID joins to the unsampled Ctx.
+	tr.SetSampling(0)
+	if tr.Join(tid, parent).Sampled() {
+		t.Fatal("join on disabled tracer sampled")
+	}
+	tr.SetSampling(1)
+	if tr.Join(TraceID{}, parent).Sampled() {
+		t.Fatal("join on zero trace ID sampled")
+	}
+}
+
+func TestRingWraparoundKeepsNewest(t *testing.T) {
+	tr := NewTracer(4)
+	tr.SetSampling(1)
+	for i := 0; i < 10; i++ {
+		tr.Start("s").FinishDetail(string(rune('a' + i)))
+		time.Sleep(time.Millisecond) // distinct start times for ordering
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	for i, want := range []string{"g", "h", "i", "j"} {
+		if spans[i].Detail != want {
+			t.Fatalf("slot %d = %q, want %q (oldest-first, newest kept)", i, spans[i].Detail, want)
+		}
+	}
+	if tr.Recorded() != 10 {
+		t.Fatalf("Recorded() = %d, want 10", tr.Recorded())
+	}
+}
+
+func TestConcurrentRecordAndSnapshot(t *testing.T) {
+	tr := NewTracer(64)
+	tr.SetSampling(1)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c := tr.Start("hot")
+				c.Child("inner").Finish()
+				c.Finish()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = tr.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := len(tr.Snapshot()); got != 64 {
+		t.Fatalf("full ring snapshot has %d spans, want 64", got)
+	}
+}
+
+// TestUntracedPathAllocationFree is the hot-path contract: with tracing off,
+// or with a root that was not sampled, start/finish must not allocate.
+func TestUntracedPathAllocationFree(t *testing.T) {
+	tr := NewTracer(8)
+
+	if n := testing.AllocsPerRun(100, func() {
+		c := tr.Start("off")
+		c.Child("inner").Finish()
+		c.Finish()
+	}); n != 0 {
+		t.Fatalf("disabled tracer allocates %v per span", n)
+	}
+
+	var nilT *Tracer
+	if n := testing.AllocsPerRun(100, func() {
+		c := nilT.Start("off")
+		c.Child("inner").Finish()
+		c.Finish()
+	}); n != 0 {
+		t.Fatalf("nil tracer allocates %v per span", n)
+	}
+
+	// Sampling 1-in-very-many: the unsampled roots must stay free. Burn the
+	// counter far from a multiple of N first so AllocsPerRun's warmup+runs
+	// never land on the sampled tick.
+	tr.SetSampling(1 << 30)
+	if n := testing.AllocsPerRun(100, func() {
+		c := tr.Start("unsampled")
+		c.Child("inner").Finish()
+		c.Finish()
+	}); n != 0 {
+		t.Fatalf("unsampled root allocates %v per span", n)
+	}
+}
+
+func TestIDStrings(t *testing.T) {
+	var tid TraceID
+	var sid SpanID
+	tid[0], tid[15] = 0xab, 0x01
+	sid[7] = 0xff
+	if got := tid.String(); got != "ab000000000000000000000000000001" {
+		t.Fatalf("TraceID.String() = %q", got)
+	}
+	if got := sid.String(); got != "00000000000000ff" {
+		t.Fatalf("SpanID.String() = %q", got)
+	}
+}
+
+func TestHandlerJSONAndChrome(t *testing.T) {
+	tr := NewTracer(16)
+	tr.SetSampling(1)
+	root := tr.Start("root")
+	root.Child("child").Finish()
+	root.FinishDetail("stream-x")
+
+	// Default JSON form.
+	rec := httptest.NewRecorder()
+	Handler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	var out struct {
+		Spans []struct {
+			Trace, Span, Parent, Name, Detail string
+			StartNS                           int64 `json:"start_unix_ns"`
+			DurNS                             int64 `json:"dur_ns"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("unmarshal /debug/trace: %v", err)
+	}
+	if len(out.Spans) != 2 {
+		t.Fatalf("got %d spans", len(out.Spans))
+	}
+	for _, sp := range out.Spans {
+		if sp.Trace != root.Trace().String() {
+			t.Fatalf("span %s trace %q, want %q", sp.Name, sp.Trace, root.Trace())
+		}
+		if sp.StartNS == 0 {
+			t.Fatalf("span %s missing start", sp.Name)
+		}
+	}
+
+	// Chrome trace_event form.
+	rec = httptest.NewRecorder()
+	Handler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace?format=chrome", nil))
+	var chrome struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &chrome); err != nil {
+		t.Fatalf("unmarshal chrome export: %v", err)
+	}
+	if len(chrome.TraceEvents) != 2 {
+		t.Fatalf("chrome export has %d events", len(chrome.TraceEvents))
+	}
+	for _, ev := range chrome.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %s has phase %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.Args["trace"] != root.Trace().String() {
+			t.Fatalf("event %s trace arg %q", ev.Name, ev.Args["trace"])
+		}
+	}
+}
+
+func TestContextCarriesCtx(t *testing.T) {
+	tr := NewTracer(8)
+	tr.SetSampling(1)
+	root := tr.Start("root")
+	ctx := NewContext(context.Background(), root)
+	got := FromContext(ctx)
+	if !got.Sampled() || got.Trace() != root.Trace() || got.Span() != root.Span() {
+		t.Fatal("context round-trip lost the span handle")
+	}
+	// Unsampled handles are not stored.
+	if NewContext(context.Background(), Ctx{}) != context.Background() {
+		t.Fatal("unsampled ctx should return the parent context unchanged")
+	}
+	if FromContext(context.Background()).Sampled() {
+		t.Fatal("empty context produced a sampled handle")
+	}
+}

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Benchmark runner: executes the paper-reproduction benchmarks (Table 1-9 at
+# the repo root, plus the pbio codec microbenchmarks) with -benchmem and
+# writes a machine-readable baseline to BENCH_baseline.json, so a later PR
+# can diff its numbers against the committed state of the tree.
+#
+# Usage:
+#   scripts/bench.sh                 # full run, ~minutes, 3 iterations each
+#   BENCH_TIME=100x scripts/bench.sh # CI smoke mode: fixed tiny iteration count
+#   BENCH_COUNT=1 scripts/bench.sh   # single iteration per benchmark
+#
+# The JSON output is a line-delimited array of objects parsed from `go test
+# -bench` output: name, iterations, ns/op, B/op, allocs/op.
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCH_TIME="${BENCH_TIME:-1s}"
+BENCH_COUNT="${BENCH_COUNT:-1}"
+OUT="${BENCH_OUT:-BENCH_baseline.json}"
+TXT="$(mktemp)"
+trap 'rm -f "$TXT"' EXIT
+
+echo "== root benchmarks (Table 1-9) + pbio codec benchmarks"
+go test -run xxx -bench 'BenchmarkTable|BenchmarkBindingVsGeneric' -benchmem \
+    -benchtime "$BENCH_TIME" -count "$BENCH_COUNT" . | tee "$TXT"
+go test -run xxx -bench . -benchmem \
+    -benchtime "$BENCH_TIME" -count "$BENCH_COUNT" ./internal/pbio/ | tee -a "$TXT"
+
+# Convert `go test -bench` lines into JSON. Benchmark lines look like:
+#   BenchmarkTable1Registration/native-8  1000  1234 ns/op  56 B/op  7 allocs/op
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1; iters = $2; ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (!first) printf ",\n"
+    first = 0
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+    if (bytes != "")  printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { print "\n]" }
+' "$TXT" > "$OUT"
+
+echo "bench: wrote $(grep -c '"name"' "$OUT") results to $OUT"

@@ -27,7 +27,7 @@ func DefaultObserver() *Observer { return obsv.Default() }
 
 // Stats returns a point-in-time snapshot of the default observer: counter
 // and gauge values under their names, histograms flattened to .count, .sum,
-// .max, .p50 and .p99 keys. Metric names are stable and documented in the
+// .max, .p50, .p95 and .p99 keys. Metric names are stable and documented in the
 // README's Observability section; the important ones:
 //
 //	pbio.formats.registered    formats registered locally
@@ -60,6 +60,10 @@ func StatsDelta(before, after map[string]int64) map[string]int64 {
 func StatsHandler() http.Handler { return obsv.Default().Handler() }
 
 // DebugHandler returns the full debug endpoint the daemons mount behind
-// their -debug-addr flag: /stats (JSON snapshot), /debug/vars (expvar) and
-// /debug/pprof/... (net/http/pprof).
-func DebugHandler() http.Handler { return obsv.DebugMux(obsv.Default()) }
+// their -debug-addr flag: /stats (JSON snapshot), /metrics (Prometheus text
+// exposition), /debug/trace (recent spans, see TraceHandler), /debug/vars
+// (expvar) and /debug/pprof/... (net/http/pprof).
+func DebugHandler() http.Handler {
+	return obsv.DebugMux(obsv.Default(),
+		obsv.DebugEndpoint{Path: "/debug/trace", Handler: TraceHandler()})
+}
