@@ -9,22 +9,28 @@
 //	eventbusd -addr :8701
 //	eventbusd -addr :8701 -debug-addr 127.0.0.1:8781 -queue-depth 512
 //
-// With -debug-addr the broker serves live counters (/stats, /debug/vars)
-// and pprof profiles (/debug/pprof/) on a second listener:
+// With -debug-addr the broker serves live counters (/stats, /debug/vars),
+// the protocol flight recorder (/debug/flight), health endpoints (/healthz,
+// /readyz) and pprof profiles (/debug/pprof/) on a second listener:
 //
 //	curl http://127.0.0.1:8781/stats
+//	curl http://127.0.0.1:8781/debug/flight?n=50
+//	curl http://127.0.0.1:8781/readyz
 //
+// Diagnostics go to stderr via log/slog; -log-format selects text or json.
 // The broker exits cleanly on SIGINT/SIGTERM.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"log/slog"
+
+	"openmeta/internal/dcg"
 	"openmeta/internal/eventbus"
 	"openmeta/internal/obsv"
 	"openmeta/internal/trace"
@@ -40,14 +46,21 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("eventbusd", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8701", "listen address")
-	debugAddr := fs.String("debug-addr", "", "serve /stats, /debug/vars and /debug/pprof on this address")
+	debugAddr := fs.String("debug-addr", "", "serve /stats, /debug/vars, /debug/flight, /healthz, /readyz and /debug/pprof on this address")
 	queueDepth := fs.Int("queue-depth", 0, "per-subscriber outbound queue depth (0 = default)")
 	writeDeadline := fs.Duration("write-deadline", 0, "per-subscriber flush deadline before a stalled peer is dropped (0 = default 2s)")
 	statsInterval := fs.Duration("stats-interval", 0, "log a one-line stats delta this often (0 = off)")
 	traceSample := fs.Int("trace-sample", 0, "record spans for 1 in N traces (1 = all, 0 = tracing off)")
+	planCacheMax := fs.Int("plan-cache-max", 0, "bound the scoped-conversion plan cache to this many entries (0 = unbounded)")
+	logFormat := fs.String("log-format", "text", "diagnostic log format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger, err := obsv.NewSlog(*logFormat, os.Stderr)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 	trace.Default().SetSampling(*traceSample)
 	var opts []eventbus.BrokerOption
 	if *queueDepth > 0 {
@@ -56,27 +69,46 @@ func run(args []string) error {
 	if *writeDeadline > 0 {
 		opts = append(opts, eventbus.WithWriteDeadline(*writeDeadline))
 	}
+	if *planCacheMax > 0 {
+		opts = append(opts, eventbus.WithPlanCache(dcg.NewCache(dcg.WithMaxEntries(*planCacheMax))))
+	}
 	broker, err := eventbus.Listen(*addr, opts...)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("eventbusd: event backbone listening on %s\n", broker.Addr())
+	logger.Info("event backbone listening", "component", "eventbusd", "addr", broker.Addr().String())
+
+	// Readiness: the broker must be accepting, and a bounded plan cache must
+	// be holding its bound (a breach means eviction is broken, not just load).
+	obsv.RegisterProbe("broker", broker.Healthy)
+	if max := *planCacheMax; max > 0 {
+		obsv.RegisterProbe("plan-cache", func() error {
+			if n := broker.PlanCacheLen(); n > max {
+				return fmt.Errorf("plan cache holds %d entries, bound %d", n, max)
+			}
+			return nil
+		})
+	}
+
 	if *debugAddr != "" {
 		dbg, err := obsv.ListenAndServeDebug(*debugAddr, obsv.Default(),
 			obsv.DebugEndpoint{Path: "/debug/trace", Handler: trace.Handler(trace.Default())})
 		if err != nil {
 			return err
 		}
-		fmt.Printf("eventbusd: stats, metrics, traces and pprof at http://%s/stats\n", dbg)
+		logger.Info("debug endpoints up", "component", "eventbusd",
+			"addr", dbg.String(), "paths", "/stats /metrics /debug/flight /debug/trace /healthz /readyz /debug/pprof")
 	}
 	if *statsInterval > 0 {
-		stop := obsv.StartStatsLogger(obsv.Default(), *statsInterval, log.Printf)
+		stop := obsv.StartStatsLogger(obsv.Default(), *statsInterval, func(format string, args ...interface{}) {
+			logger.Info(fmt.Sprintf(format, args...), "component", "stats")
+		})
 		defer stop()
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("eventbusd: shutting down")
+	logger.Info("shutting down", "component", "eventbusd")
 	return broker.Close()
 }

@@ -8,18 +8,23 @@
 //	metaserver -addr :8700 -builtin                # serve the airline scenario schemas
 //
 // Documents are validated on load; GET /schemas/ lists names, GET
-// /schemas/<name> returns a document with an ETag for revalidation.
+// /schemas/<name> returns a document with an ETag for revalidation. With
+// -debug-addr a second listener serves /stats, /metrics, /debug/flight,
+// /healthz, /readyz and pprof. Diagnostics go to stderr via log/slog;
+// -log-format selects text or json.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+
+	"log/slog"
 
 	"openmeta/internal/airline"
 	"openmeta/internal/discovery"
@@ -39,11 +44,17 @@ func run(args []string) error {
 	dir := fs.String("dir", "", "directory of <name>.xsd schema documents to serve")
 	builtin := fs.Bool("builtin", false, "serve the built-in airline scenario schemas")
 	writable := fs.Bool("writable", false, "accept PUT/DELETE so streams can publish their own metadata")
-	debugAddr := fs.String("debug-addr", "", "serve /stats, /debug/vars and /debug/pprof on this address")
+	debugAddr := fs.String("debug-addr", "", "serve /stats, /debug/vars, /healthz, /readyz and /debug/pprof on this address")
 	statsInterval := fs.Duration("stats-interval", 0, "log a one-line stats delta this often (0 = off)")
+	logFormat := fs.String("log-format", "text", "diagnostic log format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger, err := obsv.NewSlog(*logFormat, os.Stderr)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 
 	repo := discovery.NewRepository()
 	repo.SetWritable(*writable)
@@ -84,21 +95,35 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("metaserver: serving %d schemas at http://%s%s\n",
-		loaded, ln.Addr(), discovery.SchemaPathPrefix)
+	logger.Info("serving schemas", "component", "metaserver",
+		"count", loaded, "url", "http://"+ln.Addr().String()+discovery.SchemaPathPrefix)
+
+	// Readiness: a read-only repository that has lost all its documents
+	// cannot answer discovery, so it must stop advertising ready.
+	canWrite := *writable
+	obsv.RegisterProbe("repository", func() error {
+		if len(repo.Names()) == 0 && !canWrite {
+			return errors.New("repository empty and read-only")
+		}
+		return nil
+	})
+
 	if *debugAddr != "" {
 		dbg, err := obsv.ListenAndServeDebug(*debugAddr, obsv.Default())
 		if err != nil {
 			return err
 		}
-		fmt.Printf("metaserver: stats and pprof at http://%s/stats\n", dbg)
+		logger.Info("debug endpoints up", "component", "metaserver",
+			"addr", dbg.String(), "paths", "/stats /metrics /healthz /readyz /debug/pprof")
 	}
 	if *statsInterval > 0 {
-		stop := obsv.StartStatsLogger(obsv.Default(), *statsInterval, log.Printf)
+		stop := obsv.StartStatsLogger(obsv.Default(), *statsInterval, func(format string, args ...interface{}) {
+			logger.Info(fmt.Sprintf(format, args...), "component", "stats")
+		})
 		defer stop()
 	}
 	for _, n := range repo.Names() {
-		fmt.Printf("  %s\n", n)
+		logger.Info("schema loaded", "component", "metaserver", "name", n)
 	}
 	srv := &http.Server{Handler: repo.Handler()}
 	return srv.Serve(ln)

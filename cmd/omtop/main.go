@@ -13,6 +13,12 @@
 // gauges display as their current value; a histogram named h collapses the
 // h.count/.sum/.max/.p50/.p95/.p99 keys into one line with the event rate,
 // quantiles and max.
+//
+// With -formats the display pivots to per-format wire accounting instead:
+// one row per format label found in the snapshot's labeled families
+// (pbio.format.* and eventbus.wire.*), with encode/decode rates, bus
+// record/byte rates, metadata bytes and the live NDR-to-XML-text expansion
+// ratio.
 package main
 
 import (
@@ -41,8 +47,13 @@ func run(args []string, out io.Writer) error {
 	n := fs.Int("n", 0, "exit after n refreshes (0 = run until killed)")
 	once := fs.Bool("once", false, "print one snapshot and exit (no rates)")
 	clear := fs.Bool("clear", true, "clear the terminal between refreshes")
+	formats := fs.Bool("formats", false, "show the per-format wire accounting view")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	view := render
+	if *formats {
+		view = renderFormats
 	}
 	base := *addr
 	if !strings.Contains(base, "://") {
@@ -55,7 +66,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if *once {
-		fmt.Fprint(out, render(url, nil, prev, 0))
+		fmt.Fprint(out, view(url, nil, prev, 0))
 		return nil
 	}
 	for i := 0; *n == 0 || i < *n; i++ {
@@ -67,7 +78,7 @@ func run(args []string, out io.Writer) error {
 		if *clear {
 			fmt.Fprint(out, "\x1b[2J\x1b[H")
 		}
-		fmt.Fprint(out, render(url, prev, cur, *interval))
+		fmt.Fprint(out, view(url, prev, cur, *interval))
 		prev = cur
 	}
 	return nil
@@ -141,6 +152,135 @@ func render(source string, prev, cur map[string]int64, elapsed time.Duration) st
 			fmt.Fprintf(&b, "%-44s %10.1f %10d %10d %10d %10d\n",
 				base, rate, cur[base+".p50"], cur[base+".p95"], cur[base+".p99"], cur[base+".max"])
 		}
+	}
+	return b.String()
+}
+
+// splitLabels splits a labeled snapshot key like `name{k="v",k2="v2"}` into
+// the bare family name and its label values. Keys without a label block
+// return ok = false.
+func splitLabels(key string) (base string, labels map[string]string, ok bool) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 || !strings.HasSuffix(key, "}") {
+		return "", nil, false
+	}
+	labels = make(map[string]string)
+	for _, pair := range strings.Split(key[i+1:len(key)-1], ",") {
+		eq := strings.Index(pair, `="`)
+		if eq < 0 || !strings.HasSuffix(pair, `"`) {
+			return "", nil, false
+		}
+		labels[pair[:eq]] = pair[eq+2 : len(pair)-1]
+	}
+	return key[:i], labels, true
+}
+
+// fmtRow aggregates one format's numbers across the labeled wire-accounting
+// families. Eventbus values are summed across streams.
+type fmtRow struct {
+	encRecs, encBytes int64
+	decRecs, decBytes int64
+	busRecs, busBytes int64
+	pbioMeta, busMeta int64
+	expansionPct      int64
+	hasExpansion      bool
+}
+
+func formatRows(snap map[string]int64) map[string]*fmtRow {
+	rows := make(map[string]*fmtRow)
+	for k, v := range snap {
+		base, labels, ok := splitLabels(k)
+		if !ok || labels["format"] == "" {
+			continue
+		}
+		r := rows[labels["format"]]
+		if r == nil {
+			r = &fmtRow{}
+			rows[labels["format"]] = r
+		}
+		switch base {
+		case "pbio.format.encoded.records":
+			r.encRecs += v
+		case "pbio.format.encoded.bytes":
+			r.encBytes += v
+		case "pbio.format.decoded.records":
+			r.decRecs += v
+		case "pbio.format.decoded.bytes":
+			r.decBytes += v
+		case "pbio.format.meta.bytes":
+			r.pbioMeta += v
+		case "pbio.format.xml.expansion_pct":
+			r.expansionPct = v
+			r.hasExpansion = true
+		case "eventbus.wire.records":
+			r.busRecs += v
+		case "eventbus.wire.bytes":
+			r.busBytes += v
+		case "eventbus.wire.meta.bytes":
+			r.busMeta += v
+		}
+	}
+	return rows
+}
+
+// renderFormats formats the per-format wire accounting view: one row per
+// format label seen in the snapshot. With prev == nil counter columns show
+// absolute totals; otherwise per-second rates over elapsed. Metadata bytes
+// come from the codec-side family when present, falling back to the broker's
+// wire.meta.bytes; the ndr:xml column is the live expansion-ratio gauge.
+func renderFormats(source string, prev, cur map[string]int64, elapsed time.Duration) string {
+	rows := formatRows(cur)
+	var prevRows map[string]*fmtRow
+	if prev != nil {
+		prevRows = formatRows(prev)
+	}
+	names := make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "omtop formats  %s  %s\n\n", source, time.Now().Format("15:04:05"))
+	if len(names) == 0 {
+		b.WriteString("no labeled per-format series in this snapshot\n")
+		return b.String()
+	}
+	unit := "/s"
+	if prevRows == nil {
+		unit = " total"
+	}
+	fmt.Fprintf(&b, "%-24s %11s %11s %11s %11s %11s %11s %8s %8s\n", "format",
+		"enc"+unit, "enc B"+unit, "dec"+unit, "dec B"+unit,
+		"bus"+unit, "bus B"+unit, "meta B", "ndr:xml")
+	for _, name := range names {
+		r := rows[name]
+		p := &fmtRow{}
+		if prevRows != nil {
+			if pr := prevRows[name]; pr != nil {
+				p = pr
+			}
+		}
+		val := func(cur, prev int64) float64 {
+			if prevRows == nil {
+				return float64(cur)
+			}
+			return perSecond(cur-prev, elapsed)
+		}
+		meta := r.pbioMeta
+		if meta == 0 {
+			meta = r.busMeta
+		}
+		xml := "-"
+		if r.hasExpansion {
+			xml = fmt.Sprintf("%.2fx", float64(r.expansionPct)/100)
+		}
+		fmt.Fprintf(&b, "%-24s %11.1f %11.1f %11.1f %11.1f %11.1f %11.1f %8d %8s\n",
+			name,
+			val(r.encRecs, p.encRecs), val(r.encBytes, p.encBytes),
+			val(r.decRecs, p.decRecs), val(r.decBytes, p.decBytes),
+			val(r.busRecs, p.busRecs), val(r.busBytes, p.busBytes),
+			meta, xml)
 	}
 	return b.String()
 }

@@ -107,6 +107,83 @@ func TestRunOnceAgainstLiveServer(t *testing.T) {
 	}
 }
 
+func TestSplitLabels(t *testing.T) {
+	base, labels, ok := splitLabels(`eventbus.wire.records{stream="flights",format="ASDOffEvent"}`)
+	if !ok || base != "eventbus.wire.records" {
+		t.Fatalf("base = %q, ok = %v", base, ok)
+	}
+	if labels["stream"] != "flights" || labels["format"] != "ASDOffEvent" {
+		t.Fatalf("labels = %v", labels)
+	}
+	if _, _, ok := splitLabels("plain.counter"); ok {
+		t.Fatal("unlabeled key parsed as labeled")
+	}
+}
+
+func TestRenderFormatsAggregatesPerFormat(t *testing.T) {
+	prev := map[string]int64{
+		`pbio.format.encoded.records{format="ASDOffEvent"}`:      100,
+		`pbio.format.encoded.bytes{format="ASDOffEvent"}`:        4000,
+		`eventbus.wire.records{stream="a",format="ASDOffEvent"}`: 50,
+		`eventbus.wire.records{stream="b",format="ASDOffEvent"}`: 50,
+		`pbio.format.meta.bytes{format="ASDOffEvent"}`:           321,
+		`pbio.format.xml.expansion_pct{format="ASDOffEvent"}`:    662,
+		`pbio.format.decoded.records{format="CheckinEvent"}`:     10,
+	}
+	cur := map[string]int64{
+		`pbio.format.encoded.records{format="ASDOffEvent"}`:      200,
+		`pbio.format.encoded.bytes{format="ASDOffEvent"}`:        8000,
+		`eventbus.wire.records{stream="a",format="ASDOffEvent"}`: 80,
+		`eventbus.wire.records{stream="b",format="ASDOffEvent"}`: 120,
+		`pbio.format.meta.bytes{format="ASDOffEvent"}`:           321,
+		`pbio.format.xml.expansion_pct{format="ASDOffEvent"}`:    662,
+		`pbio.format.decoded.records{format="CheckinEvent"}`:     30,
+		"plain.counter": 5,
+	}
+	out := renderFormats("test", prev, cur, 2*time.Second)
+
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "ASDOffEvent") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("no row for ASDOffEvent:\n%s", out)
+	}
+	// 100 encodes / 2s = 50/s; bus records sum across both streams:
+	// (80+120)-(50+50) = 100 / 2s = 50/s; metadata bytes absolute; the
+	// expansion gauge prints as a ratio.
+	for _, want := range []string{"50.0", "2000.0", "321", "6.62x"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("format row missing %q: %q", want, line)
+		}
+	}
+	if !strings.Contains(out, "CheckinEvent") {
+		t.Fatalf("second format missing:\n%s", out)
+	}
+	if strings.Contains(out, "plain.counter") {
+		t.Fatalf("unlabeled key leaked into formats view:\n%s", out)
+	}
+}
+
+func TestRenderFormatsOnceShowsTotals(t *testing.T) {
+	cur := map[string]int64{
+		`pbio.format.encoded.records{format="X"}`: 7,
+	}
+	out := renderFormats("test", nil, cur, 0)
+	if !strings.Contains(out, "enc total") || !strings.Contains(out, "7.0") {
+		t.Fatalf("once mode should print absolute totals:\n%s", out)
+	}
+}
+
+func TestRenderFormatsEmpty(t *testing.T) {
+	out := renderFormats("test", nil, map[string]int64{"plain": 1}, 0)
+	if !strings.Contains(out, "no labeled per-format series") {
+		t.Fatalf("empty formats view should say so:\n%s", out)
+	}
+}
+
 func TestRunPollsForNRefreshes(t *testing.T) {
 	r := obsv.New()
 	c := r.Counter("ticks")

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"openmeta/internal/machine"
+	"openmeta/internal/obsv"
+	"openmeta/internal/pbio"
+	"openmeta/internal/xmlwire"
+)
+
+// asdPositionSpec is an Appendix A-style structure from the paper's ATC
+// application domain: the all-numeric mix (4-byte counters and unsigned
+// measurements) for which the paper claims 6-8x ASCII expansion. The string
+// fields of Structure A dilute the ratio (a string is roughly the same size
+// in both encodings), so the numeric variant is where the claimed band must
+// show.
+func asdPositionSpec() []pbio.FieldSpec {
+	return []pbio.FieldSpec{
+		{Name: "fltNum", Kind: pbio.Int, CType: machine.CInt},
+		{Name: "altitude", Kind: pbio.Int, CType: machine.CInt},
+		{Name: "groundSpeed", Kind: pbio.Int, CType: machine.CInt},
+		{Name: "heading", Kind: pbio.Int, CType: machine.CInt},
+		{Name: "squawk", Kind: pbio.Int, CType: machine.CInt},
+		{Name: "sectorID", Kind: pbio.Int, CType: machine.CInt},
+		{Name: "off", Kind: pbio.Uint, CType: machine.CUInt},
+		{Name: "eta", Kind: pbio.Uint, CType: machine.CUInt},
+	}
+}
+
+func asdPositionRecord() pbio.Record {
+	return pbio.Record{
+		"fltNum": 1842, "altitude": 35000, "groundSpeed": 441,
+		"heading": 278, "squawk": 1200, "sectorID": 38,
+		"off": uint64(35000), "eta": uint64(39000),
+	}
+}
+
+// TestLiveExpansionRatioInPaperBand is the acceptance gate for the
+// per-format expansion gauge: encoding an Appendix A-style numeric record
+// through a context must leave pbio.format.xml.expansion_pct{format=...} in
+// the paper's claimed 6-8x band, and the gauge must agree with a direct
+// xmlwire-vs-NDR size comparison of the same record.
+func TestLiveExpansionRatioInPaperBand(t *testing.T) {
+	reg := obsv.New()
+	ctx, err := pbio.NewContext(machine.Native, pbio.WithObserver(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ctx.RegisterSpec("ASDPositionEvent", asdPositionSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := asdPositionRecord()
+	ndr, err := f.Encode(rec) // first encode probes the XML-text size
+	if err != nil {
+		t.Fatal(err)
+	}
+	xml, err := xmlwire.EncodeRecord(f, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	key := `pbio.format.xml.expansion_pct{format="ASDPositionEvent"}`
+	got := reg.Snapshot()[key]
+	if want := int64(len(xml)) * 100 / int64(len(ndr)); got != want {
+		t.Fatalf("gauge = %d, want %d (xml %d B / ndr %d B)", got, want, len(xml), len(ndr))
+	}
+	if got < 600 || got > 800 {
+		t.Fatalf("expansion ratio %d%% outside the paper's 6-8x band (xml %d B, ndr %d B)",
+			got, len(xml), len(ndr))
+	}
+}
+
+// TestMixedWorkloadExpansionObserved sanity-checks the gauge over the
+// standard size sweep: mixed records (strings included) still expand, just
+// below the numeric-only band, matching the repo's Table 2 note.
+func TestMixedWorkloadExpansionObserved(t *testing.T) {
+	reg := obsv.New()
+	ctx, err := pbio.NewContext(machine.Native, pbio.WithObserver(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	works, err := SizeSweep(ctx, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range works {
+		if _, err := w.Format.Encode(w.Record); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	for _, w := range works {
+		key := fmt.Sprintf("pbio.format.xml.expansion_pct{format=%q}", w.Name)
+		if v := snap[key]; v < 200 {
+			t.Errorf("%s = %d, want XML text at least 2x NDR", key, v)
+		}
+	}
+}

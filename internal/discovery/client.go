@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"openmeta/internal/flight"
 	"openmeta/internal/obsv"
 	"openmeta/internal/retry"
 	"openmeta/internal/trace"
@@ -82,6 +83,7 @@ type Client struct {
 	staleFor time.Duration
 	now      func() time.Time
 	obs      clientMetrics
+	rec      *flight.Recorder
 
 	mu    sync.Mutex
 	cache map[string]*clientEntry
@@ -148,6 +150,17 @@ func WithObserver(r *obsv.Registry) ClientOption {
 	return func(c *Client) { c.obs = newClientMetrics(r) }
 }
 
+// WithFlightRecorder directs the client's flight events (fetch outcomes,
+// stale serves) into r instead of the process-default recorder served at
+// /debug/flight.
+func WithFlightRecorder(r *flight.Recorder) ClientOption {
+	return func(c *Client) {
+		if r != nil {
+			c.rec = r
+		}
+	}
+}
+
 // NewClient returns a client for the repository rooted at baseURL (e.g.
 // "http://metadata.example.com"; the /schemas/ prefix is appended).
 func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
@@ -165,6 +178,7 @@ func NewClient(baseURL string, opts ...ClientOption) (*Client, error) {
 		retry: retry.Policy{MaxAttempts: 1},
 		now:   time.Now,
 		obs:   defaultClientMetrics,
+		rec:   flight.Default(),
 		cache: make(map[string]*clientEntry),
 	}
 	for _, opt := range opts {
@@ -217,8 +231,10 @@ func (c *Client) Schema(ctx context.Context, name string) (*xmlschema.Schema, er
 	})
 	sp.FinishDetail(name)
 	if err == nil {
+		c.rec.Record(flight.KindDiscovery, 0, "", 0, 0, "fetch "+name+" ok")
 		return out, nil
 	}
+	c.rec.Record(flight.KindDiscovery, 0, "", 0, 0, "fetch "+name+" failed: "+err.Error())
 	if errors.Is(err, ErrNotFound) {
 		// Absence is an answer, not an outage; never mask it with a stale
 		// copy (the repository may have deliberately unpublished it).
@@ -249,6 +265,7 @@ func (c *Client) serveStale(name string, fetchErr error) (*xmlschema.Schema, err
 			ErrStale, name, age.Round(time.Millisecond), c.ttl+c.staleFor, fetchErr)
 	}
 	c.obs.staleServed.Add(1)
+	c.rec.Record(flight.KindDiscovery, 0, "", 0, 0, "stale served: "+name)
 	return s, nil
 }
 
@@ -375,6 +392,28 @@ func (c *Client) write(ctx context.Context, method, name string, body io.Reader)
 		return nil, fmt.Errorf("discovery: %s %q: %w", method, name, err)
 	}
 	return resp, nil
+}
+
+// ProbeReachable returns a readiness probe (shaped for obsv.RegisterProbe)
+// reporting whether the repository answers HTTP at all. Any response — even
+// an error status — proves reachability; only transport failures fail the
+// probe.
+func (c *Client) ProbeReachable() func() error {
+	return func() error {
+		u := *c.base
+		u.Path = strings.TrimSuffix(u.Path, "/") + SchemaPathPrefix
+		req, err := http.NewRequest(http.MethodGet, u.String(), nil)
+		if err != nil {
+			return err
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return fmt.Errorf("repository unreachable: %w", err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		return nil
+	}
 }
 
 // Invalidate drops the cached entry for name (all entries when name is "").

@@ -1,10 +1,12 @@
 package eventbus
 
 import (
+	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"sort"
 	"strings"
@@ -13,6 +15,7 @@ import (
 	"time"
 
 	"openmeta/internal/dcg"
+	"openmeta/internal/flight"
 	"openmeta/internal/obsv"
 	"openmeta/internal/pbio"
 	"openmeta/internal/trace"
@@ -25,7 +28,7 @@ import (
 // travels to that subscriber.
 type Broker struct {
 	ln            net.Listener
-	logf          func(format string, args ...interface{})
+	log           *slog.Logger
 	wg            sync.WaitGroup
 	closed        chan struct{}
 	queueDepth    int
@@ -34,6 +37,7 @@ type Broker struct {
 	obs    obsv.Scope
 	m      brokerMetrics
 	tracer *trace.Tracer
+	rec    *flight.Recorder
 	// legacy makes the broker behave like a pre-hello build: frames 10+ are
 	// rejected with a frameError. Exists so interop tests can prove that a
 	// new client falls back cleanly against an old peer.
@@ -57,6 +61,15 @@ type brokerMetrics struct {
 	dropped     *obsv.Counter // frames discarded on full subscriber queues
 	formatsSent *obsv.Counter // format-metadata frames sent to subscribers
 	slowStalls  *obsv.Counter // must-send stalls on slow subscribers
+
+	// Labeled per-stream × per-format wire accounting. Children are resolved
+	// once per (stream, format) pair when the pair first appears (see
+	// stream.wireFor), so the routing hot path only touches counters.
+	wireRecVec  *obsv.CounterVec // wire.records{stream,format}: records published
+	wireByteVec *obsv.CounterVec // wire.bytes{stream,format}: record bytes published
+	delRecVec   *obsv.CounterVec // wire.delivered.records{stream,format}
+	delByteVec  *obsv.CounterVec // wire.delivered.bytes{stream,format}
+	metaByteVec *obsv.CounterVec // wire.meta.bytes{stream,format}: metadata bytes sent
 }
 
 func newBrokerMetrics(s obsv.Scope) brokerMetrics {
@@ -66,6 +79,11 @@ func newBrokerMetrics(s obsv.Scope) brokerMetrics {
 		dropped:     s.Counter("dropped"),
 		formatsSent: s.Counter("formats_sent"),
 		slowStalls:  s.Counter("slow_subscriber_stalls"),
+		wireRecVec:  s.CounterVec("wire.records", "stream", "format"),
+		wireByteVec: s.CounterVec("wire.bytes", "stream", "format"),
+		delRecVec:   s.CounterVec("wire.delivered.records", "stream", "format"),
+		delByteVec:  s.CounterVec("wire.delivered.bytes", "stream", "format"),
+		metaByteVec: s.CounterVec("wire.meta.bytes", "stream", "format"),
 	}
 }
 
@@ -99,7 +117,54 @@ type stream struct {
 	published *obsv.Counter
 	delivered *obsv.Counter
 	dropped   *obsv.Counter
+
+	// wire resolves the labeled (stream, format) counter children once per
+	// format seen on the stream. Guarded by the broker mutex.
+	wire map[pbio.FormatID]*streamWire
 }
+
+// streamWire carries one (stream, format) pair's resolved labeled counters
+// plus the identifiers flight events need, so the fanout hot path touches no
+// maps or label vectors.
+type streamWire struct {
+	stream string
+	fname  string
+	id     uint64 // big-endian view of the pbio.FormatID, as flight reports it
+
+	recs      *obsv.Counter
+	bytes     *obsv.Counter
+	delRecs   *obsv.Counter
+	delBytes  *obsv.Counter
+	metaBytes *obsv.Counter
+}
+
+// wireFor returns (resolving and memoizing on first use) the pair's counters.
+// Caller holds the broker mutex.
+func (st *stream) wireFor(m *brokerMetrics, fm formatMeta) *streamWire {
+	if w, ok := st.wire[fm.id]; ok {
+		return w
+	}
+	name, err := pbio.MetaRootName(fm.meta)
+	if err != nil || name == "" {
+		name = fm.id.String() // undecodable metadata: fall back to the hex id
+	}
+	w := &streamWire{
+		stream:    st.name,
+		fname:     name,
+		id:        fid64(fm.id),
+		recs:      m.wireRecVec.With(st.name, name),
+		bytes:     m.wireByteVec.With(st.name, name),
+		delRecs:   m.delRecVec.With(st.name, name),
+		delBytes:  m.delByteVec.With(st.name, name),
+		metaBytes: m.metaByteVec.With(st.name, name),
+	}
+	st.wire[fm.id] = w
+	return w
+}
+
+// fid64 renders a format ID as the uint64 flight events and /debug/flight
+// filters use.
+func fid64(id pbio.FormatID) uint64 { return binary.BigEndian.Uint64(id[:]) }
 
 type formatMeta struct {
 	id   pbio.FormatID
@@ -108,6 +173,9 @@ type formatMeta struct {
 
 type brokerConn struct {
 	conn net.Conn
+	// id is the process-unique connection id flight events carry, allocated
+	// from the same sequence clients use so /debug/flight never aliases.
+	id uint64
 
 	// out is the bounded outbound queue; a dedicated writer goroutine
 	// drains it so one slow subscriber cannot stall publishers. Event
@@ -150,9 +218,35 @@ const outQueueDepth = 256
 // BrokerOption configures a Broker.
 type BrokerOption func(*Broker)
 
-// WithLogger directs broker diagnostics to logf (default: log.Printf).
+// WithSlog directs broker diagnostics to l (default: slog.Default()). A
+// component=eventbus.broker attribute is appended either way.
+func WithSlog(l *slog.Logger) BrokerOption {
+	return func(b *Broker) {
+		if l != nil {
+			b.log = l
+		}
+	}
+}
+
+// WithLogger directs broker diagnostics to a printf-style sink. Retained for
+// compatibility with pre-slog callers; new code should use WithSlog.
 func WithLogger(logf func(format string, args ...interface{})) BrokerOption {
-	return func(b *Broker) { b.logf = logf }
+	return func(b *Broker) {
+		if logf != nil {
+			b.log = slog.New(printfHandler{logf: logf})
+		}
+	}
+}
+
+// WithFlightRecorder directs the broker's protocol events (connection churn,
+// hello outcomes, frame and format traffic, slow-subscriber drops, errors)
+// into r instead of the process-default recorder served at /debug/flight.
+func WithFlightRecorder(r *flight.Recorder) BrokerOption {
+	return func(b *Broker) {
+		if r != nil {
+			b.rec = r
+		}
+	}
 }
 
 // WithQueueDepth bounds each subscriber's outbound frame queue to n frames
@@ -223,13 +317,14 @@ func WithLegacyProtocol() BrokerOption {
 func NewBroker(ln net.Listener, opts ...BrokerOption) *Broker {
 	b := &Broker{
 		ln:            ln,
-		logf:          log.Printf,
+		log:           slog.Default(),
 		closed:        make(chan struct{}),
 		queueDepth:    outQueueDepth,
 		writeDeadline: 2 * time.Second,
 		obs:           obsv.Default().Scope("eventbus"),
 		m:             defaultBrokerMetrics,
 		tracer:        trace.Default(),
+		rec:           flight.Default(),
 		conns:         make(map[*brokerConn]bool),
 		streams:       make(map[string]*stream),
 		plans:         dcg.NewCache(),
@@ -238,6 +333,7 @@ func NewBroker(ln net.Listener, opts ...BrokerOption) *Broker {
 	for _, opt := range opts {
 		opt(b)
 	}
+	b.log = b.log.With("component", "eventbus.broker")
 	// Queue depth is observable at snapshot time; with a shared registry the
 	// most recent broker wins the name, which is the common one-broker case.
 	b.obs.Func("queue_depth", b.queuedFrames)
@@ -323,11 +419,12 @@ func (b *Broker) acceptLoop() {
 				return
 			default:
 			}
-			b.logf("eventbus: accept: %v", err)
+			b.log.Error("accept failed", "err", err)
 			return
 		}
 		bc := &brokerConn{
 			conn:         conn,
+			id:           flight.NextConnID(),
 			out:          make(chan outFrame, b.queueDepth),
 			outClose:     make(chan struct{}),
 			writerDone:   make(chan struct{}),
@@ -339,6 +436,7 @@ func (b *Broker) acceptLoop() {
 		b.mu.Lock()
 		b.conns[bc] = true
 		b.mu.Unlock()
+		b.rec.Record(flight.KindConnOpen, bc.id, "", 0, 0, conn.RemoteAddr().String())
 		b.wg.Add(2)
 		go b.writeLoop(bc)
 		go b.handle(bc)
@@ -355,13 +453,17 @@ func (b *Broker) handle(bc *brokerConn) {
 			// io.EOF is a clean disconnect and net.ErrClosed our own
 			// shutdown; anything else is diagnostic.
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				b.logf("eventbus: conn %s: %v", bc.conn.RemoteAddr(), err)
+				b.log.Warn("read failed", "conn", bc.id, "remote", bc.conn.RemoteAddr().String(), "err", err)
+				b.rec.Record(flight.KindConnClose, bc.id, "", 0, 0, err.Error())
+			} else {
+				b.rec.Record(flight.KindConnClose, bc.id, "", 0, 0, "")
 			}
 			return
 		}
 		buf = newBuf
 		if err := b.dispatch(bc, typ, payload); err != nil {
-			b.logf("eventbus: conn %s: %v", bc.conn.RemoteAddr(), err)
+			b.log.Warn("dispatch failed", "conn", bc.id, "remote", bc.conn.RemoteAddr().String(), "err", err)
+			b.rec.Record(flight.KindBrokerError, bc.id, "", 0, 0, err.Error())
 			_ = bc.send(frameError, []byte(err.Error()))
 			return
 		}
@@ -379,6 +481,7 @@ func (b *Broker) dispatch(bc *brokerConn, typ byte, payload []byte) error {
 			return err
 		}
 		bc.caps.Store(caps & localCaps)
+		b.rec.Record(flight.KindHello, bc.id, "", 0, int64(caps&localCaps), "negotiated")
 		return bc.sendMust(frameHello, helloPayload(localCaps))
 
 	case frameAnnounce:
@@ -397,6 +500,7 @@ func (b *Broker) dispatch(bc *brokerConn, typ byte, payload []byte) error {
 			return err
 		}
 		bc.knownFormats[f.ID] = append([]byte(nil), payload...)
+		b.rec.Record(flight.KindFormatRecv, bc.id, "", fid64(f.ID), int64(len(payload)), f.Name)
 		return nil
 
 	case frameSubscribe:
@@ -425,11 +529,15 @@ func (b *Broker) dispatch(bc *brokerConn, typ byte, payload []byte) error {
 			delete(bc.scopes, name)
 		}
 		formats := append([]formatMeta(nil), st.formats...)
+		wires := make([]*streamWire, len(formats))
+		for i, fm := range formats {
+			wires[i] = st.wireFor(&b.m, fm)
+		}
 		b.mu.Unlock()
 		// Deliver the stream's known formats (sliced if scoped) so the
 		// subscriber can decode records that arrive immediately.
-		for _, fm := range formats {
-			if err := b.deliverFormat(bc, name, fm); err != nil {
+		for i, fm := range formats {
+			if err := b.deliverFormat(bc, name, fm, wires[i]); err != nil {
 				return err
 			}
 		}
@@ -484,6 +592,7 @@ func (b *Broker) ensureStream(name string) *stream {
 			published: sc("stream." + name + ".published"),
 			delivered: sc("stream." + name + ".delivered"),
 			dropped:   sc("stream." + name + ".dropped"),
+			wire:      make(map[pbio.FormatID]*streamWire),
 		}
 		b.streams[name] = st
 	}
@@ -496,6 +605,7 @@ func (b *Broker) ensureStream(name string) *stream {
 type delivery struct {
 	st     *stream
 	fm     formatMeta
+	w      *streamWire
 	record []byte // NDR record bytes (after the format id)
 	plain  []byte // frameEvent payload: stream || id || record
 	traced []byte // frameEventTrace payload: stream || trace ctx || id || record
@@ -546,6 +656,7 @@ func (b *Broker) publish(bc *brokerConn, payload []byte, isTraced bool) error {
 	if !st.hasFormat(id) {
 		st.formats = append(st.formats, formatMeta{id: id, meta: meta})
 	}
+	w := st.wireFor(&b.m, formatMeta{id: id, meta: meta})
 	subs := make([]*brokerConn, 0, len(st.subs))
 	for s := range st.subs {
 		subs = append(subs, s)
@@ -554,10 +665,14 @@ func (b *Broker) publish(bc *brokerConn, payload []byte, isTraced bool) error {
 
 	b.m.published.Add(1)
 	st.published.Add(1)
+	w.recs.Add(1)
+	w.bytes.Add(int64(len(rest) - 8))
+	b.rec.Record(flight.KindFrameRecv, bc.id, name, w.id, int64(len(rest)-8), "")
 
 	d := delivery{
 		st:       st,
 		fm:       formatMeta{id: id, meta: meta},
+		w:        w,
 		record:   rest[8:],
 		isTraced: isTraced,
 		tid:      tid,
@@ -582,7 +697,9 @@ func (b *Broker) publish(bc *brokerConn, payload []byte, isTraced bool) error {
 
 	for _, sub := range subs {
 		if err := b.deliver(sub, &d); err != nil {
-			b.logf("eventbus: drop subscriber %s: %v", sub.conn.RemoteAddr(), err)
+			b.log.Warn("dropping subscriber", "conn", sub.id,
+				"remote", sub.conn.RemoteAddr().String(), "stream", name, "err", err)
+			b.rec.Record(flight.KindBrokerError, sub.id, name, w.id, 0, err.Error())
 			b.drop(sub)
 		}
 	}
@@ -600,13 +717,13 @@ func (b *Broker) deliver(sub *brokerConn, d *delivery) error {
 	b.mu.Unlock()
 	subTraced := d.isTraced && sub.caps.Load()&capTrace != 0
 	if scope == nil {
-		if err := b.sendFormat(sub, d.fm); err != nil {
+		if err := b.sendFormat(sub, d.fm, d.w); err != nil {
 			return err
 		}
 		if subTraced {
-			return b.sendEvent(sub, d.st, frameEventTrace, d.tracedPayload())
+			return b.sendEvent(sub, d, frameEventTrace, d.tracedPayload())
 		}
-		return b.sendEvent(sub, d.st, frameEvent, d.plain)
+		return b.sendEvent(sub, d, frameEvent, d.plain)
 	}
 	sf, err := b.scopedFor(d.fm, scope, d.route)
 	if err != nil {
@@ -617,7 +734,7 @@ func (b *Broker) deliver(sub *brokerConn, d *delivery) error {
 	if err != nil {
 		return fmt.Errorf("scope projection: %w", err)
 	}
-	if err := b.sendFormat(sub, formatMeta{id: sf.format.ID, meta: sf.meta}); err != nil {
+	if err := b.sendFormat(sub, formatMeta{id: sf.format.ID, meta: sf.meta}, d.w); err != nil {
 		return err
 	}
 	payload := putStr(nil, d.st.name)
@@ -628,38 +745,42 @@ func (b *Broker) deliver(sub *brokerConn, d *delivery) error {
 	}
 	payload = append(payload, sf.format.ID[:]...)
 	payload = append(payload, converted...)
-	return b.sendEvent(sub, d.st, typ, payload)
+	return b.sendEvent(sub, d, typ, payload)
 }
 
 // sendEvent enqueues one event frame, counting delivery or the per-stream
-// drop.
-func (b *Broker) sendEvent(sub *brokerConn, st *stream, typ byte, payload []byte) error {
+// drop, in both the aggregate and the labeled (stream, format) families.
+func (b *Broker) sendEvent(sub *brokerConn, d *delivery, typ byte, payload []byte) error {
 	queued, err := sub.trySend(typ, payload)
 	if err != nil {
 		return err
 	}
 	if queued {
 		b.m.delivered.Add(1)
-		st.delivered.Add(1)
+		d.st.delivered.Add(1)
+		d.w.delRecs.Add(1)
+		d.w.delBytes.Add(int64(len(payload)))
+		b.rec.Record(flight.KindFrameSend, sub.id, d.st.name, d.w.id, int64(len(payload)), "")
 	} else {
-		st.dropped.Add(1)
+		d.st.dropped.Add(1)
+		b.rec.Record(flight.KindSlowSubDrop, sub.id, d.st.name, d.w.id, int64(len(payload)), "queue full")
 	}
 	return nil
 }
 
 // deliverFormat sends a stream format (or its scoped slice) to a subscriber.
-func (b *Broker) deliverFormat(sub *brokerConn, streamName string, fm formatMeta) error {
+func (b *Broker) deliverFormat(sub *brokerConn, streamName string, fm formatMeta, w *streamWire) error {
 	b.mu.Lock()
 	scope := sub.scopes[streamName]
 	b.mu.Unlock()
 	if scope == nil {
-		return b.sendFormat(sub, fm)
+		return b.sendFormat(sub, fm, w)
 	}
 	sf, err := b.scopedFor(fm, scope, trace.Ctx{})
 	if err != nil {
 		return fmt.Errorf("scope %v: %w", scope, err)
 	}
-	return b.sendFormat(sub, formatMeta{id: sf.format.ID, meta: sf.meta})
+	return b.sendFormat(sub, formatMeta{id: sf.format.ID, meta: sf.meta}, w)
 }
 
 // scopedFor returns (building and memoizing if needed) the slice of the
@@ -707,8 +828,10 @@ func (st *stream) hasFormat(id pbio.FormatID) bool {
 
 // sendFormat sends format metadata to a subscriber once. The decision and
 // the enqueue happen under one lock so the format frame is queued before
-// any event frame that needs it.
-func (b *Broker) sendFormat(sub *brokerConn, fm formatMeta) error {
+// any event frame that needs it. Metadata bytes count against the parent
+// (stream, format) wire pair when one is known — a scoped slice's bytes are
+// attributed to the full format it was derived from.
+func (b *Broker) sendFormat(sub *brokerConn, fm formatMeta, w *streamWire) error {
 	sub.wmu.Lock()
 	defer sub.wmu.Unlock()
 	if sub.sentFormats[fm.id] {
@@ -717,10 +840,17 @@ func (b *Broker) sendFormat(sub *brokerConn, fm formatMeta) error {
 	if err := sub.sendMust(frameFormat, fm.meta); err != nil {
 		if errors.Is(err, ErrSlowSubscriber) {
 			b.m.slowStalls.Add(1)
+			b.rec.Record(flight.KindSlowSubDrop, sub.id, "", fid64(fm.id), int64(len(fm.meta)), "format frame stalled")
 		}
 		return err
 	}
 	b.m.formatsSent.Add(1)
+	if w != nil {
+		w.metaBytes.Add(int64(len(fm.meta)))
+		b.rec.Record(flight.KindFormatSend, sub.id, w.stream, fid64(fm.id), int64(len(fm.meta)), w.fname)
+	} else {
+		b.rec.Record(flight.KindFormatSend, sub.id, "", fid64(fm.id), int64(len(fm.meta)), "")
+	}
 	sub.sentFormats[fm.id] = true
 	return nil
 }
@@ -873,3 +1003,50 @@ func (b *Broker) Stats() BrokerStats {
 //
 // Deprecated: use Stats().Dropped, which also survives connection teardown.
 func (b *Broker) DroppedEvents() int64 { return b.m.dropped.Load() }
+
+// Healthy reports nil while the broker is accepting connections. It is shaped
+// as a readiness probe for obsv.RegisterProbe.
+func (b *Broker) Healthy() error {
+	select {
+	case <-b.closed:
+		return errors.New("broker closed")
+	default:
+		return nil
+	}
+}
+
+// PlanCacheLen reports how many scoped-conversion plans are currently
+// memoized, for bounding probes against dcg.WithMaxEntries caches.
+func (b *Broker) PlanCacheLen() int { return b.plans.Len() }
+
+// printfHandler adapts a printf-style sink to slog, backing the WithLogger
+// compatibility shim. Attributes render as trailing key=value pairs.
+type printfHandler struct {
+	logf  func(format string, args ...interface{})
+	attrs []slog.Attr
+}
+
+func (h printfHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h printfHandler) Handle(_ context.Context, r slog.Record) error {
+	var sb strings.Builder
+	sb.WriteString("eventbus: ")
+	sb.WriteString(r.Message)
+	emit := func(a slog.Attr) bool {
+		fmt.Fprintf(&sb, " %s=%v", a.Key, a.Value.Any())
+		return true
+	}
+	for _, a := range h.attrs {
+		emit(a)
+	}
+	r.Attrs(emit)
+	h.logf("%s", sb.String())
+	return nil
+}
+
+func (h printfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	h.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return h
+}
+
+func (h printfHandler) WithGroup(string) slog.Handler { return h }

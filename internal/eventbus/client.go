@@ -8,8 +8,10 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"openmeta/internal/flight"
 	"openmeta/internal/obsv"
 	"openmeta/internal/pbio"
 	"openmeta/internal/retry"
@@ -37,6 +39,7 @@ type clientConfig struct {
 	reconnect   bool
 	policy      retry.Policy
 	tracer      *trace.Tracer
+	rec         *flight.Recorder
 }
 
 func defaultClientConfig() clientConfig {
@@ -48,7 +51,14 @@ func defaultClientConfig() clientConfig {
 			Max:         5 * time.Second,
 		},
 		tracer: trace.Default(),
+		rec:    flight.Default(),
 	}
+}
+
+// flightReconnect records one reconnect-path event (redial attempt outcome)
+// against the given connection id.
+func (c *clientConfig) flightReconnect(conn uint64, detail string) {
+	c.rec.Record(flight.KindReconnect, conn, "", 0, 0, detail)
 }
 
 // helloTimeout bounds how long a client waits for the broker's frameHello
@@ -138,6 +148,17 @@ func WithClientTracer(t *trace.Tracer) ClientOption {
 	}
 }
 
+// WithClientFlightRecorder directs the client's flight events (connection
+// churn, reconnect attempts, frame and format traffic) into r instead of the
+// process-default recorder served at /debug/flight.
+func WithClientFlightRecorder(r *flight.Recorder) ClientOption {
+	return func(c *clientConfig) {
+		if r != nil {
+			c.rec = r
+		}
+	}
+}
+
 // WithReconnect enables automatic reconnection under the given retry
 // policy: when the broker connection breaks, the client redials with
 // backoff, re-announces its streams (publishers) or re-subscribes with
@@ -163,6 +184,7 @@ type Publisher struct {
 
 	mu          sync.Mutex
 	conn        net.Conn
+	connID      uint64 // flight connection id of the live conn (guarded by mu)
 	closed      bool
 	lastErr     error
 	sentFormats map[pbio.FormatID]bool
@@ -222,6 +244,7 @@ func (p *Publisher) connectLocked(ctx context.Context) error {
 	if err != nil {
 		if reconnecting {
 			pubRedialErrors.Add(1)
+			p.cfg.flightReconnect(p.connID, "publisher redial failed: "+err.Error())
 		}
 		return err
 	}
@@ -233,6 +256,7 @@ func (p *Publisher) connectLocked(ctx context.Context) error {
 			_ = conn.Close()
 			if reconnecting {
 				pubRedialErrors.Add(1)
+				p.cfg.flightReconnect(p.connID, "publisher redial failed: "+herr.Error())
 			}
 			return herr
 		case legacy:
@@ -243,6 +267,7 @@ func (p *Publisher) connectLocked(ctx context.Context) error {
 			if conn, err = p.cfg.dialContext(ctx, p.addr); err != nil {
 				if reconnecting {
 					pubRedialErrors.Add(1)
+					p.cfg.flightReconnect(p.connID, "publisher redial failed: "+err.Error())
 				}
 				return err
 			}
@@ -256,16 +281,32 @@ func (p *Publisher) connectLocked(ctx context.Context) error {
 			_ = conn.Close()
 			if reconnecting {
 				pubRedialErrors.Add(1)
+				p.cfg.flightReconnect(p.connID, "publisher redial failed: "+err.Error())
 			}
 			return err
 		}
 	}
 	p.conn = conn
+	p.connID = flight.NextConnID()
+	p.cfg.rec.Record(flight.KindConnOpen, p.connID, "", 0, 0, "publisher "+p.addr)
+	if p.cfg.tracer.Enabled() && !p.peerLegacy {
+		p.cfg.rec.Record(flight.KindHello, p.connID, "", 0, boolCaps(p.traced), "negotiated")
+	}
 	p.lastErr = nil
 	if reconnecting {
 		pubReconnects.Add(1)
+		p.cfg.flightReconnect(p.connID, "publisher reconnected")
 	}
 	return nil
+}
+
+// boolCaps renders the negotiated-trace flag as the flight event's byte
+// field, matching the broker-side hello event's caps value.
+func boolCaps(traced bool) int64 {
+	if traced {
+		return int64(capTrace)
+	}
+	return 0
 }
 
 // withConn runs op against a healthy connection, holding p.mu across the
@@ -311,6 +352,7 @@ func (p *Publisher) teardownLocked(err error) {
 	if p.conn != nil {
 		_ = p.conn.Close()
 		p.conn = nil
+		p.cfg.rec.Record(flight.KindConnClose, p.connID, "", 0, 0, err.Error())
 	}
 	p.lastErr = err
 }
@@ -346,10 +388,12 @@ func (p *Publisher) Publish(streamName string, f *pbio.Format, record []byte) er
 func (p *Publisher) publish(tc trace.Ctx, streamName string, f *pbio.Format, record []byte) error {
 	return p.withConn(func(conn net.Conn) error {
 		if !p.sentFormats[f.ID] {
-			if err := writeFrame(conn, frameFormat, pbio.MarshalMeta(f)); err != nil {
+			meta := pbio.MarshalMeta(f)
+			if err := writeFrame(conn, frameFormat, meta); err != nil {
 				return err
 			}
 			p.sentFormats[f.ID] = true
+			p.cfg.rec.Record(flight.KindFormatSend, p.connID, streamName, fid64(f.ID), int64(len(meta)), f.Name)
 		}
 		typ := framePublish
 		payload := p.scratch[:0]
@@ -361,7 +405,11 @@ func (p *Publisher) publish(tc trace.Ctx, streamName string, f *pbio.Format, rec
 		payload = append(payload, f.ID[:]...)
 		payload = append(payload, record...)
 		p.scratch = payload
-		return writeFrame(conn, typ, payload)
+		if err := writeFrame(conn, typ, payload); err != nil {
+			return err
+		}
+		p.cfg.rec.Record(flight.KindFrameSend, p.connID, streamName, fid64(f.ID), int64(len(record)), "")
+		return nil
 	})
 }
 
@@ -387,6 +435,7 @@ func (p *Publisher) Close() error {
 	}
 	err := p.conn.Close()
 	p.conn = nil
+	p.cfg.rec.Record(flight.KindConnClose, p.connID, "", 0, 0, "closed")
 	return err
 }
 
@@ -428,6 +477,9 @@ type Subscriber struct {
 	conn    net.Conn
 	closed  bool
 	lastErr error
+	// connID is the flight connection id of the live conn. Atomic because
+	// Next's receive loop reads it while control calls may be reconnecting.
+	connID atomic.Uint64
 	// traced reports whether the current connection negotiated capTrace;
 	// peerLegacy remembers a broker that rejected the hello.
 	traced     bool
@@ -488,6 +540,7 @@ func (s *Subscriber) connectLocked(ctx context.Context) error {
 	if err != nil {
 		if reconnecting {
 			subRedialErrors.Add(1)
+			s.cfg.flightReconnect(s.connID.Load(), "subscriber redial failed: "+err.Error())
 		}
 		return err
 	}
@@ -499,6 +552,7 @@ func (s *Subscriber) connectLocked(ctx context.Context) error {
 			_ = conn.Close()
 			if reconnecting {
 				subRedialErrors.Add(1)
+				s.cfg.flightReconnect(s.connID.Load(), "subscriber redial failed: "+herr.Error())
 			}
 			return herr
 		case legacy:
@@ -508,6 +562,7 @@ func (s *Subscriber) connectLocked(ctx context.Context) error {
 			if conn, err = s.cfg.dialContext(ctx, s.addr); err != nil {
 				if reconnecting {
 					subRedialErrors.Add(1)
+					s.cfg.flightReconnect(s.connID.Load(), "subscriber redial failed: "+err.Error())
 				}
 				return err
 			}
@@ -520,14 +575,21 @@ func (s *Subscriber) connectLocked(ctx context.Context) error {
 			_ = conn.Close()
 			if reconnecting {
 				subRedialErrors.Add(1)
+				s.cfg.flightReconnect(s.connID.Load(), "subscriber redial failed: "+err.Error())
 			}
 			return err
 		}
 	}
 	s.conn = conn
+	s.connID.Store(flight.NextConnID())
+	s.cfg.rec.Record(flight.KindConnOpen, s.connID.Load(), "", 0, 0, "subscriber "+s.addr)
+	if s.cfg.tracer.Enabled() && !s.peerLegacy {
+		s.cfg.rec.Record(flight.KindHello, s.connID.Load(), "", 0, boolCaps(s.traced), "negotiated")
+	}
 	s.lastErr = nil
 	if reconnecting {
 		subReconnects.Add(1)
+		s.cfg.flightReconnect(s.connID.Load(), "subscriber reconnected")
 	}
 	return nil
 }
@@ -579,6 +641,7 @@ func (s *Subscriber) teardownLocked(err error) {
 	if s.conn != nil {
 		_ = s.conn.Close()
 		s.conn = nil
+		s.cfg.rec.Record(flight.KindConnClose, s.connID.Load(), "", 0, 0, err.Error())
 	}
 	s.lastErr = err
 }
@@ -651,6 +714,11 @@ func (s *Subscriber) reconnect(prev net.Conn, cause error) error {
 		_ = s.conn.Close()
 		s.conn = nil
 		s.lastErr = cause
+		detail := "connection lost"
+		if cause != nil {
+			detail = cause.Error()
+		}
+		s.cfg.rec.Record(flight.KindConnClose, s.connID.Load(), "", 0, 0, detail)
 	}
 	return retry.Do(context.Background(), s.cfg.policy, s.connectLocked)
 }
@@ -759,6 +827,7 @@ func (s *Subscriber) Next() (Event, error) {
 				return Event{}, fmt.Errorf("eventbus: event references unknown format %s", id)
 			}
 			data := append([]byte(nil), rest[8:]...)
+			s.cfg.rec.Record(flight.KindFrameRecv, s.connID.Load(), name, fid64(id), int64(len(data)), "")
 			return Event{Stream: name, Format: f, Data: data, Trace: etc}, nil
 		case frameError:
 			return Event{}, &BrokerError{Msg: string(payload)}
@@ -775,6 +844,7 @@ func (s *Subscriber) adoptFormat(meta []byte) error {
 	if err != nil {
 		return err
 	}
+	s.cfg.rec.Record(flight.KindFormatRecv, s.connID.Load(), "", fid64(f.ID), int64(len(meta)), f.Name)
 	_, err = s.ctx.Adopt(f)
 	return err
 }
@@ -789,5 +859,6 @@ func (s *Subscriber) Close() error {
 	}
 	err := s.conn.Close()
 	s.conn = nil
+	s.cfg.rec.Record(flight.KindConnClose, s.connID.Load(), "", 0, 0, "closed")
 	return err
 }

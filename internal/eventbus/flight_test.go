@@ -1,0 +1,188 @@
+package eventbus
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"openmeta/internal/faultnet"
+	"openmeta/internal/flight"
+	"openmeta/internal/machine"
+	"openmeta/internal/obsv"
+	"openmeta/internal/pbio"
+)
+
+// chronological reverses a newest-first snapshot.
+func chronological(evs []flight.Event) []flight.Event {
+	out := make([]flight.Event, len(evs))
+	for i, e := range evs {
+		out[len(evs)-1-i] = e
+	}
+	return out
+}
+
+// TestFlightRecordsReconnectSequence is the ISSUE's flight-recorder
+// acceptance scenario: a fault-injected connection dies mid-frame during a
+// publish, and the black box must show the whole recovery — connection
+// close, reconnect, metadata re-send, record re-send — as ordered events,
+// retrievable through the /debug/flight handler.
+func TestFlightRecordsReconnectSequence(t *testing.T) {
+	rec := flight.New(512)
+	b, err := Listen("127.0.0.1:0", WithLogger(quietLogger), WithFlightRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	f := flightFormat(t, machine.Sparc)
+
+	sub, err := DialSubscriber(b.Addr().String(), subCtx(t), WithClientFlightRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Subscribe("flights"); err != nil {
+		t.Fatal(err)
+	}
+	waitForStream(t, b, "flights", 1)
+
+	// Byte budget expiring 3 bytes into the second publish frame: announce,
+	// format metadata and the first record flow, then the wire dies
+	// mid-frame-header.
+	rec1 := encodeFlight(t, f, 1001)
+	meta := pbio.MarshalMeta(f)
+	stream := "flights"
+	budget := (5 + 2 + len(stream)) +
+		(5 + len(meta)) +
+		(5 + 2 + len(stream) + 8 + len(rec1)) +
+		3
+	dialFn, _ := faultyFirstDial(faultnet.NewSchedule(
+		faultnet.Fault{Kind: faultnet.DropAfter, N: budget}))
+
+	pub, err := DialPublisherContext(context.Background(), b.Addr().String(),
+		WithDialFunc(dialFn), WithReconnect(fastReconnect()), WithClientFlightRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	if err := pub.Announce(stream); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(stream, f, rec1); err != nil {
+		t.Fatal(err)
+	}
+	if err := pub.Publish(stream, f, encodeFlight(t, f, 2002)); err != nil {
+		t.Fatalf("Publish across the fault = %v", err)
+	}
+
+	// Reduce the black box to the publisher's own story: find its connection
+	// ids from the conn_open events, then keep only events on those ids.
+	evs := chronological(rec.Snapshot())
+	pubConns := make(map[uint64]bool)
+	for _, e := range evs {
+		if e.Kind == "conn_open" && strings.HasPrefix(e.Detail, "publisher ") {
+			pubConns[e.Conn] = true
+		}
+	}
+	if len(pubConns) != 2 {
+		t.Fatalf("publisher connection ids = %d, want 2 (original + reconnect)", len(pubConns))
+	}
+	var story []string
+	for _, e := range evs {
+		if pubConns[e.Conn] {
+			story = append(story, e.Kind)
+		}
+	}
+	// The ordered recovery: open, metadata, record, death mid-frame,
+	// reconnect, metadata re-send, record retry.
+	want := []string{"conn_open", "format_send", "frame_send", "conn_close",
+		"conn_open", "reconnect", "format_send", "frame_send"}
+	if got := strings.Join(story, " "); got != strings.Join(want, " ") {
+		t.Fatalf("publisher flight story:\n got %s\nwant %s", got, strings.Join(want, " "))
+	}
+
+	// The same story must come out of the /debug/flight HTTP handler,
+	// newest-first and filterable by connection.
+	var newConn uint64
+	for _, e := range evs {
+		if e.Kind == "reconnect" && pubConns[e.Conn] {
+			newConn = e.Conn
+		}
+	}
+	req := httptest.NewRequest("GET", fmt.Sprintf("/debug/flight?conn=%d", newConn), nil)
+	w := httptest.NewRecorder()
+	flight.Handler(rec).ServeHTTP(w, req)
+	if w.Code != 200 {
+		t.Fatalf("/debug/flight = HTTP %d: %s", w.Code, w.Body.String())
+	}
+	var resp struct {
+		Events []flight.Event `json:"events"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, e := range chronological(resp.Events) {
+		kinds = append(kinds, e.Kind)
+	}
+	if got := strings.Join(kinds, " "); got != "conn_open reconnect format_send frame_send" {
+		t.Fatalf("/debug/flight?conn=%d story = %q", newConn, got)
+	}
+}
+
+// TestBrokerWireAccounting checks the labeled per-stream × per-format
+// families on the broker: published and delivered records/bytes plus
+// metadata bytes must land under {stream, format} children.
+func TestBrokerWireAccounting(t *testing.T) {
+	reg := obsv.New()
+	b, err := Listen("127.0.0.1:0", WithLogger(quietLogger), WithObserver(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	f := flightFormat(t, machine.Sparc)
+
+	sub, err := DialSubscriber(b.Addr().String(), subCtx(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Subscribe("flights"); err != nil {
+		t.Fatal(err)
+	}
+	waitForStream(t, b, "flights", 1)
+
+	pub, err := DialPublisher(b.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+	data := encodeFlight(t, f, 7)
+	if err := pub.Publish("flights", f, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Next(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	labels := `{stream="flights",format="ASDOffEvent"}`
+	if got := snap["eventbus.wire.records"+labels]; got != 1 {
+		t.Errorf("wire.records%s = %d, want 1", labels, got)
+	}
+	if got := snap["eventbus.wire.bytes"+labels]; got != int64(len(data)) {
+		t.Errorf("wire.bytes%s = %d, want %d", labels, got, len(data))
+	}
+	if got := snap["eventbus.wire.delivered.records"+labels]; got != 1 {
+		t.Errorf("wire.delivered.records%s = %d, want 1", labels, got)
+	}
+	if got := snap["eventbus.wire.delivered.bytes"+labels]; got == 0 {
+		t.Errorf("wire.delivered.bytes%s = 0, want > 0", labels)
+	}
+	meta := pbio.MarshalMeta(f)
+	if got := snap["eventbus.wire.meta.bytes"+labels]; got != int64(len(meta)) {
+		t.Errorf("wire.meta.bytes%s = %d, want %d", labels, got, len(meta))
+	}
+}

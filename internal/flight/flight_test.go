@@ -1,0 +1,197 @@
+package flight
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecordSnapshotRoundTrip(t *testing.T) {
+	r := New(16)
+	r.Record(KindConnOpen, 7, "", 0, 0, "127.0.0.1:9")
+	r.Record(KindFrameRecv, 7, "flights", 0xdeadbeef, 42, "")
+	r.Record(KindConnClose, 7, "", 0, 0, "EOF")
+
+	evs := r.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("Snapshot len = %d, want 3", len(evs))
+	}
+	// Newest first.
+	if evs[0].Kind != "conn_close" || evs[1].Kind != "frame_recv" || evs[2].Kind != "conn_open" {
+		t.Fatalf("order = %s,%s,%s", evs[0].Kind, evs[1].Kind, evs[2].Kind)
+	}
+	fr := evs[1]
+	if fr.Conn != 7 || fr.Stream != "flights" || fr.Format != 0xdeadbeef || fr.Bytes != 42 {
+		t.Fatalf("frame_recv event = %+v", fr)
+	}
+	if evs[2].Detail != "127.0.0.1:9" {
+		t.Fatalf("detail = %q", evs[2].Detail)
+	}
+	if !evs[0].Time.After(evs[2].Time) && !evs[0].Time.Equal(evs[2].Time) {
+		t.Fatalf("timestamps not monotone: %v then %v", evs[2].Time, evs[0].Time)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Record(KindFrameSend, uint64(i), "s", 0, int64(i), "")
+	}
+	evs := r.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("Snapshot len = %d, want 4", len(evs))
+	}
+	for i, want := range []uint64{10, 9, 8, 7} {
+		if evs[i].Seq != want {
+			t.Fatalf("evs[%d].Seq = %d, want %d", i, evs[i].Seq, want)
+		}
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+}
+
+func TestStringTruncation(t *testing.T) {
+	r := New(2)
+	long := strings.Repeat("s", 100)
+	r.Record(KindBrokerError, 1, long, 0, 0, strings.Repeat("d", 100))
+	ev := r.Snapshot()[0]
+	if len(ev.Stream) != streamWords*8 || !strings.HasPrefix(long, ev.Stream) {
+		t.Fatalf("stream truncated to %d bytes: %q", len(ev.Stream), ev.Stream)
+	}
+	if len(ev.Detail) != detailWords*8 {
+		t.Fatalf("detail truncated to %d bytes", len(ev.Detail))
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(KindConnOpen, 1, "s", 0, 0, "d") // must not panic
+	if r.Snapshot() != nil || r.Len() != 0 {
+		t.Fatal("nil recorder not empty")
+	}
+}
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := KindConnOpen; k < kindMax; k++ {
+		name := k.String()
+		if name == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if got := KindFromString(name); got != k {
+			t.Fatalf("KindFromString(%q) = %d, want %d", name, got, k)
+		}
+	}
+	if Kind(0).String() != "unknown" || KindFromString("nope") != 0 {
+		t.Fatal("zero/unknown kind mishandled")
+	}
+}
+
+// TestRecordAllocationFree is the acceptance gate: the record path must not
+// allocate, even with both string fields populated.
+func TestRecordAllocationFree(t *testing.T) {
+	r := New(64)
+	stream := "orders.us-east"
+	detail := "write tcp 127.0.0.1:1->127.0.0.1:2: connection reset"
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(KindFrameSend, 3, stream, 0x1234, 512, detail)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestConcurrentRecordSnapshot(t *testing.T) {
+	r := New(32)
+	var writers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func(id uint64) {
+			defer writers.Done()
+			for i := 0; i < 2000; i++ {
+				r.Record(KindFrameRecv, id, "stream-name-here", uint64(i), int64(i), "some detail text")
+			}
+		}(uint64(g))
+	}
+	done := make(chan struct{})
+	go func() { writers.Wait(); close(done) }()
+	for {
+		for _, ev := range r.Snapshot() {
+			if ev.Kind != "frame_recv" || ev.Stream != "stream-name-here" {
+				t.Fatalf("torn event: %+v", ev)
+			}
+		}
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}
+
+func TestNextConnIDUnique(t *testing.T) {
+	a, b := NextConnID(), NextConnID()
+	if a == b || a == 0 || b == 0 {
+		t.Fatalf("NextConnID not unique/nonzero: %d %d", a, b)
+	}
+}
+
+func TestHandlerFilters(t *testing.T) {
+	r := New(32)
+	r.Record(KindConnOpen, 1, "", 0, 0, "a")
+	r.Record(KindFrameSend, 1, "alpha", 10, 100, "")
+	r.Record(KindFrameSend, 2, "beta", 20, 200, "")
+	r.Record(KindConnClose, 2, "", 0, 0, "bye")
+
+	get := func(q string) (uint64, []Event) {
+		t.Helper()
+		req := httptest.NewRequest("GET", "/debug/flight"+q, nil)
+		rec := httptest.NewRecorder()
+		Handler(r).ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("GET %s: status %d: %s", q, rec.Code, rec.Body.String())
+		}
+		var body struct {
+			Total  uint64  `json:"total"`
+			Events []Event `json:"events"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", q, err)
+		}
+		return body.Total, body.Events
+	}
+
+	total, evs := get("")
+	if total != 4 || len(evs) != 4 {
+		t.Fatalf("unfiltered: total=%d len=%d", total, len(evs))
+	}
+	if evs[0].Kind != "conn_close" {
+		t.Fatalf("not newest-first: %+v", evs[0])
+	}
+	if _, evs = get("?conn=2"); len(evs) != 2 {
+		t.Fatalf("conn=2: %d events", len(evs))
+	}
+	if _, evs = get("?stream=alpha"); len(evs) != 1 || evs[0].Format != 10 {
+		t.Fatalf("stream=alpha: %+v", evs)
+	}
+	if _, evs = get("?kind=frame_send"); len(evs) != 2 {
+		t.Fatalf("kind=frame_send: %d events", len(evs))
+	}
+	if _, evs = get("?n=1"); len(evs) != 1 || evs[0].Kind != "conn_close" {
+		t.Fatalf("n=1: %+v", evs)
+	}
+	if _, evs = get("?kind=frame_send&conn=1&stream=alpha"); len(evs) != 1 {
+		t.Fatalf("combined filters: %d events", len(evs))
+	}
+
+	for _, bad := range []string{"?kind=bogus", "?conn=x", "?n=0"} {
+		req := httptest.NewRequest("GET", "/debug/flight"+bad, nil)
+		rec := httptest.NewRecorder()
+		Handler(r).ServeHTTP(rec, req)
+		if rec.Code != 400 {
+			t.Fatalf("GET %s: status %d, want 400", bad, rec.Code)
+		}
+	}
+}

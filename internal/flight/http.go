@@ -1,0 +1,86 @@
+package flight
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the recorder's contents as JSON, newest first — the
+// /debug/flight endpoint on the DebugMux. Query parameters filter the dump:
+//
+//	?conn=N        only events for connection id N
+//	?stream=NAME   only events whose stream equals NAME
+//	?kind=NAME     only events of that kind (snake_case, e.g. frame_send)
+//	?n=N           at most N events (default 256, capped at ring capacity)
+//
+// The response object carries the filtered events plus the recorder's total
+// event count, so a caller can tell whether the ring has wrapped past the
+// history it wanted.
+func Handler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		limit := 256
+		if v := q.Get("n"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				http.Error(w, "flight: bad n", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		var connFilter uint64
+		hasConn := false
+		if v := q.Get("conn"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				http.Error(w, "flight: bad conn", http.StatusBadRequest)
+				return
+			}
+			connFilter, hasConn = n, true
+		}
+		var kindFilter Kind
+		if v := q.Get("kind"); v != "" {
+			if kindFilter = KindFromString(v); kindFilter == 0 {
+				http.Error(w, "flight: unknown kind "+strconv.Quote(v), http.StatusBadRequest)
+				return
+			}
+		}
+		streamFilter := q.Get("stream")
+
+		all := r.Snapshot() // newest first
+		events := make([]Event, 0, min(limit, len(all)))
+		for _, ev := range all {
+			if hasConn && ev.Conn != connFilter {
+				continue
+			}
+			if streamFilter != "" && ev.Stream != streamFilter {
+				continue
+			}
+			if kindFilter != 0 && ev.Kind != kindFilter.String() {
+				continue
+			}
+			events = append(events, ev)
+			if len(events) >= limit {
+				break
+			}
+		}
+
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Total  uint64  `json:"total"`
+			Events []Event `json:"events"`
+		}{Total: r.total(), Events: events})
+	})
+}
+
+// total reports how many events have ever been recorded (including those the
+// ring has already overwritten).
+func (r *Recorder) total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.cursor.Load()
+}

@@ -1,0 +1,140 @@
+package obsv
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Health is a registry of named readiness probes. Components register a
+// check function (broker accepting, discovery reachable, plan-cache within
+// bound); the ReadyHandler runs them all on each request and answers 503
+// until every probe passes. The LiveHandler is deliberately probe-free —
+// liveness means "the process is up and serving", and coupling it to
+// dependency checks turns one sick dependency into a restart loop.
+type Health struct {
+	mu     sync.RWMutex
+	probes map[string]func() error
+	start  time.Time
+}
+
+// NewHealth returns an empty probe set.
+func NewHealth() *Health {
+	return &Health{probes: make(map[string]func() error), start: time.Now()}
+}
+
+var defaultHealth = NewHealth()
+
+// DefaultHealth returns the process-wide probe set served by DebugMux's
+// /healthz and /readyz endpoints.
+func DefaultHealth() *Health { return defaultHealth }
+
+// RegisterProbe adds (or replaces) a named readiness probe on the default
+// probe set. The check runs on every /readyz request; it should be cheap and
+// return nil when the component is ready.
+func RegisterProbe(name string, check func() error) { defaultHealth.Register(name, check) }
+
+// Register adds (or replaces) a named readiness probe. A nil check removes
+// the probe.
+func (h *Health) Register(name string, check func() error) {
+	if h == nil || name == "" {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if check == nil {
+		delete(h.probes, name)
+		return
+	}
+	h.probes[name] = check
+}
+
+// Check runs every probe and returns the per-probe error (nil for passing
+// probes). Probes run without the set's lock held.
+func (h *Health) Check() map[string]error {
+	if h == nil {
+		return map[string]error{}
+	}
+	h.mu.RLock()
+	probes := make(map[string]func() error, len(h.probes))
+	for n, p := range h.probes {
+		probes[n] = p
+	}
+	h.mu.RUnlock()
+	out := make(map[string]error, len(probes))
+	for n, p := range probes {
+		out[n] = p()
+	}
+	return out
+}
+
+// probeReport is the JSON body served by both health endpoints.
+type probeReport struct {
+	Status string            `json:"status"` // "ok" or "unavailable"
+	Uptime string            `json:"uptime,omitempty"`
+	Probes map[string]string `json:"probes,omitempty"` // name -> "ok" or error text
+}
+
+// LiveHandler serves /healthz: always 200 with the process uptime while the
+// HTTP server can answer at all.
+func (h *Health) LiveHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, probeReport{
+			Status: "ok",
+			Uptime: time.Since(h.startTime()).Round(time.Millisecond).String(),
+		})
+	})
+}
+
+// ReadyHandler serves /readyz: 200 with per-probe status when every
+// registered probe passes, 503 naming the failing probes otherwise. With no
+// probes registered it reports ready — a daemon that registers nothing is as
+// ready as it will ever be.
+func (h *Health) ReadyHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		results := h.Check()
+		report := probeReport{Status: "ok", Probes: make(map[string]string, len(results))}
+		code := http.StatusOK
+		for _, n := range sortedKeys(results) {
+			if err := results[n]; err != nil {
+				report.Probes[n] = err.Error()
+				report.Status = "unavailable"
+				code = http.StatusServiceUnavailable
+			} else {
+				report.Probes[n] = "ok"
+			}
+		}
+		writeJSON(w, code, report)
+	})
+}
+
+func (h *Health) startTime() time.Time {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.start
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// ProbeNames returns the sorted names of the registered probes.
+func (h *Health) ProbeNames() []string {
+	if h == nil {
+		return nil
+	}
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	names := make([]string, 0, len(h.probes))
+	for n := range h.probes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,83 @@
+package obsv
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+)
+
+func getJSON(t *testing.T, h *Health, handler string) (int, map[string]interface{}) {
+	t.Helper()
+	req := httptest.NewRequest("GET", "/"+handler, nil)
+	rec := httptest.NewRecorder()
+	switch handler {
+	case "healthz":
+		h.LiveHandler().ServeHTTP(rec, req)
+	case "readyz":
+		h.ReadyHandler().ServeHTTP(rec, req)
+	}
+	var body map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("%s: bad JSON: %v", handler, err)
+	}
+	return rec.Code, body
+}
+
+func TestLiveHandlerAlwaysOK(t *testing.T) {
+	h := NewHealth()
+	h.Register("doomed", func() error { return errors.New("down") })
+	code, body := getJSON(t, h, "healthz")
+	if code != 200 || body["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", code, body)
+	}
+	if body["uptime"] == "" {
+		t.Fatal("healthz missing uptime")
+	}
+}
+
+func TestReadyHandlerProbeTransitions(t *testing.T) {
+	h := NewHealth()
+
+	// No probes: ready.
+	if code, _ := getJSON(t, h, "readyz"); code != 200 {
+		t.Fatalf("empty readyz = %d, want 200", code)
+	}
+
+	var fail error = errors.New("listener closed")
+	h.Register("broker", func() error { return fail })
+	h.Register("cache", func() error { return nil })
+
+	code, body := getJSON(t, h, "readyz")
+	if code != 503 || body["status"] != "unavailable" {
+		t.Fatalf("failing readyz = %d %v", code, body)
+	}
+	probes := body["probes"].(map[string]interface{})
+	if probes["broker"] != "listener closed" || probes["cache"] != "ok" {
+		t.Fatalf("probes = %v", probes)
+	}
+
+	// Probe recovers: ready again.
+	fail = nil
+	if code, body = getJSON(t, h, "readyz"); code != 200 || body["status"] != "ok" {
+		t.Fatalf("recovered readyz = %d %v", code, body)
+	}
+
+	// Re-registering replaces; nil check removes.
+	h.Register("broker", nil)
+	if got := h.ProbeNames(); len(got) != 1 || got[0] != "cache" {
+		t.Fatalf("ProbeNames = %v", got)
+	}
+}
+
+func TestDebugMuxServesHealthAndFlight(t *testing.T) {
+	mux := DebugMux(New())
+	for _, path := range []string{"/healthz", "/readyz", "/debug/flight"} {
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Errorf("GET %s = %d, want 200", path, rec.Code)
+		}
+	}
+}

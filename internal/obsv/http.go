@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+
+	"openmeta/internal/flight"
 )
 
 // Handler serves the registry snapshot as a sorted JSON object — the stats
@@ -36,6 +38,9 @@ type DebugEndpoint struct {
 //	/stats            registry snapshot as JSON
 //	/debug/stats      alias of /stats
 //	/metrics          Prometheus text exposition (see MetricsHandler)
+//	/debug/flight     flight-recorder dump (see the flight package)
+//	/healthz          liveness: 200 while the server answers
+//	/readyz           readiness: 200 once every registered probe passes
 //	/debug/vars       expvar (includes the registry, see PublishExpvar)
 //	/debug/pprof/...  net/http/pprof profiles
 //
@@ -47,6 +52,9 @@ func DebugMux(r *Registry, extra ...DebugEndpoint) *http.ServeMux {
 	mux.Handle("/stats", r.Handler())
 	mux.Handle("/debug/stats", r.Handler())
 	mux.Handle("/metrics", r.MetricsHandler())
+	mux.Handle("/debug/flight", flight.Handler(flight.Default()))
+	mux.Handle("/healthz", DefaultHealth().LiveHandler())
+	mux.Handle("/readyz", DefaultHealth().ReadyHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -186,20 +186,26 @@ func (v HistogramValue) Quantile(q float64) int64 {
 // again returns the same instrument, so counts survive component restarts.
 // A nil *Registry hands out nil (no-op) instruments.
 type Registry struct {
-	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	funcs    map[string]func() int64
+	mu          sync.RWMutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	hists       map[string]*Histogram
+	funcs       map[string]func() int64
+	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
+	histVecs    map[string]*HistogramVec
 }
 
 // New returns an empty registry.
 func New() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
-		funcs:    make(map[string]func() int64),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		hists:       make(map[string]*Histogram),
+		funcs:       make(map[string]func() int64),
+		counterVecs: make(map[string]*CounterVec),
+		gaugeVecs:   make(map[string]*GaugeVec),
+		histVecs:    make(map[string]*HistogramVec),
 	}
 }
 
@@ -306,7 +312,11 @@ func (s Scope) Func(name string, fn func() int64) { s.r.Func(s.prefix+name, fn) 
 // Snapshot returns a point-in-time flattened view of every instrument.
 // Counters and gauges appear under their names; a histogram named h expands
 // to h.count, h.sum, h.max, h.p50, h.p95 and h.p99; snapshot functions appear
-// under their names. Functions are evaluated with no registry locks held.
+// under their names. Labeled instruments appear once per child under
+// name{k="v",...} keys (a labeled histogram child expands to
+// name{...}.count and friends, keeping the suffix terminal so tools that
+// group histogram families by suffix keep working). Functions are evaluated
+// with no registry locks held.
 func (r *Registry) Snapshot() map[string]int64 {
 	if r == nil {
 		return map[string]int64{}
@@ -328,6 +338,18 @@ func (r *Registry) Snapshot() map[string]int64 {
 	for n, f := range r.funcs {
 		funcs[n] = f
 	}
+	counterVecs := make(map[string]*CounterVec, len(r.counterVecs))
+	for n, v := range r.counterVecs {
+		counterVecs[n] = v
+	}
+	gaugeVecs := make(map[string]*GaugeVec, len(r.gaugeVecs))
+	for n, v := range r.gaugeVecs {
+		gaugeVecs[n] = v
+	}
+	histVecs := make(map[string]*HistogramVec, len(r.histVecs))
+	for n, v := range r.histVecs {
+		histVecs[n] = v
+	}
 	r.mu.RUnlock()
 
 	out := make(map[string]int64, len(counters)+len(gauges)+6*len(hists)+len(funcs))
@@ -338,18 +360,38 @@ func (r *Registry) Snapshot() map[string]int64 {
 		out[n] = g.Load()
 	}
 	for n, h := range hists {
-		v := h.Value()
-		out[n+".count"] = v.Count
-		out[n+".sum"] = v.Sum
-		out[n+".max"] = v.Max
-		out[n+".p50"] = v.Quantile(0.50)
-		out[n+".p95"] = v.Quantile(0.95)
-		out[n+".p99"] = v.Quantile(0.99)
+		expandHistogram(out, n, h)
+	}
+	for n, v := range counterVecs {
+		for _, c := range v.v.children() {
+			out[n+c.labels.String()] = c.inst.Load()
+		}
+	}
+	for n, v := range gaugeVecs {
+		for _, c := range v.v.children() {
+			out[n+c.labels.String()] = c.inst.Load()
+		}
+	}
+	for n, v := range histVecs {
+		for _, c := range v.v.children() {
+			expandHistogram(out, n+c.labels.String(), c.inst)
+		}
 	}
 	for n, f := range funcs {
 		out[n] = f()
 	}
 	return out
+}
+
+// expandHistogram flattens one histogram into the six derived snapshot keys.
+func expandHistogram(out map[string]int64, name string, h *Histogram) {
+	v := h.Value()
+	out[name+".count"] = v.Count
+	out[name+".sum"] = v.Sum
+	out[name+".max"] = v.Max
+	out[name+".p50"] = v.Quantile(0.50)
+	out[name+".p95"] = v.Quantile(0.95)
+	out[name+".p99"] = v.Quantile(0.99)
 }
 
 // Names returns the sorted instrument names of a snapshot — a convenience

@@ -45,15 +45,41 @@ func (r *Registry) writePrometheus(b *strings.Builder) {
 	for n, f := range r.funcs {
 		funcs[n] = f
 	}
+	counterVecs := make(map[string]*CounterVec, len(r.counterVecs))
+	for n, v := range r.counterVecs {
+		counterVecs[n] = v
+	}
+	gaugeVecs := make(map[string]*GaugeVec, len(r.gaugeVecs))
+	for n, v := range r.gaugeVecs {
+		gaugeVecs[n] = v
+	}
+	histVecs := make(map[string]*HistogramVec, len(r.histVecs))
+	for n, v := range r.histVecs {
+		histVecs[n] = v
+	}
 	r.mu.RUnlock()
 
 	for _, n := range sortedKeys(counters) {
 		pn := promName(n)
 		fmt.Fprintf(b, "# TYPE %s counter\n%s %d\n", pn, pn, counters[n].Load())
 	}
+	for _, n := range sortedKeys(counterVecs) {
+		pn := promName(n)
+		fmt.Fprintf(b, "# TYPE %s counter\n", pn)
+		for _, c := range counterVecs[n].v.children() {
+			fmt.Fprintf(b, "%s%s %d\n", pn, c.labels.String(), c.inst.Load())
+		}
+	}
 	for _, n := range sortedKeys(gauges) {
 		pn := promName(n)
 		fmt.Fprintf(b, "# TYPE %s gauge\n%s %d\n", pn, pn, gauges[n].Load())
+	}
+	for _, n := range sortedKeys(gaugeVecs) {
+		pn := promName(n)
+		fmt.Fprintf(b, "# TYPE %s gauge\n", pn)
+		for _, c := range gaugeVecs[n].v.children() {
+			fmt.Fprintf(b, "%s%s %d\n", pn, c.labels.String(), c.inst.Load())
+		}
 	}
 	for _, n := range sortedKeys(funcs) {
 		pn := promName(n)
@@ -61,29 +87,47 @@ func (r *Registry) writePrometheus(b *strings.Builder) {
 	}
 	for _, n := range sortedKeys(hists) {
 		pn := promName(n)
-		v := hists[n].Value()
 		fmt.Fprintf(b, "# TYPE %s histogram\n", pn)
-		// Emit buckets only up to the highest populated one; cumulative
-		// counts keep the series well-formed and +Inf closes it out.
-		last := 0
-		for i, c := range v.Buckets {
-			if c > 0 {
-				last = i
-			}
-		}
-		var cum int64
-		for i := 0; i <= last; i++ {
-			cum += v.Buckets[i]
-			// Upper bound of bucket i is 2^i - 1 (bucket 0 holds zeros);
-			// computed in floating point because bucket 64's bound
-			// overflows int64.
-			le := math.Ldexp(1, i) - 1
-			fmt.Fprintf(b, "%s_bucket{le=\"%g\"} %d\n", pn, le, cum)
-		}
-		fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", pn, v.Count)
-		fmt.Fprintf(b, "%s_sum %d\n", pn, v.Sum)
-		fmt.Fprintf(b, "%s_count %d\n", pn, v.Count)
+		writePromHistogram(b, pn, nil, hists[n].Value())
 	}
+	for _, n := range sortedKeys(histVecs) {
+		pn := promName(n)
+		fmt.Fprintf(b, "# TYPE %s histogram\n", pn)
+		for _, c := range histVecs[n].v.children() {
+			writePromHistogram(b, pn, c.labels, c.inst.Value())
+		}
+	}
+}
+
+// writePromHistogram emits one histogram series (optionally labeled) in the
+// text exposition format: cumulative _bucket lines with power-of-two le
+// bounds up to the highest populated bucket, +Inf, then _sum and _count.
+func writePromHistogram(b *strings.Builder, pn string, labels LabelSet, v HistogramValue) {
+	// prefix opens the label braces for bucket lines so le can be appended;
+	// plain renders the labels alone for the _sum/_count lines.
+	prefix, plain := "{", ""
+	if len(labels) > 0 {
+		plain = labels.String()
+		prefix = plain[:len(plain)-1] + ","
+	}
+	last := 0
+	for i, c := range v.Buckets {
+		if c > 0 {
+			last = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= last; i++ {
+		cum += v.Buckets[i]
+		// Upper bound of bucket i is 2^i - 1 (bucket 0 holds zeros);
+		// computed in floating point because bucket 64's bound overflows
+		// int64.
+		le := math.Ldexp(1, i) - 1
+		fmt.Fprintf(b, "%s%sle=\"%g\"} %d\n", pn+"_bucket", prefix, le, cum)
+	}
+	fmt.Fprintf(b, "%s%sle=\"+Inf\"} %d\n", pn+"_bucket", prefix, v.Count)
+	fmt.Fprintf(b, "%s_sum%s %d\n", pn, plain, v.Sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", pn, plain, v.Count)
 }
 
 // promName maps a registry instrument name onto the Prometheus metric-name

@@ -1,0 +1,21 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewSlog builds a slog.Logger writing to w in the given exposition format:
+// "text" (human-oriented key=value lines) or "json" (one JSON object per
+// line, for log shippers). The daemons' -log-format flags feed this.
+func NewSlog(format string, w io.Writer) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("obsv: unknown log format %q (want text or json)", format)
+	}
+}

@@ -1,0 +1,115 @@
+package obsv
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// logSink collects StartStatsLogger output safely across goroutines.
+type logSink struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (s *logSink) logf(format string, args ...interface{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lines = append(s.lines, fmt.Sprintf(format, args...))
+}
+
+func (s *logSink) snapshot() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.lines...)
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return cond()
+}
+
+func TestStatsLoggerEmitsDeltas(t *testing.T) {
+	r := New()
+	sink := &logSink{}
+	stop := StartStatsLogger(r, 5*time.Millisecond, sink.logf)
+	defer stop()
+
+	// Activity after the logger starts must show in the first delta line.
+	r.Counter("bus.published").Add(3)
+	if !waitFor(t, 2*time.Second, func() bool { return len(sink.snapshot()) > 0 }) {
+		t.Fatal("no stats line emitted")
+	}
+	lines := sink.snapshot()
+	if !strings.Contains(lines[0], "bus.published=+3") {
+		t.Fatalf("first line = %q, want bus.published=+3", lines[0])
+	}
+
+	// Quiet intervals log nothing: wait a few ticks, count must not grow.
+	base := len(sink.snapshot())
+	time.Sleep(30 * time.Millisecond)
+	if got := len(sink.snapshot()); got != base {
+		t.Fatalf("quiet interval logged %d extra lines", got-base)
+	}
+
+	// Next activity shows as a fresh delta, not a cumulative total.
+	r.Counter("bus.published").Add(2)
+	if !waitFor(t, 2*time.Second, func() bool {
+		ls := sink.snapshot()
+		return len(ls) > base && strings.Contains(ls[len(ls)-1], "bus.published=+2")
+	}) {
+		t.Fatalf("second delta not emitted: %v", sink.snapshot())
+	}
+}
+
+func TestStatsLoggerStopIdempotent(t *testing.T) {
+	r := New()
+	sink := &logSink{}
+	stop := StartStatsLogger(r, time.Millisecond, sink.logf)
+	stop()
+	stop() // second call must not panic (close of closed channel)
+	stop()
+
+	// After stop, activity produces no further lines.
+	n := len(sink.snapshot())
+	r.Counter("c").Inc()
+	time.Sleep(20 * time.Millisecond)
+	if got := len(sink.snapshot()); got != n {
+		t.Fatalf("logger emitted %d lines after stop", got-n)
+	}
+}
+
+func TestStatsLoggerDegenerateArgs(t *testing.T) {
+	// nil registry, non-positive interval, nil logf: all return a no-op stop.
+	for _, stop := range []func(){
+		StartStatsLogger(nil, time.Second, func(string, ...interface{}) {}),
+		StartStatsLogger(New(), 0, func(string, ...interface{}) {}),
+		StartStatsLogger(New(), time.Second, nil),
+	} {
+		stop()
+		stop()
+	}
+}
+
+func TestFormatStatsDeltaLevelsVsTotals(t *testing.T) {
+	prev := map[string]int64{"c": 1, "h.p99": 10, "h.max": 10}
+	cur := map[string]int64{"c": 4, "h.p99": 20, "h.max": 30, "new": 2}
+	line := formatStatsDelta(prev, cur)
+	for _, want := range []string{"c=+3", "h.p99=20", "h.max=30", "new=+2"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("delta line %q missing %q", line, want)
+		}
+	}
+	if formatStatsDelta(cur, cur) != "" {
+		t.Fatal("unchanged snapshot should render empty")
+	}
+}

@@ -22,6 +22,8 @@ func (f *Format) Decode(data []byte) (Record, error) {
 	if err == nil {
 		f.obs.decodeCalls.Add(1)
 		f.obs.decodeBytes.Add(int64(len(data)))
+		f.facct.decRecords.Add(1)
+		f.facct.decBytes.Add(int64(len(data)))
 	}
 	return rec, err
 }

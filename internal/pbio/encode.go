@@ -47,8 +47,12 @@ func (f *Format) AppendEncode(dst []byte, rec Record) ([]byte, error) {
 	dst = append(dst, make([]byte, f.Size)...)
 	out, err := f.encodeFixed(dst, base, base, rec)
 	if err == nil {
+		n := int64(len(out) - base)
 		f.obs.encodeCalls.Add(1)
-		f.obs.encodeBytes.Add(int64(len(out) - base))
+		f.obs.encodeBytes.Add(n)
+		f.facct.encRecords.Add(1)
+		f.facct.encBytes.Add(n)
+		f.maybeProbeExpansion(rec, int(n))
 	}
 	return out, err
 }

@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"openmeta/internal/machine"
 )
@@ -42,6 +43,11 @@ type Format struct {
 	// hot path report without a context lookup. Zero (all-nil) for formats
 	// that are not adopted into a context.
 	obs obsMetrics
+	// facct holds this format's children of the labeled per-format families
+	// (wire accounting and expansion ratio), resolved once at adopt time.
+	facct formatMetrics
+	// encProbes counts successful encodes to pace expansion-ratio probes.
+	encProbes atomic.Uint64
 }
 
 // FieldByName returns the field with the given name.
@@ -297,6 +303,7 @@ func (c *Context) adopt(f *Format, local bool) (*Format, error) {
 		return existing, nil
 	}
 	f.obs = c.obs
+	f.facct = c.obs.formatMetrics(f.Name)
 	if existing, ok := c.byName[f.Name]; ok {
 		if local {
 			return nil, fmt.Errorf("pbio: format %q already registered with different definition (id %s vs %s)",

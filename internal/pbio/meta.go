@@ -45,7 +45,9 @@ var ErrBadMeta = errors.New("pbio: malformed format metadata")
 // MarshalMeta serializes f and its nested format dependencies.
 func MarshalMeta(f *Format) []byte {
 	metaMarshals.Add(1)
-	return marshalMeta(f)
+	buf := marshalMeta(f)
+	metaBytesVec.With(f.Name).Add(int64(len(buf)))
+	return buf
 }
 
 func marshalMeta(f *Format) []byte {
@@ -186,7 +188,52 @@ func UnmarshalMeta(data []byte) (*Format, error) {
 	if len(r.data) != r.pos {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadMeta, len(r.data)-r.pos)
 	}
-	return formats[len(formats)-1], nil
+	root := formats[len(formats)-1]
+	metaBytesVec.With(root.Name).Add(int64(len(data)))
+	return root, nil
+}
+
+// MetaRootName extracts the root format's name from marshaled metadata
+// without reconstructing the format graph and without touching the metadata
+// accounting counters. Brokers use it to label per-format wire metrics for
+// payloads they route but never decode.
+func MetaRootName(data []byte) (string, error) {
+	r := &metaReader{data: data}
+	var magic [4]byte
+	r.bytes(magic[:])
+	if r.err != nil || magic != metaMagic {
+		return "", fmt.Errorf("%w: bad magic", ErrBadMeta)
+	}
+	count := int(r.u8())
+	if count == 0 {
+		return "", fmt.Errorf("%w: zero formats", ErrBadMeta)
+	}
+	var name string
+	for fi := 0; fi < count; fi++ {
+		name = r.str() // formats are dependency-ordered; the last name wins
+		r.u8()         // byte order
+		r.u8()         // pointer size
+		r.u8()         // max align
+		r.str()        // arch name
+		r.u32()        // size
+		r.u16()        // align
+		nfields := int(r.u16())
+		for i := 0; i < nfields && r.err == nil; i++ {
+			r.str() // field name
+			r.u8()  // kind
+			r.u32() // elem size
+			r.u32() // count
+			r.u8()  // flags
+			r.str() // count field
+			r.u32() // offset
+			r.u32() // slot
+			r.u8()  // nested index
+		}
+		if r.err != nil {
+			return "", r.err
+		}
+	}
+	return name, nil
 }
 
 // validateRemote applies the safety checks decode relies on, since remote

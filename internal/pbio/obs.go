@@ -13,17 +13,53 @@ type obsMetrics struct {
 	encodeBytes *obsv.Counter
 	decodeCalls *obsv.Counter
 	decodeBytes *obsv.Counter
+
+	// Labeled per-format families. Children are resolved once per format at
+	// adopt time (see formatMetrics), so the codec hot paths never touch the
+	// vector maps.
+	encRecVec    *obsv.CounterVec // pbio.format.encoded.records{format}
+	encByteVec   *obsv.CounterVec // pbio.format.encoded.bytes{format}
+	decRecVec    *obsv.CounterVec // pbio.format.decoded.records{format}
+	decByteVec   *obsv.CounterVec // pbio.format.decoded.bytes{format}
+	expansionVec *obsv.GaugeVec   // pbio.format.xml.expansion_pct{format}
+}
+
+// formatMetrics is one format's resolved slice of the labeled families: the
+// per-format children the Encode/Decode hot paths add to directly. Zero (all
+// nil, no-op) for formats not adopted into a context.
+type formatMetrics struct {
+	encRecords *obsv.Counter
+	encBytes   *obsv.Counter
+	decRecords *obsv.Counter
+	decBytes   *obsv.Counter
+	expansion  *obsv.Gauge
+}
+
+// formatMetrics resolves the labeled children for one format name.
+func (m obsMetrics) formatMetrics(name string) formatMetrics {
+	return formatMetrics{
+		encRecords: m.encRecVec.With(name),
+		encBytes:   m.encByteVec.With(name),
+		decRecords: m.decRecVec.With(name),
+		decBytes:   m.decByteVec.With(name),
+		expansion:  m.expansionVec.With(name),
+	}
 }
 
 func contextMetrics(r *obsv.Registry) obsMetrics {
 	s := r.Scope("pbio")
 	return obsMetrics{
-		registered:  s.Counter("formats.registered"),
-		adopted:     s.Counter("formats.adopted"),
-		encodeCalls: s.Counter("encode.calls"),
-		encodeBytes: s.Counter("encode.bytes"),
-		decodeCalls: s.Counter("decode.calls"),
-		decodeBytes: s.Counter("decode.bytes"),
+		registered:   s.Counter("formats.registered"),
+		adopted:      s.Counter("formats.adopted"),
+		encodeCalls:  s.Counter("encode.calls"),
+		encodeBytes:  s.Counter("encode.bytes"),
+		decodeCalls:  s.Counter("decode.calls"),
+		decodeBytes:  s.Counter("decode.bytes"),
+		encRecVec:    s.CounterVec("format.encoded.records", "format"),
+		encByteVec:   s.CounterVec("format.encoded.bytes", "format"),
+		decRecVec:    s.CounterVec("format.decoded.records", "format"),
+		decByteVec:   s.CounterVec("format.decoded.bytes", "format"),
+		expansionVec: s.GaugeVec("format.xml.expansion_pct", "format"),
 	}
 }
 
@@ -35,6 +71,12 @@ var (
 
 	metaMarshals   = obsv.Default().Counter("pbio.meta.marshals")
 	metaUnmarshals = obsv.Default().Counter("pbio.meta.unmarshals")
+
+	// metaBytesVec attributes metadata bytes crossing the wire to the format
+	// they describe; counted in MarshalMeta/UnmarshalMeta, which are package
+	// functions, so the family lives on the default registry regardless of
+	// which context later adopts the format.
+	metaBytesVec = obsv.Default().CounterVec("pbio.format.meta.bytes", "format")
 )
 
 // ContextOption configures a Context at construction.

@@ -1,0 +1,48 @@
+package pbio
+
+import "sync/atomic"
+
+// XMLTextSizer reports the XML-text wire size of rec encoded under f — what
+// an XML-RPC-era system would have put on the wire for the same record. The
+// hook exists so pbio can publish a live NDR-vs-XML-text expansion ratio per
+// format without importing the xmlwire package (which imports pbio);
+// xmlwire registers its encoder here from an init function.
+type XMLTextSizer func(f *Format, rec Record) (int, error)
+
+var xmlSizer atomic.Pointer[XMLTextSizer]
+
+// SetXMLTextSizer installs the sizer used for expansion-ratio probes.
+// Passing nil disables probing.
+func SetXMLTextSizer(fn XMLTextSizer) {
+	if fn == nil {
+		xmlSizer.Store(nil)
+		return
+	}
+	xmlSizer.Store(&fn)
+}
+
+// expansionProbeInterval spaces out expansion probes: the first encode of a
+// format is probed (so the gauge appears as soon as traffic flows), then one
+// in every interval encodes, keeping the text-encoding cost amortized to
+// noise on the NDR hot path.
+const expansionProbeInterval = 1024
+
+// maybeProbeExpansion updates the format's xml.expansion_pct gauge — the
+// XML-text size of this record as a percentage of its NDR size (642 = the
+// paper's 6.42x) — on the first and then every 1024th successful encode.
+func (f *Format) maybeProbeExpansion(rec Record, ndrBytes int) {
+	if f.facct.expansion == nil || ndrBytes <= 0 {
+		return
+	}
+	n := f.encProbes.Add(1)
+	if n != 1 && n%expansionProbeInterval != 0 {
+		return
+	}
+	fn := xmlSizer.Load()
+	if fn == nil {
+		return
+	}
+	if xmlLen, err := (*fn)(f, rec); err == nil && xmlLen > 0 {
+		f.facct.expansion.Set(int64(xmlLen) * 100 / int64(ndrBytes))
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"openmeta/internal/flight"
 	"openmeta/internal/obsv"
 )
 
@@ -196,10 +197,12 @@ func Do(ctx context.Context, p Policy, op func(ctx context.Context) error) error
 		}
 		if attempt+1 >= p.MaxAttempts {
 			giveupsCounter.Add(1)
+			flight.Default().Record(flight.KindRetryGiveUp, 0, "", 0, int64(attempt+1), lastErr.Error())
 			return fmt.Errorf("%w after %d attempts: %w", ErrExhausted, attempt+1, lastErr)
 		}
 		if p.Budget != nil && !p.Budget.withdraw() {
 			giveupsCounter.Add(1)
+			flight.Default().Record(flight.KindRetryGiveUp, 0, "", 0, int64(attempt+1), "budget exhausted: "+lastErr.Error())
 			return fmt.Errorf("%w: %w: %w", ErrExhausted, ErrBudgetExhausted, lastErr)
 		}
 		sleep := p.jittered(attempt, rng)

@@ -1,0 +1,15 @@
+package xmlwire
+
+import "openmeta/internal/pbio"
+
+// Register this package's encoder as pbio's XML-text sizer, powering the
+// per-format pbio.format.xml.expansion_pct gauge: any process that links
+// xmlwire (every daemon and the benchmarks do, via the facade) gets live
+// NDR-vs-XML-text expansion ratios for free. The import direction rules out
+// a plain call — xmlwire already imports pbio — hence the hook.
+func init() {
+	pbio.SetXMLTextSizer(func(f *pbio.Format, rec pbio.Record) (int, error) {
+		b, err := EncodeRecord(f, rec)
+		return len(b), err
+	})
+}

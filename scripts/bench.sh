@@ -5,18 +5,49 @@
 # can diff its numbers against the committed state of the tree.
 #
 # Usage:
-#   scripts/bench.sh                 # full run, ~minutes, 3 iterations each
-#   BENCH_TIME=100x scripts/bench.sh # CI smoke mode: fixed tiny iteration count
-#   BENCH_COUNT=1 scripts/bench.sh   # single iteration per benchmark
+#   scripts/bench.sh                    # full run, writes BENCH_baseline.json
+#   scripts/bench.sh -compare           # run, then diff against the baseline
+#   scripts/bench.sh -compare OLD.json  # diff against a specific baseline
+#   BENCH_TIME=100x scripts/bench.sh    # CI smoke mode: fixed tiny iteration count
+#   BENCH_COUNT=1 scripts/bench.sh      # single iteration per benchmark
+#   BENCH_OUT=BENCH_pr4.json scripts/bench.sh   # write results elsewhere
 #
 # The JSON output is a line-delimited array of objects parsed from `go test
 # -bench` output: name, iterations, ns/op, B/op, allocs/op.
+#
+# -compare re-runs the benchmarks (into BENCH_OUT, a temp file by default)
+# and checks ns_per_op of the Table 1 registration and Table 2 wire-format
+# codec benchmarks against the baseline: any benchmark more than 25% slower
+# (override with BENCH_MAX_REGRESSION) fails the script. Other tables are
+# reported but not gated — they exercise whole pipelines whose variance on
+# shared CI hardware would make the gate flaky. Compare against a baseline
+# produced on the same machine; the committed BENCH_baseline.json documents
+# the trajectory, it is not portable across hardware. Requires jq.
 set -eu
 cd "$(dirname "$0")/.."
 
+COMPARE=0
+BASELINE="BENCH_baseline.json"
+if [ "${1:-}" = "-compare" ]; then
+    COMPARE=1
+    [ -n "${2:-}" ] && BASELINE="$2"
+    if [ ! -f "$BASELINE" ]; then
+        echo "bench: baseline $BASELINE not found" >&2
+        exit 1
+    fi
+    if ! command -v jq >/dev/null 2>&1; then
+        echo "bench: -compare needs jq" >&2
+        exit 1
+    fi
+fi
+
 BENCH_TIME="${BENCH_TIME:-1s}"
 BENCH_COUNT="${BENCH_COUNT:-1}"
-OUT="${BENCH_OUT:-BENCH_baseline.json}"
+if [ "$COMPARE" = 1 ]; then
+    OUT="${BENCH_OUT:-$(mktemp)}"
+else
+    OUT="${BENCH_OUT:-BENCH_baseline.json}"
+fi
 TXT="$(mktemp)"
 trap 'rm -f "$TXT"' EXIT
 
@@ -49,3 +80,32 @@ END { print "\n]" }
 ' "$TXT" > "$OUT"
 
 echo "bench: wrote $(grep -c '"name"' "$OUT") results to $OUT"
+
+[ "$COMPARE" = 1 ] || exit 0
+
+MAX="${BENCH_MAX_REGRESSION:-25}"
+echo "== comparing ns/op against $BASELINE (gate: Table1 registration + Table2 codecs, >$MAX% = fail)"
+GATE='^BenchmarkTable1Registration|^BenchmarkTable2WireFormats'
+REPORT="$(jq -n -r --arg gate "$GATE" --argjson max "$MAX" \
+    --slurpfile base "$BASELINE" --slurpfile cur "$OUT" '
+  ($base[0] | map({(.name): .ns_per_op}) | add) as $b
+  | [ $cur[0][]
+      | select($b[.name] != null)
+      | . + {base: $b[.name],
+             pct: ((.ns_per_op / $b[.name] - 1) * 100),
+             gated: (.name | test($gate))} ]
+  | (.[] | [ (if .gated and .pct > $max then "REGRESSED"
+              elif .gated then "ok"
+              else "info" end),
+             .name, "\(.base) -> \(.ns_per_op) ns/op",
+             "\(.pct | floor)%" ] | @tsv),
+    "gated \(map(select(.gated)) | length) of \(length) shared benchmarks",
+    (if any(.gated and .pct > $max) then "RESULT: FAIL" else "RESULT: PASS" end)
+')"
+printf '%s\n' "$REPORT" | column -t -s "$(printf '\t')" 2>/dev/null || printf '%s\n' "$REPORT"
+case "$REPORT" in
+*"RESULT: FAIL"*)
+    echo "bench: ns/op regression over $MAX% against $BASELINE" >&2
+    exit 1
+    ;;
+esac
