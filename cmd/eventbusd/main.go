@@ -11,11 +11,24 @@
 //
 // With -debug-addr the broker serves live counters (/stats, /debug/vars),
 // the protocol flight recorder (/debug/flight), health endpoints (/healthz,
-// /readyz) and pprof profiles (/debug/pprof/) on a second listener:
+// /readyz) and pprof profiles (/debug/pprof/) on a second listener; GET
+// /debug lists every endpoint:
 //
 //	curl http://127.0.0.1:8781/stats
 //	curl http://127.0.0.1:8781/debug/flight?n=50
 //	curl http://127.0.0.1:8781/readyz
+//
+// With -history-interval the broker also monitors itself: metrics are
+// sampled into a fixed-memory ring (/debug/history), alert rules are
+// evaluated against it (/debug/alerts; defaults watch the outbound queue
+// backlog and plan-cache evictions, -alert-rules overrides with a rule file
+// or inline DSL), /readyz degrades while a rule fires, and rules marked
+// capture record CPU/heap/goroutine profiles into /debug/profiles:
+//
+//	eventbusd -addr :8701 -debug-addr 127.0.0.1:8781 -history-interval 5s
+//	curl 'http://127.0.0.1:8781/debug/history?key=eventbus.queue_depth'
+//	curl http://127.0.0.1:8781/debug/flight?kind=alert
+//	curl http://127.0.0.1:8781/debug/profiles/
 //
 // Diagnostics go to stderr via log/slog; -log-format selects text or json.
 // The broker exits cleanly on SIGINT/SIGTERM.
@@ -24,15 +37,21 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"log/slog"
 
+	"openmeta/internal/alert"
 	"openmeta/internal/dcg"
 	"openmeta/internal/eventbus"
+	"openmeta/internal/flight"
+	"openmeta/internal/histdb"
 	"openmeta/internal/obsv"
+	"openmeta/internal/profcap"
 	"openmeta/internal/trace"
 )
 
@@ -52,6 +71,9 @@ func run(args []string) error {
 	statsInterval := fs.Duration("stats-interval", 0, "log a one-line stats delta this often (0 = off)")
 	traceSample := fs.Int("trace-sample", 0, "record spans for 1 in N traces (1 = all, 0 = tracing off)")
 	planCacheMax := fs.Int("plan-cache-max", 0, "bound the scoped-conversion plan cache to this many entries (0 = unbounded)")
+	historyInterval := fs.Duration("history-interval", 0, "sample metrics into the /debug/history ring this often (0 = self-monitoring off)")
+	alertRules := fs.String("alert-rules", "", "alert rules: a rule file path or inline DSL (default: built-in queue-depth and plan-cache rules; needs -history-interval)")
+	profileDir := fs.String("profile-capture-dir", "", "also spill anomaly profile captures to this directory (captures are in-memory otherwise)")
 	logFormat := fs.String("log-format", "text", "diagnostic log format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -90,14 +112,57 @@ func run(args []string) error {
 		})
 	}
 
+	// Self-monitoring: with -history-interval the broker samples its own
+	// registry into a fixed-memory ring, evaluates alert rules against it
+	// (degrading /readyz and writing flight events while one fires), and arms
+	// anomaly-triggered profile capture for rules that ask for it.
+	var histDB *histdb.DB
+	var engine *alert.Engine
+	var capt *profcap.Capturer
+	if *historyInterval > 0 {
+		histDB = histdb.New(obsv.Default(), histdb.WithInterval(*historyInterval)).Start()
+		defer histDB.Stop()
+		var copts []profcap.Option
+		if *profileDir != "" {
+			copts = append(copts, profcap.WithDir(*profileDir))
+		}
+		capt = profcap.New(append(copts, profcap.WithObserver(obsv.Default()))...)
+		rules := defaultAlertRules(*queueDepth)
+		if *alertRules != "" {
+			if rules, err = alert.LoadRules(*alertRules); err != nil {
+				return err
+			}
+		}
+		engine = alert.New(histDB,
+			alert.WithObserver(obsv.Default()),
+			alert.WithFlightRecorder(flight.Default()),
+			alert.WithHealth(obsv.DefaultHealth()),
+			alert.WithCapturer(capt),
+		).Bind()
+		if err := engine.Add(rules...); err != nil {
+			return err
+		}
+		for _, r := range rules {
+			logger.Info("alert rule armed", "component", "eventbusd",
+				"rule", r.Name, "condition", r.Condition(), "severity", r.Severity.String(), "capture", r.Capture)
+		}
+	}
+
 	if *debugAddr != "" {
 		dbg, err := obsv.ListenAndServeDebug(*debugAddr, obsv.Default(),
-			obsv.DebugEndpoint{Path: "/debug/trace", Handler: trace.Handler(trace.Default())})
+			obsv.DebugEndpoint{Path: "/debug/trace", Handler: trace.Handler(trace.Default()),
+				Desc: "recent trace spans, newest first"},
+			obsv.DebugEndpoint{Path: "/debug/history", Handler: histdb.Handler(histDB),
+				Desc: "metrics time-series ring (?key=&since=)"},
+			obsv.DebugEndpoint{Path: "/debug/alerts", Handler: alert.StatusHandler(engine),
+				Desc: "SLO alert rules and firing state"},
+			obsv.DebugEndpoint{Path: "/debug/profiles/", Handler: http.StripPrefix("/debug/profiles", profcap.Handler(capt)),
+				Desc: "anomaly-triggered pprof captures"})
 		if err != nil {
 			return err
 		}
 		logger.Info("debug endpoints up", "component", "eventbusd",
-			"addr", dbg.String(), "paths", "/stats /metrics /debug/flight /debug/trace /healthz /readyz /debug/pprof")
+			"addr", dbg.String(), "paths", "/debug /stats /metrics /debug/flight /debug/trace /debug/history /debug/alerts /debug/profiles /healthz /readyz /debug/pprof")
 	}
 	if *statsInterval > 0 {
 		stop := obsv.StartStatsLogger(obsv.Default(), *statsInterval, func(format string, args ...interface{}) {
@@ -111,4 +176,33 @@ func run(args []string) error {
 	<-sig
 	logger.Info("shutting down", "component", "eventbusd")
 	return broker.Close()
+}
+
+// defaultAlertRules are the rules armed when -history-interval is on and
+// -alert-rules doesn't override them: the broker's outbound backlog sitting
+// above 3/4 of its queue bound (slow subscribers about to cause drops —
+// worth a profile), and any plan-cache eviction pressure.
+func defaultAlertRules(queueDepth int) []alert.Rule {
+	if queueDepth <= 0 {
+		queueDepth = 256 // the broker's default per-subscriber queue bound
+	}
+	return []alert.Rule{
+		{
+			Name:      "queue-depth",
+			Metric:    "eventbus.queue_depth",
+			Op:        alert.OpGT,
+			Threshold: int64(3 * queueDepth / 4),
+			For:       30 * time.Second,
+			Severity:  alert.SevWarn,
+			Capture:   true,
+		},
+		{
+			Name:      "plan-cache-pressure",
+			Metric:    "dcg.plan_cache.evictions",
+			Op:        alert.OpGT,
+			Threshold: 0,
+			For:       60 * time.Second,
+			Severity:  alert.SevWarn,
+		},
+	}
 }

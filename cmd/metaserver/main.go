@@ -10,8 +10,10 @@
 // Documents are validated on load; GET /schemas/ lists names, GET
 // /schemas/<name> returns a document with an ETag for revalidation. With
 // -debug-addr a second listener serves /stats, /metrics, /debug/flight,
-// /healthz, /readyz and pprof. Diagnostics go to stderr via log/slog;
-// -log-format selects text or json.
+// /healthz, /readyz and pprof (GET /debug lists everything); adding
+// -history-interval enables self-monitoring — /debug/history sampling,
+// -alert-rules evaluation and /debug/profiles capture — mirroring eventbusd.
+// Diagnostics go to stderr via log/slog; -log-format selects text or json.
 package main
 
 import (
@@ -27,8 +29,12 @@ import (
 	"log/slog"
 
 	"openmeta/internal/airline"
+	"openmeta/internal/alert"
 	"openmeta/internal/discovery"
+	"openmeta/internal/flight"
+	"openmeta/internal/histdb"
 	"openmeta/internal/obsv"
+	"openmeta/internal/profcap"
 )
 
 func main() {
@@ -45,6 +51,9 @@ func run(args []string) error {
 	builtin := fs.Bool("builtin", false, "serve the built-in airline scenario schemas")
 	writable := fs.Bool("writable", false, "accept PUT/DELETE so streams can publish their own metadata")
 	debugAddr := fs.String("debug-addr", "", "serve /stats, /debug/vars, /healthz, /readyz and /debug/pprof on this address")
+	historyInterval := fs.Duration("history-interval", 0, "sample metrics into the /debug/history ring this often (0 = self-monitoring off)")
+	alertRules := fs.String("alert-rules", "", "alert rules: a rule file path or inline DSL (needs -history-interval)")
+	profileDir := fs.String("profile-capture-dir", "", "also spill anomaly profile captures to this directory")
 	statsInterval := fs.Duration("stats-interval", 0, "log a one-line stats delta this often (0 = off)")
 	logFormat := fs.String("log-format", "text", "diagnostic log format: text or json")
 	if err := fs.Parse(args); err != nil {
@@ -108,13 +117,54 @@ func run(args []string) error {
 		return nil
 	})
 
+	// Self-monitoring: optional metrics history, alert rules and profile
+	// capture, mirroring eventbusd (no default rules here — the repository
+	// has no queue to watch; pass -alert-rules to arm some).
+	var histDB *histdb.DB
+	var engine *alert.Engine
+	var capt *profcap.Capturer
+	if *historyInterval > 0 {
+		histDB = histdb.New(obsv.Default(), histdb.WithInterval(*historyInterval)).Start()
+		defer histDB.Stop()
+		var copts []profcap.Option
+		if *profileDir != "" {
+			copts = append(copts, profcap.WithDir(*profileDir))
+		}
+		capt = profcap.New(append(copts, profcap.WithObserver(obsv.Default()))...)
+		if *alertRules != "" {
+			rules, err := alert.LoadRules(*alertRules)
+			if err != nil {
+				return err
+			}
+			engine = alert.New(histDB,
+				alert.WithObserver(obsv.Default()),
+				alert.WithFlightRecorder(flight.Default()),
+				alert.WithHealth(obsv.DefaultHealth()),
+				alert.WithCapturer(capt),
+			).Bind()
+			if err := engine.Add(rules...); err != nil {
+				return err
+			}
+			for _, r := range rules {
+				logger.Info("alert rule armed", "component", "metaserver",
+					"rule", r.Name, "condition", r.Condition(), "severity", r.Severity.String(), "capture", r.Capture)
+			}
+		}
+	}
+
 	if *debugAddr != "" {
-		dbg, err := obsv.ListenAndServeDebug(*debugAddr, obsv.Default())
+		dbg, err := obsv.ListenAndServeDebug(*debugAddr, obsv.Default(),
+			obsv.DebugEndpoint{Path: "/debug/history", Handler: histdb.Handler(histDB),
+				Desc: "metrics time-series ring (?key=&since=)"},
+			obsv.DebugEndpoint{Path: "/debug/alerts", Handler: alert.StatusHandler(engine),
+				Desc: "SLO alert rules and firing state"},
+			obsv.DebugEndpoint{Path: "/debug/profiles/", Handler: http.StripPrefix("/debug/profiles", profcap.Handler(capt)),
+				Desc: "anomaly-triggered pprof captures"})
 		if err != nil {
 			return err
 		}
 		logger.Info("debug endpoints up", "component", "metaserver",
-			"addr", dbg.String(), "paths", "/stats /metrics /healthz /readyz /debug/pprof")
+			"addr", dbg.String(), "paths", "/debug /stats /metrics /debug/history /debug/alerts /debug/profiles /healthz /readyz /debug/pprof")
 	}
 	if *statsInterval > 0 {
 		stop := obsv.StartStatsLogger(obsv.Default(), *statsInterval, func(format string, args ...interface{}) {

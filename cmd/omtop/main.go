@@ -11,8 +11,13 @@
 //
 // Counters display as rate-per-second computed from consecutive snapshots;
 // gauges display as their current value; a histogram named h collapses the
-// h.count/.sum/.max/.p50/.p95/.p99 keys into one line with the event rate,
-// quantiles and max.
+// h.count/.sum/.p50/.p95/.p99 keys into one line with the event rate,
+// quantiles and max. A counter that moved backwards between polls (the
+// daemon restarted) shows "reset" for that interval instead of a bogus
+// negative rate. When the daemon also serves /debug/history (started with
+// -history-interval), each row gains a unicode sparkline of its recent
+// samples from the daemon's own ring — trend context without omtop having
+// to watch for long.
 //
 // With -formats the display pivots to per-format wire accounting instead:
 // one row per format label found in the snapshot's labeled families
@@ -59,14 +64,16 @@ func run(args []string, out io.Writer) error {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	url := strings.TrimRight(base, "/") + "/stats"
+	base = strings.TrimRight(base, "/")
+	url := base + "/stats"
+	histURL := base + "/debug/history"
 
 	prev, err := fetchStats(url)
 	if err != nil {
 		return err
 	}
 	if *once {
-		fmt.Fprint(out, view(url, nil, prev, 0))
+		fmt.Fprint(out, view(url, nil, prev, fetchHistory(histURL), 0))
 		return nil
 	}
 	for i := 0; *n == 0 || i < *n; i++ {
@@ -78,7 +85,7 @@ func run(args []string, out io.Writer) error {
 		if *clear {
 			fmt.Fprint(out, "\x1b[2J\x1b[H")
 		}
-		fmt.Fprint(out, view(url, prev, cur, *interval))
+		fmt.Fprint(out, view(url, prev, cur, fetchHistory(histURL), *interval))
 		prev = cur
 	}
 	return nil
@@ -100,14 +107,101 @@ func fetchStats(url string) (map[string]int64, error) {
 	return snap, nil
 }
 
+// history holds each /debug/history series' recent values, oldest first.
+type history map[string][]int64
+
+// fetchHistory pulls the daemon's sampled metric history. Best-effort: any
+// failure (endpoint absent, history disabled, bad JSON) returns nil and the
+// display simply has no sparklines.
+func fetchHistory(url string) history {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var body struct {
+		Series map[string]struct {
+			Points []struct {
+				V int64 `json:"v"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil
+	}
+	h := make(history, len(body.Series))
+	for name, s := range body.Series {
+		vals := make([]int64, len(s.Points))
+		for i, p := range s.Points {
+			vals[i] = p.V
+		}
+		h[name] = vals
+	}
+	return h
+}
+
+// sparkBlocks are the eight block heights a sparkline cell can take.
+var sparkBlocks = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders the last width values as unicode blocks, scaled between
+// the window's min and max (a flat non-zero series renders mid-height so it
+// reads as "steady", an all-zero one as the floor).
+func sparkline(vals []int64, width int) string {
+	if len(vals) == 0 || width <= 0 {
+		return ""
+	}
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		switch {
+		case hi == lo && hi == 0:
+			out[i] = sparkBlocks[0]
+		case hi == lo:
+			out[i] = sparkBlocks[len(sparkBlocks)/2]
+		default:
+			idx := int((v - lo) * int64(len(sparkBlocks)-1) / (hi - lo))
+			out[i] = sparkBlocks[idx]
+		}
+	}
+	return string(out)
+}
+
+// sparkWidth is how many history samples a row's sparkline shows.
+const sparkWidth = 20
+
+// rateCell formats the per-second rate column, or "reset" when the counter
+// moved backwards between polls — the daemon restarted, so the delta for
+// this interval is meaningless.
+func rateCell(cur, prev int64, elapsed time.Duration) string {
+	if cur < prev {
+		return fmt.Sprintf("%12s", "reset")
+	}
+	return fmt.Sprintf("%10.1f/s", perSecond(cur-prev, elapsed))
+}
+
 // histSuffixes are the snapshot keys a histogram named h expands to; their
 // shared base name identifies a histogram family in the flat snapshot.
 var histSuffixes = []string{".count", ".sum", ".max", ".p50", ".p95", ".p99"}
 
 // render formats one refresh. With prev == nil (the -once path) counters
 // print as absolute values; otherwise they print as per-second rates over
-// elapsed.
-func render(source string, prev, cur map[string]int64, elapsed time.Duration) string {
+// elapsed. hist (may be nil) adds a per-row sparkline of the daemon's own
+// sampled history.
+func render(source string, prev, cur map[string]int64, hist history, elapsed time.Duration) string {
 	hists := map[string]bool{}
 	for k := range cur {
 		if base, ok := histBase(k, cur); ok {
@@ -132,25 +226,32 @@ func render(source string, prev, cur map[string]int64, elapsed time.Duration) st
 	var b strings.Builder
 	fmt.Fprintf(&b, "omtop  %s  %s\n\n", source, time.Now().Format("15:04:05"))
 	for _, k := range scalars {
+		spark := ""
+		if s := sparkline(hist[k], sparkWidth); s != "" {
+			spark = "  " + s
+		}
 		if prev == nil {
-			fmt.Fprintf(&b, "%-44s %12d\n", k, cur[k])
+			fmt.Fprintf(&b, "%-44s %12d%s\n", k, cur[k], spark)
 			continue
 		}
-		rate := perSecond(cur[k]-prev[k], elapsed)
-		fmt.Fprintf(&b, "%-44s %12d %10.1f/s\n", k, cur[k], rate)
+		fmt.Fprintf(&b, "%-44s %12d %s%s\n", k, cur[k], rateCell(cur[k], prev[k], elapsed), spark)
 	}
 	if len(families) > 0 {
 		fmt.Fprintf(&b, "\n%-44s %10s %10s %10s %10s %10s\n",
 			"histogram", "events/s", "p50", "p95", "p99", "max")
 		for _, base := range families {
-			var rate float64
+			rate := fmt.Sprintf("%10.1f", float64(cur[base+".count"]))
 			if prev != nil {
-				rate = perSecond(cur[base+".count"]-prev[base+".count"], elapsed)
-			} else {
-				rate = float64(cur[base+".count"])
+				rate = strings.TrimSuffix(rateCell(cur[base+".count"], prev[base+".count"], elapsed), "/s")
 			}
-			fmt.Fprintf(&b, "%-44s %10.1f %10d %10d %10d %10d\n",
-				base, rate, cur[base+".p50"], cur[base+".p95"], cur[base+".p99"], cur[base+".max"])
+			spark := ""
+			// The daemon's history ring stores the histogram count as the
+			// per-interval delta series <base>.count.
+			if s := sparkline(hist[base+".count"], sparkWidth); s != "" {
+				spark = "  " + s
+			}
+			fmt.Fprintf(&b, "%-44s %10s %10d %10d %10d %10d%s\n",
+				base, rate, cur[base+".p50"], cur[base+".p95"], cur[base+".p99"], cur[base+".max"], spark)
 		}
 	}
 	return b.String()
@@ -225,10 +326,12 @@ func formatRows(snap map[string]int64) map[string]*fmtRow {
 
 // renderFormats formats the per-format wire accounting view: one row per
 // format label seen in the snapshot. With prev == nil counter columns show
-// absolute totals; otherwise per-second rates over elapsed. Metadata bytes
-// come from the codec-side family when present, falling back to the broker's
-// wire.meta.bytes; the ndr:xml column is the live expansion-ratio gauge.
-func renderFormats(source string, prev, cur map[string]int64, elapsed time.Duration) string {
+// absolute totals; otherwise per-second rates over elapsed (clamped at 0
+// across a daemon restart). Metadata bytes come from the codec-side family
+// when present, falling back to the broker's wire.meta.bytes; the ndr:xml
+// column is the live expansion-ratio gauge. The history parameter is
+// unused — sparklines only appear in the default view.
+func renderFormats(source string, prev, cur map[string]int64, _ history, elapsed time.Duration) string {
 	rows := formatRows(cur)
 	var prevRows map[string]*fmtRow
 	if prev != nil {
@@ -264,6 +367,9 @@ func renderFormats(source string, prev, cur map[string]int64, elapsed time.Durat
 		val := func(cur, prev int64) float64 {
 			if prevRows == nil {
 				return float64(cur)
+			}
+			if cur < prev {
+				return 0 // counter reset (daemon restart): no negative rates
 			}
 			return perSecond(cur-prev, elapsed)
 		}

@@ -1,0 +1,330 @@
+// Package alert is the SLO rule engine of the self-monitoring stack: rules
+// ("eventbus.queue_depth > 192 for 30s") are evaluated against the histdb
+// sample ring on every tick, and a rule whose condition has held for its
+// whole For window fires. Firing is loud in exactly the channels the repo
+// already has — a typed alert_fired event lands in the flight recorder, an
+// "alerts" health probe degrades /readyz, alerts.active and
+// alerts.fired_total move in the registry, and (when the rule asks for it) a
+// profile capture is triggered so the anomaly's CPU and heap evidence exists
+// even if nobody was watching. Resolution uses hysteresis: the condition must
+// stay clear for the same window before the alert resolves, so a metric
+// oscillating around the threshold does not flap the readiness probe.
+package alert
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"openmeta/internal/flight"
+	"openmeta/internal/histdb"
+	"openmeta/internal/obsv"
+)
+
+// Op is a rule's comparison operator.
+type Op uint8
+
+const (
+	OpGT Op = iota + 1 // metric > threshold
+	OpGE               // metric >= threshold
+	OpLT               // metric < threshold
+	OpLE               // metric <= threshold
+)
+
+// String returns the operator as written in the rule DSL.
+func (o Op) String() string {
+	switch o {
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	default:
+		return "?"
+	}
+}
+
+// Severity ranks how bad a firing rule is. Any firing rule degrades /readyz;
+// severity is carried in the flight events and /debug/alerts for triage.
+type Severity uint8
+
+const (
+	SevInfo Severity = iota + 1
+	SevWarn
+	SevCritical
+)
+
+// String returns the severity as written in the rule DSL.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarn:
+		return "warn"
+	case SevCritical:
+		return "critical"
+	default:
+		return "unknown"
+	}
+}
+
+// Rule is one SLO condition over a histdb series. Metric names a series key
+// exactly as /debug/history spells it (including derived histogram keys like
+// "rpc.latency.p99" and labeled children like `wire.records{stream="x"}`).
+// The condition must hold for every sample across For before the rule fires,
+// and must stay clear for For before it resolves (hysteresis). Capture asks
+// the profile capturer for a CPU/heap/goroutine snapshot at fire time.
+type Rule struct {
+	Name      string
+	Metric    string
+	Op        Op
+	Threshold int64
+	For       time.Duration
+	Severity  Severity
+	Capture   bool
+}
+
+// Condition renders the rule's condition for events and the status JSON,
+// e.g. "eventbus.queue_depth > 192 for 30s".
+func (r Rule) Condition() string {
+	return fmt.Sprintf("%s %s %d for %s", r.Metric, r.Op, r.Threshold, r.For)
+}
+
+func (r Rule) validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("alert: rule has no name")
+	}
+	if r.Metric == "" {
+		return fmt.Errorf("alert: rule %q has no metric", r.Name)
+	}
+	if r.Op < OpGT || r.Op > OpLE {
+		return fmt.Errorf("alert: rule %q has no operator", r.Name)
+	}
+	return nil
+}
+
+// holds reports whether v satisfies the rule's condition.
+func (r Rule) holds(v int64) bool {
+	switch r.Op {
+	case OpGT:
+		return v > r.Threshold
+	case OpGE:
+		return v >= r.Threshold
+	case OpLT:
+		return v < r.Threshold
+	case OpLE:
+		return v <= r.Threshold
+	default:
+		return false
+	}
+}
+
+// Capturer receives fire-time capture requests — satisfied by
+// *profcap.Capturer. Trigger must not block: captures run in the engine's
+// evaluation path.
+type Capturer interface {
+	Trigger(reason string)
+}
+
+// ruleState tracks one rule's streaks across ticks.
+type ruleState struct {
+	rule      Rule
+	needTicks int // consecutive samples required to fire (and to resolve)
+
+	breachStreak int
+	okStreak     int
+	firing       bool
+	firedAt      time.Time
+	lastValue    int64
+}
+
+// Status is one rule's current state, as served by StatusHandler.
+type Status struct {
+	Rule      string    `json:"rule"`
+	Condition string    `json:"condition"`
+	Severity  string    `json:"severity"`
+	Firing    bool      `json:"firing"`
+	FiredAt   time.Time `json:"fired_at,omitempty"`
+	LastValue int64     `json:"last_value"`
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithObserver routes the engine's own metrics (alerts.active,
+// alerts.fired_total, alerts.resolved_total) into reg (default: none).
+func WithObserver(reg *obsv.Registry) Option {
+	return func(e *Engine) {
+		if reg != nil {
+			e.active = reg.Gauge("alerts.active")
+			e.fired = reg.Counter("alerts.fired_total")
+			e.resolved = reg.Counter("alerts.resolved_total")
+		}
+	}
+}
+
+// WithFlightRecorder routes alert_fired / alert_resolved events into rec.
+func WithFlightRecorder(rec *flight.Recorder) Option {
+	return func(e *Engine) { e.rec = rec }
+}
+
+// WithHealth registers an "alerts" probe on h that fails while any rule
+// fires, degrading /readyz for the duration of the incident.
+func WithHealth(h *obsv.Health) Option {
+	return func(e *Engine) {
+		if h == nil {
+			return
+		}
+		h.Register("alerts", func() error {
+			if names := e.FiringNames(); len(names) > 0 {
+				return fmt.Errorf("alert firing: %s", strings.Join(names, ", "))
+			}
+			return nil
+		})
+	}
+}
+
+// WithCapturer hands fire-time capture requests (rules with Capture: true)
+// to capt.
+func WithCapturer(capt Capturer) Option {
+	return func(e *Engine) { e.capt = capt }
+}
+
+// Engine evaluates rules against a histdb ring. Build with New, add rules
+// with Add (or the DSL loaders in dsl.go), then Bind to the DB's OnSample
+// hook — or call Eval directly from tests.
+type Engine struct {
+	db   *histdb.DB
+	rec  *flight.Recorder
+	capt Capturer
+
+	active   *obsv.Gauge
+	fired    *obsv.Counter
+	resolved *obsv.Counter
+
+	mu    sync.Mutex
+	rules []*ruleState
+}
+
+// New returns an engine evaluating against db.
+func New(db *histdb.DB, opts ...Option) *Engine {
+	e := &Engine{db: db}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Add registers rules. A rule's For window is converted to a consecutive-tick
+// count against the DB's sampling interval (minimum one tick, so For: 0
+// means "fires on the first breaching sample").
+func (e *Engine) Add(rules ...Rule) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range rules {
+		if err := r.validate(); err != nil {
+			return err
+		}
+		if r.Severity == 0 {
+			r.Severity = SevWarn
+		}
+		need := 1
+		if iv := e.db.Interval(); r.For > 0 && iv > 0 {
+			if need = int(r.For / iv); need < 1 {
+				need = 1
+			}
+		}
+		e.rules = append(e.rules, &ruleState{rule: r, needTicks: need})
+	}
+	return nil
+}
+
+// Bind wires the engine to the DB's post-sample hook so every tick is
+// evaluated. Returns the engine (chainable).
+func (e *Engine) Bind() *Engine {
+	e.db.OnSample(e.Eval)
+	return e
+}
+
+// Eval evaluates every rule against the latest samples. Bound to the DB's
+// OnSample hook by Bind; exported so tests can drive it in lockstep with
+// explicit Sample calls.
+func (e *Engine) Eval() {
+	now := time.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, st := range e.rules {
+		v, ok := e.db.Latest(st.rule.Metric)
+		if !ok {
+			continue // series not sampled yet; streaks hold
+		}
+		st.lastValue = v
+		if st.rule.holds(v) {
+			st.breachStreak++
+			st.okStreak = 0
+		} else {
+			st.okStreak++
+			st.breachStreak = 0
+		}
+		switch {
+		case !st.firing && st.breachStreak >= st.needTicks:
+			st.firing = true
+			st.firedAt = now
+			e.fired.Inc()
+			e.active.Add(1)
+			e.rec.Record(flight.KindAlertFired, 0, st.rule.Name, 0, v,
+				st.rule.Severity.String()+" "+st.rule.Condition())
+			if st.rule.Capture && e.capt != nil {
+				e.capt.Trigger("alert:" + st.rule.Name)
+			}
+		case st.firing && st.okStreak >= st.needTicks:
+			st.firing = false
+			e.resolved.Inc()
+			e.active.Add(-1)
+			e.rec.Record(flight.KindAlertResolved, 0, st.rule.Name, 0, v,
+				st.rule.Severity.String()+" "+st.rule.Condition())
+		}
+	}
+}
+
+// FiringNames returns the names of currently firing rules, sorted — what the
+// "alerts" health probe reports.
+func (e *Engine) FiringNames() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	for _, st := range e.rules {
+		if st.firing {
+			out = append(out, st.rule.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Statuses returns every rule's current state, sorted by name.
+func (e *Engine) Statuses() []Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Status, 0, len(e.rules))
+	for _, st := range e.rules {
+		s := Status{
+			Rule:      st.rule.Name,
+			Condition: st.rule.Condition(),
+			Severity:  st.rule.Severity.String(),
+			Firing:    st.firing,
+			LastValue: st.lastValue,
+		}
+		if st.firing {
+			s.FiredAt = st.firedAt
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rule < out[j].Rule })
+	return out
+}

@@ -1,0 +1,317 @@
+package alert
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"openmeta/internal/flight"
+	"openmeta/internal/histdb"
+	"openmeta/internal/obsv"
+)
+
+// harness builds a registry + histdb + engine triple where ticks are driven
+// explicitly: each step sets the gauge then samples, so For windows count in
+// deterministic ticks (interval 10ms, For 30ms → 3 ticks).
+type harness struct {
+	reg *obsv.Registry
+	g   *obsv.Gauge
+	db  *histdb.DB
+	eng *Engine
+	rec *flight.Recorder
+	h   *obsv.Health
+}
+
+func newHarness(t *testing.T, rules ...Rule) *harness {
+	t.Helper()
+	reg := obsv.New()
+	h := &harness{
+		reg: reg,
+		g:   reg.Gauge("depth"),
+		db:  histdb.New(reg, histdb.WithInterval(10*time.Millisecond), histdb.WithCapacity(64)),
+		rec: flight.New(32),
+	}
+	h.h = obsv.NewHealth()
+	h.eng = New(h.db,
+		WithObserver(reg),
+		WithFlightRecorder(h.rec),
+		WithHealth(h.h),
+	)
+	if err := h.eng.Add(rules...); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	h.eng.Bind()
+	return h
+}
+
+func (h *harness) step(v int64) {
+	h.g.Set(v)
+	h.db.Sample() // Eval runs via OnSample
+}
+
+func (h *harness) ready() bool {
+	rec := httptest.NewRecorder()
+	h.h.ReadyHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	return rec.Code == 200
+}
+
+var depthRule = Rule{
+	Name: "depth-high", Metric: "depth", Op: OpGT, Threshold: 100,
+	For: 30 * time.Millisecond, Severity: SevCritical,
+}
+
+func TestFireAfterForWindowAndResolveWithHysteresis(t *testing.T) {
+	h := newHarness(t, depthRule)
+
+	// Two breaching ticks: not enough (needs 3).
+	h.step(150)
+	h.step(150)
+	if names := h.eng.FiringNames(); len(names) != 0 {
+		t.Fatalf("fired early: %v", names)
+	}
+	if !h.ready() {
+		t.Fatal("/readyz degraded before firing")
+	}
+	// Third breaching tick fires.
+	h.step(200)
+	if names := h.eng.FiringNames(); len(names) != 1 || names[0] != "depth-high" {
+		t.Fatalf("FiringNames = %v", names)
+	}
+	if h.ready() {
+		t.Fatal("/readyz still 200 while firing")
+	}
+	snap := h.reg.Snapshot()
+	if snap["alerts.active"] != 1 || snap["alerts.fired_total"] != 1 {
+		t.Fatalf("metrics: active=%d fired=%d", snap["alerts.active"], snap["alerts.fired_total"])
+	}
+
+	// Hysteresis: two clear ticks do not resolve, and a re-breach resets.
+	h.step(50)
+	h.step(50)
+	if len(h.eng.FiringNames()) != 1 {
+		t.Fatal("resolved before hysteresis window")
+	}
+	h.step(150) // breach again: ok streak resets
+	h.step(50)
+	h.step(50)
+	if len(h.eng.FiringNames()) != 1 {
+		t.Fatal("ok streak not reset by re-breach")
+	}
+	h.step(50) // third consecutive clear tick resolves
+	if len(h.eng.FiringNames()) != 0 {
+		t.Fatal("did not resolve after full clear window")
+	}
+	if !h.ready() {
+		t.Fatal("/readyz not restored after resolve")
+	}
+	snap = h.reg.Snapshot()
+	if snap["alerts.active"] != 0 || snap["alerts.resolved_total"] != 1 {
+		t.Fatalf("metrics after resolve: %v", snap)
+	}
+
+	// Flight events: fired then resolved, in order, with rule name + severity.
+	evs := h.rec.Snapshot() // newest first
+	var fired, resolved *flight.Event
+	for i := range evs {
+		switch evs[i].Kind {
+		case "alert_fired":
+			fired = &evs[i]
+		case "alert_resolved":
+			resolved = &evs[i]
+		}
+	}
+	if fired == nil || resolved == nil {
+		t.Fatalf("missing alert events: %+v", evs)
+	}
+	if fired.Seq >= resolved.Seq {
+		t.Fatalf("fired seq %d not before resolved seq %d", fired.Seq, resolved.Seq)
+	}
+	if fired.Stream != "depth-high" || !strings.HasPrefix(fired.Detail, "critical depth > 100") {
+		t.Fatalf("fired event = %+v", fired)
+	}
+	if fired.Bytes != 200 {
+		t.Fatalf("fired observed value = %d, want 200", fired.Bytes)
+	}
+}
+
+func TestOscillationDoesNotFlap(t *testing.T) {
+	h := newHarness(t, depthRule)
+	// Alternating breach/clear never accumulates 3 consecutive of either.
+	for i := 0; i < 20; i++ {
+		if i%2 == 0 {
+			h.step(150)
+		} else {
+			h.step(50)
+		}
+	}
+	if snap := h.reg.Snapshot(); snap["alerts.fired_total"] != 0 {
+		t.Fatalf("flapped: fired %d times", snap["alerts.fired_total"])
+	}
+}
+
+func TestForZeroFiresImmediately(t *testing.T) {
+	h := newHarness(t, Rule{Name: "instant", Metric: "depth", Op: OpGE, Threshold: 1})
+	h.step(1)
+	if len(h.eng.FiringNames()) != 1 {
+		t.Fatal("For:0 rule did not fire on first breaching sample")
+	}
+}
+
+func TestMissingMetricNeverFires(t *testing.T) {
+	h := newHarness(t, Rule{Name: "ghost", Metric: "no.such.series", Op: OpGT, Threshold: 0})
+	for i := 0; i < 5; i++ {
+		h.step(int64(i))
+	}
+	if len(h.eng.FiringNames()) != 0 {
+		t.Fatal("rule over a missing series fired")
+	}
+}
+
+type fakeCapturer struct{ reasons []string }
+
+func (f *fakeCapturer) Trigger(reason string) { f.reasons = append(f.reasons, reason) }
+
+func TestCaptureTriggeredOnFireOnly(t *testing.T) {
+	reg := obsv.New()
+	g := reg.Gauge("depth")
+	db := histdb.New(reg, histdb.WithInterval(10*time.Millisecond))
+	capt := &fakeCapturer{}
+	eng := New(db, WithCapturer(capt))
+	r := depthRule
+	r.Capture = true
+	if err := eng.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	eng.Bind()
+	for i := 0; i < 6; i++ { // fires once at tick 3, stays firing
+		g.Set(999)
+		db.Sample()
+	}
+	if len(capt.reasons) != 1 || capt.reasons[0] != "alert:depth-high" {
+		t.Fatalf("capture reasons = %v, want one alert:depth-high", capt.reasons)
+	}
+}
+
+func TestStatusHandler(t *testing.T) {
+	h := newHarness(t, depthRule)
+	h.step(150)
+	h.step(150)
+	h.step(150)
+
+	rec := httptest.NewRecorder()
+	StatusHandler(h.eng).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/alerts", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var body struct {
+		Firing []string `json:"firing"`
+		Rules  []Status `json:"rules"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(body.Firing) != 1 || body.Firing[0] != "depth-high" {
+		t.Fatalf("firing = %v", body.Firing)
+	}
+	if len(body.Rules) != 1 || !body.Rules[0].Firing || body.Rules[0].LastValue != 150 {
+		t.Fatalf("rules = %+v", body.Rules)
+	}
+	if body.Rules[0].Condition != "depth > 100 for 30ms" {
+		t.Fatalf("condition = %q", body.Rules[0].Condition)
+	}
+
+	rec = httptest.NewRecorder()
+	StatusHandler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/alerts", nil))
+	if rec.Code != 503 {
+		t.Fatalf("nil engine: status %d, want 503", rec.Code)
+	}
+}
+
+func TestAddValidates(t *testing.T) {
+	db := histdb.New(obsv.New())
+	eng := New(db)
+	for _, bad := range []Rule{
+		{Metric: "m", Op: OpGT},             // no name
+		{Name: "n", Op: OpGT},               // no metric
+		{Name: "n", Metric: "m"},            // no op
+		{Name: "n", Metric: "m", Op: Op(9)}, // bogus op
+	} {
+		if err := eng.Add(bad); err == nil {
+			t.Fatalf("Add(%+v) accepted", bad)
+		}
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	src := `
+# production defaults
+queue-depth: eventbus.queue_depth > 192 for 30s severity warn capture
+plan-cache: dcg.plan_cache.evictions > 0 for 60s
+
+p99: rpc.latency_ns.p99 >= 50ms for 1m severity critical  # duration threshold
+`
+	rules, err := ParseRules("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("parsed %d rules", len(rules))
+	}
+	qd := rules[0]
+	if qd.Name != "queue-depth" || qd.Metric != "eventbus.queue_depth" ||
+		qd.Op != OpGT || qd.Threshold != 192 || qd.For != 30*time.Second ||
+		qd.Severity != SevWarn || !qd.Capture {
+		t.Fatalf("queue-depth = %+v", qd)
+	}
+	if rules[1].Capture || rules[1].Severity != SevWarn {
+		t.Fatalf("plan-cache = %+v", rules[1])
+	}
+	p99 := rules[2]
+	if p99.Op != OpGE || p99.Threshold != (50*time.Millisecond).Nanoseconds() ||
+		p99.Severity != SevCritical {
+		t.Fatalf("p99 = %+v", p99)
+	}
+
+	// Inline form with ';' separators — the -alert-rules flag spelling.
+	rules, err = ParseRules("inline", "a: x > 1 for 5s; b: y < 2 for 10s severity info")
+	if err != nil || len(rules) != 2 || rules[1].Severity != SevInfo {
+		t.Fatalf("inline: %v %+v", err, rules)
+	}
+
+	for _, bad := range []string{
+		"",                                 // no rules
+		"# only a comment",                 // no rules
+		"noname x > 1 for 5s",              // missing ':'
+		"r: x ~ 1 for 5s",                  // bad op
+		"r: x > wat for 5s",                // bad threshold
+		"r: x > 1 for soon",                // bad duration
+		"r: x > 1 for 5s flavor",           // unknown clause
+		"r: x > 1 for 5s severity",         // severity without value
+		"r: x > 1 for 5s severity z",       // unknown severity
+		"r: x > 1 for 5s; r: x > 2 for 5s", // duplicate name
+	} {
+		if _, err := ParseRules("bad", bad); err == nil {
+			t.Fatalf("ParseRules(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadRulesFileAndInline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rules.conf")
+	if err := os.WriteFile(path, []byte("from-file: m > 1 for 5s\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rules, err := LoadRules(path)
+	if err != nil || len(rules) != 1 || rules[0].Name != "from-file" {
+		t.Fatalf("file form: %v %+v", err, rules)
+	}
+	rules, err = LoadRules("inline-rule: m > 1 for 5s")
+	if err != nil || len(rules) != 1 || rules[0].Name != "inline-rule" {
+		t.Fatalf("inline form: %v %+v", err, rules)
+	}
+}

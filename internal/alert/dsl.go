@@ -1,0 +1,145 @@
+package alert
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The rule DSL — one rule per line (or ';'-separated, for the daemons'
+// inline -alert-rules flag), '#' starts a comment:
+//
+//	<name>: <metric> <op> <threshold> for <duration> [severity <sev>] [capture]
+//
+//	queue-depth: eventbus.queue_depth > 192 for 30s severity warn capture
+//	plan-cache-pressure: dcg.plan_cache.evictions > 0 for 60s
+//	p99-latency: rpc.latency_ns.p99 > 50ms for 1m severity critical
+//
+// op is one of > >= < <=. threshold is an integer or a Go duration — a
+// duration converts to nanoseconds, matching the repo's *_ns histogram
+// convention. severity is info|warn|critical (default warn). capture asks
+// profcap for a CPU/heap/goroutine snapshot at fire time.
+
+// ParseRules parses the DSL from src ("<file>" tag for error messages).
+func ParseRules(name, src string) ([]Rule, error) {
+	var rules []Rule
+	seen := map[string]bool{}
+	lineNo := 0
+	for _, line := range strings.Split(src, "\n") {
+		lineNo++
+		for _, stmt := range strings.Split(line, ";") {
+			if i := strings.IndexByte(stmt, '#'); i >= 0 {
+				stmt = stmt[:i]
+			}
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			r, err := parseRule(stmt)
+			if err != nil {
+				return nil, fmt.Errorf("alert: %s:%d: %w", name, lineNo, err)
+			}
+			if seen[r.Name] {
+				return nil, fmt.Errorf("alert: %s:%d: duplicate rule %q", name, lineNo, r.Name)
+			}
+			seen[r.Name] = true
+			rules = append(rules, r)
+		}
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("alert: %s: no rules", name)
+	}
+	return rules, nil
+}
+
+// LoadRules resolves the daemons' -alert-rules flag value: a path to a rule
+// file if one exists at spec, otherwise spec itself as inline DSL.
+func LoadRules(spec string) ([]Rule, error) {
+	if b, err := os.ReadFile(spec); err == nil {
+		return ParseRules(spec, string(b))
+	}
+	return ParseRules("inline", spec)
+}
+
+// parseRule parses one statement of the DSL.
+func parseRule(stmt string) (Rule, error) {
+	var r Rule
+	name, rest, ok := strings.Cut(stmt, ":")
+	if !ok {
+		return r, fmt.Errorf("missing ':' after rule name in %q", stmt)
+	}
+	r.Name = strings.TrimSpace(name)
+	if r.Name == "" {
+		return r, fmt.Errorf("empty rule name in %q", stmt)
+	}
+	fields := strings.Fields(rest)
+	// <metric> <op> <threshold> for <duration>, then optional clauses.
+	if len(fields) < 5 || fields[3] != "for" {
+		return r, fmt.Errorf("rule %q: want '<metric> <op> <threshold> for <duration>', got %q",
+			r.Name, strings.TrimSpace(rest))
+	}
+	r.Metric = fields[0]
+	switch fields[1] {
+	case ">":
+		r.Op = OpGT
+	case ">=":
+		r.Op = OpGE
+	case "<":
+		r.Op = OpLT
+	case "<=":
+		r.Op = OpLE
+	default:
+		return r, fmt.Errorf("rule %q: unknown operator %q", r.Name, fields[1])
+	}
+	thr, err := parseThreshold(fields[2])
+	if err != nil {
+		return r, fmt.Errorf("rule %q: bad threshold %q: %w", r.Name, fields[2], err)
+	}
+	r.Threshold = thr
+	dur, err := time.ParseDuration(fields[4])
+	if err != nil || dur < 0 {
+		return r, fmt.Errorf("rule %q: bad duration %q", r.Name, fields[4])
+	}
+	r.For = dur
+	r.Severity = SevWarn
+
+	for i := 5; i < len(fields); i++ {
+		switch fields[i] {
+		case "severity":
+			i++
+			if i >= len(fields) {
+				return r, fmt.Errorf("rule %q: severity needs a value", r.Name)
+			}
+			switch fields[i] {
+			case "info":
+				r.Severity = SevInfo
+			case "warn":
+				r.Severity = SevWarn
+			case "critical":
+				r.Severity = SevCritical
+			default:
+				return r, fmt.Errorf("rule %q: unknown severity %q", r.Name, fields[i])
+			}
+		case "capture":
+			r.Capture = true
+		default:
+			return r, fmt.Errorf("rule %q: unknown clause %q", r.Name, fields[i])
+		}
+	}
+	return r, nil
+}
+
+// parseThreshold accepts an integer or a Go duration (converted to
+// nanoseconds, matching the *_ns histogram naming convention).
+func parseThreshold(s string) (int64, error) {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, err
+	}
+	return d.Nanoseconds(), nil
+}

@@ -1,0 +1,29 @@
+package alert
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// StatusHandler serves every rule's current state as JSON — the /debug/alerts
+// endpoint on the DebugMux. A nil engine answers 503 so daemons can mount the
+// endpoint unconditionally and light it up only when -alert-rules is set.
+func StatusHandler(e *Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if e == nil {
+			http.Error(w, "alert: no rules loaded", http.StatusServiceUnavailable)
+			return
+		}
+		firing := e.FiringNames()
+		if firing == nil {
+			firing = []string{} // "firing": [] rather than null
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Firing []string `json:"firing"`
+			Rules  []Status `json:"rules"`
+		}{Firing: firing, Rules: e.Statuses()})
+	})
+}

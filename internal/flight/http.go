@@ -11,7 +11,9 @@ import (
 //
 //	?conn=N        only events for connection id N
 //	?stream=NAME   only events whose stream equals NAME
-//	?kind=NAME     only events of that kind (snake_case, e.g. frame_send)
+//	?kind=NAME     only events of that kind (snake_case, e.g. frame_send);
+//	               a prefix matches a family: kind=alert selects both
+//	               alert_fired and alert_resolved
 //	?n=N           at most N events (default 256, capped at ring capacity)
 //
 // The response object carries the filtered events plus the recorder's total
@@ -39,11 +41,19 @@ func Handler(r *Recorder) http.Handler {
 			}
 			connFilter, hasConn = n, true
 		}
-		var kindFilter Kind
+		var kindFilter map[string]bool
 		if v := q.Get("kind"); v != "" {
-			if kindFilter = KindFromString(v); kindFilter == 0 {
+			kinds := KindsWithPrefix(v)
+			if k := KindFromString(v); k != 0 {
+				kinds = []Kind{k}
+			}
+			if len(kinds) == 0 {
 				http.Error(w, "flight: unknown kind "+strconv.Quote(v), http.StatusBadRequest)
 				return
+			}
+			kindFilter = make(map[string]bool, len(kinds))
+			for _, k := range kinds {
+				kindFilter[k.String()] = true
 			}
 		}
 		streamFilter := q.Get("stream")
@@ -57,7 +67,7 @@ func Handler(r *Recorder) http.Handler {
 			if streamFilter != "" && ev.Stream != streamFilter {
 				continue
 			}
-			if kindFilter != 0 && ev.Kind != kindFilter.String() {
+			if kindFilter != nil && !kindFilter[ev.Kind] {
 				continue
 			}
 			events = append(events, ev)

@@ -1,0 +1,392 @@
+// Package histdb is a fixed-memory in-process time-series ring over an obsv
+// registry: every interval it samples the whole instrument set — counters as
+// per-tick deltas, gauges (and snapshot funcs) as instantaneous values,
+// histograms as count-delta plus p50/p95/p99 — into circular buffers holding
+// the last ~720 samples (one hour at the 5s default). /debug/history serves
+// the ring as JSON, so a latency spike or queue-depth excursion that ends
+// before an operator attaches omtop still leaves evidence, and the alert
+// package evaluates its rules against the same samples.
+//
+// Sampling-path contract: the per-tick path performs no allocations once the
+// instrument set is stable (guarded by testing.AllocsPerRun in the package
+// tests). The sampler caches a flattened plan — instrument pointers plus the
+// derived series key strings — and rebuilds it only when the registry's
+// Generation moves, i.e. when an instrument or labeled child is created.
+// Snapshot funcs run inside the sampling lock; they must be cheap and must
+// not call back into the DB.
+package histdb
+
+import (
+	"sync"
+	"time"
+
+	"openmeta/internal/obsv"
+)
+
+// Kind classifies how a series' points were derived.
+type Kind uint8
+
+const (
+	// Counter series store per-tick deltas of a monotone counter (or of a
+	// histogram's sample count), so each point is "events this interval".
+	Counter Kind = iota + 1
+	// Gauge series store the sampled instantaneous value (gauges, snapshot
+	// funcs, histogram quantiles).
+	Gauge
+)
+
+// String names the kind for the /debug/history JSON.
+func (k Kind) String() string {
+	switch k {
+	case Counter:
+		return "counter"
+	case Gauge:
+		return "gauge"
+	default:
+		return "unknown"
+	}
+}
+
+// DefaultCapacity is the ring length: 720 samples = one hour of history at
+// the 5-second default interval, ~6 KiB per series.
+const DefaultCapacity = 720
+
+// DefaultInterval is the default sampling period.
+const DefaultInterval = 5 * time.Second
+
+// histSuffixes are the per-histogram derived series, appended to the
+// histogram's name. The count series carries per-tick deltas (Counter kind);
+// the quantiles are instantaneous (Gauge kind).
+var histSuffixes = [4]string{".count", ".p50", ".p95", ".p99"}
+
+// Option configures a DB built with New.
+type Option func(*DB)
+
+// WithInterval sets the sampling period (default 5s; minimum 1ms).
+func WithInterval(d time.Duration) Option {
+	return func(db *DB) {
+		if d >= time.Millisecond {
+			db.interval = d
+		}
+	}
+}
+
+// WithCapacity sets how many samples the ring retains (default 720).
+func WithCapacity(n int) Option {
+	return func(db *DB) {
+		if n > 0 {
+			db.capacity = n
+		}
+	}
+}
+
+// series is one named column of the ring.
+type series struct {
+	kind  Kind
+	start int     // tick index of the first stored value
+	vals  []int64 // ring, indexed tick % capacity
+}
+
+// planEntry is one cached instrument binding. Exactly one of c/g/h/f is set;
+// histograms fan out into the four derived series in hs, scalars into s.
+type planEntry struct {
+	c *obsv.Counter
+	g *obsv.Gauge
+	h *obsv.Histogram
+	f func() int64
+
+	prev int64 // counters and histogram counts: last raw value
+	s    *series
+	hs   [len(histSuffixes)]*series
+}
+
+// DB samples a registry into fixed-memory rings. Create with New, start the
+// sampling goroutine with Start (or drive ticks explicitly with Sample in
+// tests), and serve the contents with Handler.
+type DB struct {
+	reg      *obsv.Registry
+	interval time.Duration
+	capacity int
+
+	mu     sync.RWMutex
+	times  []int64 // unix ns per tick, ring
+	ticks  int     // total samples taken
+	series map[string]*series
+	plan   []planEntry
+	gen    uint64
+	built  bool
+
+	listeners []func()
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New returns a DB sampling reg. The DB is inert until Start (the daemons'
+// -history-interval flag) or explicit Sample calls (tests).
+func New(reg *obsv.Registry, opts ...Option) *DB {
+	db := &DB{
+		reg:      reg,
+		interval: DefaultInterval,
+		capacity: DefaultCapacity,
+		series:   make(map[string]*series),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(db)
+	}
+	db.times = make([]int64, db.capacity)
+	return db
+}
+
+// Interval returns the sampling period (what alert rules' For durations are
+// divided by to get a tick count).
+func (db *DB) Interval() time.Duration { return db.interval }
+
+// Capacity returns the ring length in samples.
+func (db *DB) Capacity() int { return db.capacity }
+
+// OnSample registers fn to run after every sample, outside the DB's lock —
+// the alert engine's evaluation hook. Register before Start.
+func (db *DB) OnSample(fn func()) {
+	if db == nil || fn == nil {
+		return
+	}
+	db.mu.Lock()
+	db.listeners = append(db.listeners, fn)
+	db.mu.Unlock()
+}
+
+// Start launches the sampling goroutine and returns the DB (chainable).
+// Stop ends it; starting twice is undefined.
+func (db *DB) Start() *DB {
+	go func() {
+		defer close(db.done)
+		t := time.NewTicker(db.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				db.Sample()
+			case <-db.stop:
+				return
+			}
+		}
+	}()
+	return db
+}
+
+// Stop ends the sampling goroutine and waits for it to exit. Safe to call
+// more than once; the ring remains readable afterwards.
+func (db *DB) Stop() {
+	db.stopOnce.Do(func() { close(db.stop) })
+	<-db.done
+}
+
+// Sample takes one sample now. Exported so tests (and callers that own their
+// own cadence) can drive ticks deterministically; Start calls it on the
+// interval. The steady-state path — no new instruments since the last tick —
+// performs no allocations.
+func (db *DB) Sample() {
+	now := time.Now().UnixNano()
+	db.mu.Lock()
+	if g := db.reg.Generation(); !db.built || g != db.gen {
+		db.rebuildLocked(g)
+	}
+	idx := db.ticks % db.capacity
+	db.times[idx] = now
+	for i := range db.plan {
+		e := &db.plan[i]
+		switch {
+		case e.c != nil:
+			v := e.c.Load()
+			e.s.vals[idx] = v - e.prev
+			e.prev = v
+		case e.g != nil:
+			e.s.vals[idx] = e.g.Load()
+		case e.f != nil:
+			e.s.vals[idx] = e.f()
+		case e.h != nil:
+			hv := e.h.Value()
+			e.hs[0].vals[idx] = hv.Count - e.prev
+			e.prev = hv.Count
+			e.hs[1].vals[idx] = hv.Quantile(0.50)
+			e.hs[2].vals[idx] = hv.Quantile(0.95)
+			e.hs[3].vals[idx] = hv.Quantile(0.99)
+		}
+	}
+	db.ticks++
+	ls := db.listeners
+	db.mu.Unlock()
+	for _, fn := range ls {
+		fn()
+	}
+}
+
+// rebuildLocked refreshes the cached sampling plan from the registry. Called
+// with db.mu held, only when the registry generation moved — the allocating
+// slow path that keeps the per-tick path allocation-free. Counter baselines
+// carry over from the old plan: a rebuild happens on the first tick after the
+// registry grew, exactly when existing counters may also have accrued events,
+// and re-seeding them from the live value would swallow that tick's deltas.
+// Only instruments the plan has never seen seed from the live value, so their
+// first delta counts from now, not from zero.
+func (db *DB) rebuildLocked(gen uint64) {
+	prevs := make(map[*series]int64, len(db.plan))
+	for i := range db.plan {
+		e := &db.plan[i]
+		switch {
+		case e.c != nil:
+			prevs[e.s] = e.prev
+		case e.h != nil:
+			prevs[e.hs[0]] = e.prev
+		}
+	}
+	refs := db.reg.Instruments()
+	plan := make([]planEntry, 0, len(refs))
+	for _, ref := range refs {
+		var e planEntry
+		switch ref.Kind {
+		case obsv.KindCounter:
+			e.c = ref.Counter
+			e.s = db.seriesLocked(ref.Name, Counter)
+			if p, ok := prevs[e.s]; ok {
+				e.prev = p
+			} else {
+				e.prev = ref.Counter.Load()
+			}
+		case obsv.KindGauge:
+			e.g = ref.Gauge
+			e.s = db.seriesLocked(ref.Name, Gauge)
+		case obsv.KindFunc:
+			e.f = ref.Func
+			e.s = db.seriesLocked(ref.Name, Gauge)
+		case obsv.KindHistogram:
+			e.h = ref.Histogram
+			for i, suffix := range histSuffixes {
+				kind := Gauge
+				if i == 0 {
+					kind = Counter
+				}
+				e.hs[i] = db.seriesLocked(ref.Name+suffix, kind)
+			}
+			if p, ok := prevs[e.hs[0]]; ok {
+				e.prev = p
+			} else {
+				e.prev = ref.Histogram.Value().Count
+			}
+		default:
+			continue
+		}
+		plan = append(plan, e)
+	}
+	db.plan = plan
+	db.gen = gen
+	db.built = true
+}
+
+// seriesLocked resolves (creating if new) the ring for one series key. A
+// series created mid-flight remembers its start tick, so reads never surface
+// the zeroes before it existed. Re-resolving an existing series keeps its
+// history; its counter baseline lives in the plan entry and survives rebuilds
+// via the carry-over map in rebuildLocked.
+func (db *DB) seriesLocked(key string, kind Kind) *series {
+	if s := db.series[key]; s != nil {
+		return s
+	}
+	s := &series{kind: kind, start: db.ticks, vals: make([]int64, db.capacity)}
+	db.series[key] = s
+	return s
+}
+
+// Point is one sample of one series.
+type Point struct {
+	T int64 `json:"t"` // unix milliseconds
+	V int64 `json:"v"`
+}
+
+// Series is the queryable view of one metric's history.
+type Series struct {
+	Kind   string  `json:"kind"`
+	Points []Point `json:"points"`
+}
+
+// Ticks returns how many samples have been taken in total (including those
+// the ring has overwritten).
+func (db *DB) Ticks() int {
+	if db == nil {
+		return 0
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.ticks
+}
+
+// Keys returns the series keys present in the ring, unsorted.
+func (db *DB) Keys() []string {
+	if db == nil {
+		return nil
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.series))
+	for k := range db.series {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Latest returns the most recent sample of the series (ok = false if the
+// series does not exist or has no samples yet) — what alert rules evaluate.
+func (db *DB) Latest(key string) (int64, bool) {
+	if db == nil {
+		return 0, false
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.series[key]
+	if s == nil || db.ticks == 0 || s.start >= db.ticks {
+		return 0, false
+	}
+	return s.vals[(db.ticks-1)%db.capacity], true
+}
+
+// Query returns the retained points of every series match accepts (nil
+// matches everything), at or after since (zero time: the whole ring).
+func (db *DB) Query(match func(key string) bool, since time.Time) map[string]Series {
+	if db == nil {
+		return map[string]Series{}
+	}
+	sinceNS := int64(0)
+	if !since.IsZero() {
+		sinceNS = since.UnixNano()
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	first := 0
+	if db.ticks > db.capacity {
+		first = db.ticks - db.capacity
+	}
+	out := make(map[string]Series, len(db.series))
+	for key, s := range db.series {
+		if match != nil && !match(key) {
+			continue
+		}
+		from := first
+		if s.start > from {
+			from = s.start
+		}
+		pts := make([]Point, 0, db.ticks-from)
+		for t := from; t < db.ticks; t++ {
+			ns := db.times[t%db.capacity]
+			if ns < sinceNS {
+				continue
+			}
+			pts = append(pts, Point{T: ns / int64(time.Millisecond), V: s.vals[t%db.capacity]})
+		}
+		out[key] = Series{Kind: s.kind.String(), Points: pts}
+	}
+	return out
+}

@@ -1,0 +1,355 @@
+package histdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"openmeta/internal/obsv"
+)
+
+func TestCounterDeltasAndGaugeValues(t *testing.T) {
+	r := obsv.New()
+	c := r.Counter("reqs")
+	g := r.Gauge("depth")
+	db := New(r, WithCapacity(16))
+
+	c.Add(5)
+	g.Set(10)
+	db.Sample()
+	c.Add(3)
+	g.Set(7)
+	db.Sample()
+	c.Add(2)
+	db.Sample()
+
+	got := db.Query(nil, time.Time{})
+	reqs := got["reqs"]
+	if reqs.Kind != "counter" {
+		t.Fatalf("reqs kind = %q", reqs.Kind)
+	}
+	// The plan was built inside the first Sample, after c.Add(5): prev seeds
+	// at 5, so the first stored delta is 0, then 3, then 2.
+	wantDeltas := []int64{0, 3, 2}
+	if len(reqs.Points) != len(wantDeltas) {
+		t.Fatalf("reqs points = %d, want %d", len(reqs.Points), len(wantDeltas))
+	}
+	for i, w := range wantDeltas {
+		if reqs.Points[i].V != w {
+			t.Fatalf("reqs delta[%d] = %d, want %d", i, reqs.Points[i].V, w)
+		}
+	}
+	depth := got["depth"]
+	if depth.Kind != "gauge" {
+		t.Fatalf("depth kind = %q", depth.Kind)
+	}
+	for i, w := range []int64{10, 7, 7} {
+		if depth.Points[i].V != w {
+			t.Fatalf("depth[%d] = %d, want %d", i, depth.Points[i].V, w)
+		}
+	}
+	for i := 1; i < len(reqs.Points); i++ {
+		if reqs.Points[i].T < reqs.Points[i-1].T {
+			t.Fatalf("timestamps not monotone: %v", reqs.Points)
+		}
+	}
+}
+
+// TestRebuildPreservesCounterBaselines covers the tick right after the
+// registry grows: the plan rebuild must carry existing counters' baselines
+// over, not re-seed them from the live value — re-seeding would swallow the
+// deltas accrued since the previous tick (exactly the tick a new stream's
+// first burst of traffic lands on).
+func TestRebuildPreservesCounterBaselines(t *testing.T) {
+	r := obsv.New()
+	c := r.Counter("reqs")
+	h := r.Histogram("lat")
+	db := New(r, WithCapacity(16))
+	db.Sample()
+
+	// Accrue events, then grow the registry before the next tick.
+	c.Add(7)
+	h.Observe(100)
+	h.Observe(200)
+	r.Counter("newcomer").Add(3)
+	db.Sample()
+
+	got := db.Query(nil, time.Time{})
+	if v := got["reqs"].Points[1].V; v != 7 {
+		t.Fatalf("reqs delta across rebuild = %d, want 7", v)
+	}
+	if v := got["lat.count"].Points[1].V; v != 2 {
+		t.Fatalf("lat.count delta across rebuild = %d, want 2", v)
+	}
+	// The newcomer itself seeds from its live value: first delta is 0.
+	nc := got["newcomer"]
+	if len(nc.Points) != 1 || nc.Points[0].V != 0 {
+		t.Fatalf("newcomer points = %+v, want one zero delta", nc.Points)
+	}
+}
+
+func TestHistogramSeriesExpansion(t *testing.T) {
+	r := obsv.New()
+	h := r.Histogram("lat")
+	db := New(r, WithCapacity(8))
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	db.Sample()
+	for i := 0; i < 50; i++ {
+		h.Observe(1000)
+	}
+	db.Sample()
+
+	got := db.Query(nil, time.Time{})
+	for _, key := range []string{"lat.count", "lat.p50", "lat.p95", "lat.p99"} {
+		if _, ok := got[key]; !ok {
+			t.Fatalf("missing derived series %q (have %d series)", key, len(got))
+		}
+	}
+	cnt := got["lat.count"]
+	if cnt.Kind != "counter" || len(cnt.Points) != 2 {
+		t.Fatalf("lat.count = %+v", cnt)
+	}
+	// prev seeded at plan build inside the first Sample (count already 100):
+	// delta 0 then 50.
+	if cnt.Points[0].V != 0 || cnt.Points[1].V != 50 {
+		t.Fatalf("lat.count deltas = %d, %d", cnt.Points[0].V, cnt.Points[1].V)
+	}
+	if got["lat.p50"].Kind != "gauge" {
+		t.Fatalf("lat.p50 kind = %q", got["lat.p50"].Kind)
+	}
+	// After the second batch p99 must sit in the 1000-sample bucket range.
+	p99 := got["lat.p99"].Points[1].V
+	if p99 < 512 {
+		t.Fatalf("p99 after slow batch = %d, want >= 512", p99)
+	}
+}
+
+func TestRingWrapKeepsOnlyLastCapacity(t *testing.T) {
+	r := obsv.New()
+	g := r.Gauge("v")
+	db := New(r, WithCapacity(4))
+	for i := 0; i < 10; i++ {
+		g.Set(int64(i))
+		db.Sample()
+	}
+	got := db.Query(nil, time.Time{})["v"]
+	if len(got.Points) != 4 {
+		t.Fatalf("points after wrap = %d, want 4", len(got.Points))
+	}
+	for i, w := range []int64{6, 7, 8, 9} {
+		if got.Points[i].V != w {
+			t.Fatalf("point[%d] = %d, want %d", i, got.Points[i].V, w)
+		}
+	}
+	if db.Ticks() != 10 {
+		t.Fatalf("Ticks = %d, want 10", db.Ticks())
+	}
+}
+
+func TestLateCreatedSeriesStartsAtItsTick(t *testing.T) {
+	r := obsv.New()
+	r.Gauge("early").Set(1)
+	db := New(r, WithCapacity(16))
+	db.Sample()
+	db.Sample()
+	r.Gauge("late").Set(9) // bumps generation; plan rebuilds next tick
+	db.Sample()
+
+	got := db.Query(nil, time.Time{})
+	if n := len(got["early"].Points); n != 3 {
+		t.Fatalf("early points = %d, want 3", n)
+	}
+	late := got["late"]
+	if n := len(late.Points); n != 1 {
+		t.Fatalf("late points = %d, want 1 (no zero backfill)", n)
+	}
+	if late.Points[0].V != 9 {
+		t.Fatalf("late value = %d", late.Points[0].V)
+	}
+}
+
+func TestLatest(t *testing.T) {
+	r := obsv.New()
+	c := r.Counter("c")
+	db := New(r, WithCapacity(8))
+	if _, ok := db.Latest("c"); ok {
+		t.Fatal("Latest before any sample must be !ok")
+	}
+	db.Sample()
+	c.Add(4)
+	db.Sample()
+	v, ok := db.Latest("c")
+	if !ok || v != 4 {
+		t.Fatalf("Latest(c) = %d,%v want 4,true", v, ok)
+	}
+	if _, ok := db.Latest("nope"); ok {
+		t.Fatal("Latest of unknown series must be !ok")
+	}
+	var nilDB *DB
+	if _, ok := nilDB.Latest("c"); ok || nilDB.Ticks() != 0 || nilDB.Keys() != nil {
+		t.Fatal("nil DB not inert")
+	}
+}
+
+func TestOnSampleListener(t *testing.T) {
+	r := obsv.New()
+	db := New(r)
+	n := 0
+	db.OnSample(func() { n++ })
+	db.OnSample(nil) // ignored
+	db.Sample()
+	db.Sample()
+	if n != 2 {
+		t.Fatalf("listener ran %d times, want 2", n)
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	r := obsv.New()
+	r.Gauge("g").Set(1)
+	db := New(r, WithInterval(2*time.Millisecond), WithCapacity(64)).Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for db.Ticks() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	db.Stop()
+	db.Stop() // idempotent
+	if db.Ticks() < 3 {
+		t.Fatalf("only %d ticks after Start", db.Ticks())
+	}
+	n := db.Ticks()
+	time.Sleep(10 * time.Millisecond)
+	if db.Ticks() != n {
+		t.Fatal("sampling continued after Stop")
+	}
+}
+
+func TestHandlerFiltersAndShape(t *testing.T) {
+	r := obsv.New()
+	r.Counter("eventbus.frames").Add(1)
+	r.Counter("eventbus.bytes").Add(10)
+	r.Gauge("dcg.plans").Set(5)
+	db := New(r, WithInterval(10*time.Millisecond), WithCapacity(32))
+	db.Sample()
+	time.Sleep(5 * time.Millisecond)
+	mid := time.Now()
+	time.Sleep(5 * time.Millisecond)
+	db.Sample()
+
+	get := func(q string) (int, map[string]Series) {
+		t.Helper()
+		req := httptest.NewRequest("GET", "/debug/history"+q, nil)
+		rec := httptest.NewRecorder()
+		Handler(db).ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("GET %s: status %d: %s", q, rec.Code, rec.Body.String())
+		}
+		var body struct {
+			IntervalMS int64             `json:"interval_ms"`
+			Ticks      int               `json:"ticks"`
+			Capacity   int               `json:"capacity"`
+			Series     map[string]Series `json:"series"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("GET %s: bad JSON: %v", q, err)
+		}
+		if body.IntervalMS != 10 || body.Capacity != 32 {
+			t.Fatalf("GET %s: shape = %+v", q, body)
+		}
+		return body.Ticks, body.Series
+	}
+
+	ticks, all := get("")
+	if ticks != 2 || len(all) != 3 {
+		t.Fatalf("unfiltered: ticks=%d series=%d", ticks, len(all))
+	}
+	if _, s := get("?key=dcg.plans"); len(s) != 1 || len(s["dcg.plans"].Points) != 2 {
+		t.Fatalf("key=dcg.plans: %+v", s)
+	}
+	if _, s := get("?key=eventbus.*"); len(s) != 2 {
+		t.Fatalf("key=eventbus.*: %d series", len(s))
+	}
+	if _, s := get("?key=eventbus.frames&key=dcg.plans"); len(s) != 2 {
+		t.Fatalf("repeated key: %d series", len(s))
+	}
+	if _, s := get("?key=nope"); len(s) != 0 {
+		t.Fatalf("key=nope: %d series", len(s))
+	}
+	// since= as RFC3339 cuts the first point off.
+	if _, s := get("?since=" + mid.UTC().Format(time.RFC3339Nano)); len(s["dcg.plans"].Points) != 1 {
+		t.Fatalf("since=RFC3339: %+v", s["dcg.plans"])
+	}
+	// since= as a duration keeps everything (window well wider than the gap).
+	if _, s := get("?since=1h"); len(s["dcg.plans"].Points) != 2 {
+		t.Fatalf("since=1h: %+v", s["dcg.plans"])
+	}
+
+	req := httptest.NewRequest("GET", "/debug/history?since=bogus", nil)
+	rec := httptest.NewRecorder()
+	Handler(db).ServeHTTP(rec, req)
+	if rec.Code != 400 {
+		t.Fatalf("bad since: status %d, want 400", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/history", nil))
+	if rec.Code != 503 {
+		t.Fatalf("nil db: status %d, want 503", rec.Code)
+	}
+}
+
+// populate builds a registry resembling a busy broker: many counters, gauges,
+// histograms and labeled children — the workload the sampling budget is
+// stated against.
+func populate(r *obsv.Registry) {
+	for i := 0; i < 100; i++ {
+		r.Counter(fmt.Sprintf("c.%03d", i)).Add(int64(i))
+	}
+	for i := 0; i < 50; i++ {
+		r.Gauge(fmt.Sprintf("g.%03d", i)).Set(int64(i))
+	}
+	for i := 0; i < 20; i++ {
+		h := r.Histogram(fmt.Sprintf("h.%03d", i))
+		for j := 0; j < 32; j++ {
+			h.Observe(int64(j * 100))
+		}
+	}
+	cv := r.CounterVec("wire.records", "stream")
+	for i := 0; i < 10; i++ {
+		cv.With(fmt.Sprintf("stream-%d", i)).Inc()
+	}
+}
+
+// TestSampleAllocationFree is the acceptance gate from ISSUE.md: once the
+// instrument set is stable the per-tick sampling path must not allocate.
+// (Snapshot funcs are excluded here on purpose — a Func's closure is caller
+// code and may allocate; the DB's own path must not.)
+func TestSampleAllocationFree(t *testing.T) {
+	r := obsv.New()
+	populate(r)
+	db := New(r, WithCapacity(128))
+	db.Sample() // build the plan
+	allocs := testing.AllocsPerRun(100, func() { db.Sample() })
+	if allocs != 0 {
+		t.Fatalf("Sample allocates %.1f per tick, want 0", allocs)
+	}
+}
+
+// BenchmarkSample is gated by scripts/bench.sh -compare under an absolute
+// per-sample ns/op budget (HISTDB_BUDGET_NS): sampling a busy registry must
+// stay cheap enough to run forever at a 5s cadence.
+func BenchmarkSample(b *testing.B) {
+	r := obsv.New()
+	populate(r)
+	db := New(r, WithCapacity(DefaultCapacity))
+	db.Sample()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Sample()
+	}
+}

@@ -1,0 +1,94 @@
+package histdb
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Handler serves the ring's contents as JSON — the /debug/history endpoint on
+// the DebugMux. Query parameters narrow the dump:
+//
+//	?key=K       only series K; repeatable; a trailing '*' matches a prefix
+//	             (key=eventbus.* selects every eventbus series)
+//	?since=S     only points at or after S: a duration back from now ("5m"),
+//	             unix seconds, or RFC3339
+//
+// The response is {interval_ms, ticks, capacity, series: {name: {kind,
+// points: [{t, v}]}}} with t in unix milliseconds; counter series carry
+// per-interval deltas, gauge series instantaneous values. A nil db answers
+// 503 so daemons can mount the endpoint unconditionally and light it up only
+// when -history-interval enables sampling.
+func Handler(db *DB) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if db == nil {
+			http.Error(w, "histdb: history disabled", http.StatusServiceUnavailable)
+			return
+		}
+		q := req.URL.Query()
+
+		var since time.Time
+		if v := q.Get("since"); v != "" {
+			t, err := parseSince(v)
+			if err != nil {
+				http.Error(w, "histdb: bad since: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			since = t
+		}
+
+		var match func(string) bool
+		if keys := q["key"]; len(keys) > 0 {
+			exact := make(map[string]bool, len(keys))
+			var prefixes []string
+			for _, k := range keys {
+				if p, ok := strings.CutSuffix(k, "*"); ok {
+					prefixes = append(prefixes, p)
+				} else {
+					exact[k] = true
+				}
+			}
+			match = func(key string) bool {
+				if exact[key] {
+					return true
+				}
+				for _, p := range prefixes {
+					if strings.HasPrefix(key, p) {
+						return true
+					}
+				}
+				return false
+			}
+		}
+
+		resp := struct {
+			IntervalMS int64             `json:"interval_ms"`
+			Ticks      int               `json:"ticks"`
+			Capacity   int               `json:"capacity"`
+			Series     map[string]Series `json:"series"`
+		}{
+			IntervalMS: db.Interval().Milliseconds(),
+			Ticks:      db.Ticks(),
+			Capacity:   db.Capacity(),
+			Series:     db.Query(match, since),
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+	})
+}
+
+// parseSince accepts the three ?since= spellings: a duration back from now,
+// unix seconds, or RFC3339.
+func parseSince(v string) (time.Time, error) {
+	if d, err := time.ParseDuration(v); err == nil {
+		return time.Now().Add(-d), nil
+	}
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+		return time.Unix(secs, 0), nil
+	}
+	return time.Parse(time.RFC3339, v)
+}

@@ -3,9 +3,12 @@ package obsv
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
+	"html"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"sync"
 
 	"openmeta/internal/flight"
@@ -25,16 +28,19 @@ func (r *Registry) Handler() http.Handler {
 }
 
 // DebugEndpoint is an extra handler mounted onto DebugMux alongside the
-// built-in endpoints — how the facade attaches /debug/trace without obsv
-// importing the trace package.
+// built-in endpoints — how the facade attaches /debug/trace, /debug/history
+// and /debug/profiles without obsv importing those packages. Desc is the
+// one-line description shown on the /debug index page.
 type DebugEndpoint struct {
 	Path    string
 	Handler http.Handler
+	Desc    string
 }
 
 // DebugMux returns the debug endpoint served behind the daemons'
 // -debug-addr flag:
 //
+//	/debug            index of every mounted endpoint
 //	/stats            registry snapshot as JSON
 //	/debug/stats      alias of /stats
 //	/metrics          Prometheus text exposition (see MetricsHandler)
@@ -44,17 +50,38 @@ type DebugEndpoint struct {
 //	/debug/vars       expvar (includes the registry, see PublishExpvar)
 //	/debug/pprof/...  net/http/pprof profiles
 //
-// Additional endpoints (such as the tracer's /debug/trace) are mounted via
-// extra.
+// Additional endpoints (such as the tracer's /debug/trace or the
+// self-monitoring layer's /debug/history and /debug/profiles) are mounted
+// via extra. Health endpoints use the process-wide probe set and the flight
+// endpoint the process-wide recorder; use DebugMuxFor to serve isolated
+// instances.
 func DebugMux(r *Registry, extra ...DebugEndpoint) *http.ServeMux {
+	return DebugMuxFor(r, DefaultHealth(), flight.Default(), extra...)
+}
+
+// DebugMuxFor is DebugMux with the health probe set and flight recorder made
+// explicit, for processes (and tests) that keep per-component instances
+// instead of the process-wide defaults.
+func DebugMuxFor(r *Registry, h *Health, rec *flight.Recorder, extra ...DebugEndpoint) *http.ServeMux {
 	PublishExpvar("obsv", r)
 	mux := http.NewServeMux()
+	index := []DebugEndpoint{
+		{Path: "/debug", Desc: "this index"},
+		{Path: "/stats", Desc: "instrument registry snapshot as flat JSON"},
+		{Path: "/debug/stats", Desc: "alias of /stats"},
+		{Path: "/metrics", Desc: "Prometheus text exposition of the registry"},
+		{Path: "/debug/flight", Desc: "protocol flight recorder, newest first (?conn=&stream=&kind=&n=)"},
+		{Path: "/healthz", Desc: "liveness: 200 while the process serves HTTP"},
+		{Path: "/readyz", Desc: "readiness: 200 once every registered probe passes"},
+		{Path: "/debug/vars", Desc: "expvar variables (includes the registry)"},
+		{Path: "/debug/pprof/", Desc: "net/http/pprof profile index"},
+	}
 	mux.Handle("/stats", r.Handler())
 	mux.Handle("/debug/stats", r.Handler())
 	mux.Handle("/metrics", r.MetricsHandler())
-	mux.Handle("/debug/flight", flight.Handler(flight.Default()))
-	mux.Handle("/healthz", DefaultHealth().LiveHandler())
-	mux.Handle("/readyz", DefaultHealth().ReadyHandler())
+	mux.Handle("/debug/flight", flight.Handler(rec))
+	mux.Handle("/healthz", h.LiveHandler())
+	mux.Handle("/readyz", h.ReadyHandler())
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -64,9 +91,34 @@ func DebugMux(r *Registry, extra ...DebugEndpoint) *http.ServeMux {
 	for _, e := range extra {
 		if e.Path != "" && e.Handler != nil {
 			mux.Handle(e.Path, e.Handler)
+			index = append(index, e)
 		}
 	}
+	mux.Handle("/debug", debugIndex(index))
 	return mux
+}
+
+// debugIndex serves the /debug index page: every mounted endpoint with its
+// one-line description, so operators discover the debug surface without the
+// README. Rendered as minimal HTML that still reads cleanly through curl.
+func debugIndex(endpoints []DebugEndpoint) http.Handler {
+	sorted := make([]DebugEndpoint, len(endpoints))
+	copy(sorted, endpoints)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		fmt.Fprint(w, "<!DOCTYPE html>\n<html><head><title>debug endpoints</title></head><body>\n")
+		fmt.Fprint(w, "<h1>debug endpoints</h1>\n<table>\n")
+		for _, e := range sorted {
+			desc := e.Desc
+			if desc == "" {
+				desc = "(no description)"
+			}
+			fmt.Fprintf(w, "<tr><td><a href=%q>%s</a></td><td>%s</td></tr>\n",
+				e.Path, html.EscapeString(e.Path), html.EscapeString(desc))
+		}
+		fmt.Fprint(w, "</table>\n</body></html>\n")
+	})
 }
 
 // ListenAndServeDebug starts the DebugMux on addr in a background goroutine

@@ -51,12 +51,24 @@ func escapeLabelValue(v string) string {
 // sane label values, and a collision would only merge two children's counts.
 const vecKeySep = "\x1f"
 
-// vec is the shared child-management core of the three vector kinds.
+// overflowLabel is the label value of the shared clamp child a vector hands
+// out once it reaches the registry's max-children bound.
+const overflowLabel = "overflow"
+
+// DroppedLabelsCounter is the counter (created lazily on first drop) that
+// counts label combinations clamped onto a vector's overflow child.
+const DroppedLabelsCounter = "obsv.labels.dropped"
+
+// vec is the shared child-management core of the three vector kinds. reg
+// points back at the owning registry for the cardinality bound, the
+// labels-dropped counter and the generation counter samplers watch.
 type vec[T any] struct {
-	name string
-	keys []string
-	mu   sync.RWMutex
-	m    map[string]*vecChild[T]
+	name     string
+	keys     []string
+	reg      *Registry
+	mu       sync.RWMutex
+	m        map[string]*vecChild[T]
+	overflow *vecChild[T]
 }
 
 type vecChild[T any] struct {
@@ -64,12 +76,15 @@ type vecChild[T any] struct {
 	inst   *T
 }
 
-func newVec[T any](name string, keys []string) *vec[T] {
-	return &vec[T]{name: name, keys: keys, m: make(map[string]*vecChild[T])}
+func newVec[T any](reg *Registry, name string, keys []string) *vec[T] {
+	return &vec[T]{name: name, keys: keys, reg: reg, m: make(map[string]*vecChild[T])}
 }
 
 // with resolves (creating if new) the child for the given label values.
-// Missing values are filled with ""; extra values are ignored.
+// Missing values are filled with ""; extra values are ignored. Once the vec
+// holds the registry's max children, unseen label combinations share one
+// overflow child (every label value "overflow") and bump obsv.labels.dropped
+// instead of growing the map.
 func (v *vec[T]) with(values []string) *T {
 	key := strings.Join(values, vecKeySep)
 	v.mu.RLock()
@@ -81,6 +96,18 @@ func (v *vec[T]) with(values []string) *T {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if c = v.m[key]; c == nil {
+		if max := v.reg.maxVec.Load(); max > 0 && int64(len(v.m)) >= max {
+			if v.overflow == nil {
+				ls := make(LabelSet, len(v.keys))
+				for i, k := range v.keys {
+					ls[i] = Label{Key: k, Value: overflowLabel}
+				}
+				v.overflow = &vecChild[T]{labels: ls, inst: new(T)}
+				v.reg.gen.Add(1)
+			}
+			v.reg.Counter(DroppedLabelsCounter).Inc()
+			return v.overflow.inst
+		}
 		ls := make(LabelSet, len(v.keys))
 		for i, k := range v.keys {
 			ls[i].Key = k
@@ -90,16 +117,21 @@ func (v *vec[T]) with(values []string) *T {
 		}
 		c = &vecChild[T]{labels: ls, inst: new(T)}
 		v.m[key] = c
+		v.reg.gen.Add(1)
 	}
 	return c.inst
 }
 
-// children returns a stable copy of the child list sorted by rendered labels.
+// children returns a stable copy of the child list (including the overflow
+// child once clamping has begun) sorted by rendered labels.
 func (v *vec[T]) children() []*vecChild[T] {
 	v.mu.RLock()
-	out := make([]*vecChild[T], 0, len(v.m))
+	out := make([]*vecChild[T], 0, len(v.m)+1)
 	for _, c := range v.m {
 		out = append(out, c)
+	}
+	if v.overflow != nil {
+		out = append(out, v.overflow)
 	}
 	v.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {
@@ -170,7 +202,7 @@ func (r *Registry) CounterVec(name string, keys ...string) *CounterVec {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if cv = r.counterVecs[name]; cv == nil {
-		cv = &CounterVec{v: newVec[Counter](name, keys)}
+		cv = &CounterVec{v: newVec[Counter](r, name, keys)}
 		r.counterVecs[name] = cv
 	}
 	return cv
@@ -190,7 +222,7 @@ func (r *Registry) GaugeVec(name string, keys ...string) *GaugeVec {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if gv = r.gaugeVecs[name]; gv == nil {
-		gv = &GaugeVec{v: newVec[Gauge](name, keys)}
+		gv = &GaugeVec{v: newVec[Gauge](r, name, keys)}
 		r.gaugeVecs[name] = gv
 	}
 	return gv
@@ -210,7 +242,7 @@ func (r *Registry) HistogramVec(name string, keys ...string) *HistogramVec {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if hv = r.histVecs[name]; hv == nil {
-		hv = &HistogramVec{v: newVec[Histogram](name, keys)}
+		hv = &HistogramVec{v: newVec[Histogram](r, name, keys)}
 		r.histVecs[name] = hv
 	}
 	return hv

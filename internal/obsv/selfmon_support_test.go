@@ -1,0 +1,160 @@
+package obsv
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestVecCardinalityClamp is the guard against unbounded label growth: a
+// misbehaving label source (a stream name carrying a request id, say) must
+// not grow /metrics without bound. Beyond the registry's max children per
+// vec, new combinations share one overflow child and are counted.
+func TestVecCardinalityClamp(t *testing.T) {
+	r := New()
+	r.SetMaxLabelChildren(3)
+	cv := r.CounterVec("eventbus.wire.records", "stream")
+	for i := 0; i < 10; i++ {
+		cv.With(fmt.Sprintf("stream-%d", i)).Inc()
+	}
+
+	snap := r.Snapshot()
+	distinct := 0
+	for k := range snap {
+		if strings.HasPrefix(k, "eventbus.wire.records{") && !strings.Contains(k, overflowLabel) {
+			distinct++
+		}
+	}
+	if distinct != 3 {
+		t.Fatalf("distinct children = %d, want 3 (clamped)\nsnapshot: %v", distinct, Names(snap))
+	}
+	over := snap[`eventbus.wire.records{stream="overflow"}`]
+	if over != 7 {
+		t.Fatalf("overflow child = %d, want 7", over)
+	}
+	if got := snap[DroppedLabelsCounter]; got != 7 {
+		t.Fatalf("%s = %d, want 7", DroppedLabelsCounter, got)
+	}
+
+	// Existing children keep resolving directly even at the bound.
+	cv.With("stream-0").Inc()
+	if got := r.Snapshot()[`eventbus.wire.records{stream="stream-0"}`]; got != 2 {
+		t.Fatalf("existing child after clamp = %d, want 2", got)
+	}
+	// And the clamp applies per vec: a second family gets its own budget.
+	gv := r.GaugeVec("other.depth", "k")
+	for i := 0; i < 5; i++ {
+		gv.With(fmt.Sprintf("v%d", i)).Set(int64(i))
+	}
+	if got := r.Snapshot()[`other.depth{k="overflow"}`]; got == 0 && len(gv.v.m) > 3 {
+		t.Fatalf("second vec not clamped: %d children", len(gv.v.m))
+	}
+}
+
+func TestVecUnlimitedWhenBoundRemoved(t *testing.T) {
+	r := New()
+	r.SetMaxLabelChildren(0)
+	cv := r.CounterVec("c", "k")
+	for i := 0; i < 2*DefaultMaxVecChildren; i++ {
+		cv.With(fmt.Sprintf("v%d", i)).Inc()
+	}
+	if got := len(cv.v.m); got != 2*DefaultMaxVecChildren {
+		t.Fatalf("children = %d, want %d (unlimited)", got, 2*DefaultMaxVecChildren)
+	}
+	if _, ok := r.Snapshot()[DroppedLabelsCounter]; ok {
+		t.Fatal("labels.dropped counter created with no drops")
+	}
+}
+
+// TestGenerationTracksInstrumentCreation: the generation only moves when the
+// instrument set grows, which is what lets histdb cache its sampling plan.
+func TestGenerationTracksInstrumentCreation(t *testing.T) {
+	r := New()
+	g0 := r.Generation()
+	c := r.Counter("a")
+	if r.Generation() == g0 {
+		t.Fatal("generation unchanged after counter creation")
+	}
+	g1 := r.Generation()
+	c.Add(5)
+	r.Counter("a") // lookup, not creation
+	if r.Generation() != g1 {
+		t.Fatal("generation moved on lookup/Add")
+	}
+	r.Gauge("b")
+	r.Histogram("h")
+	r.Func("f", func() int64 { return 1 })
+	cv := r.CounterVec("v", "k")
+	g2 := r.Generation()
+	cv.With("x")
+	if r.Generation() == g2 {
+		t.Fatal("generation unchanged after vec child creation")
+	}
+}
+
+func TestInstrumentsEnumeration(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(7)
+	r.Histogram("h").Observe(100)
+	r.Func("f", func() int64 { return 42 })
+	r.CounterVec("cv", "k").With("x").Add(9)
+
+	refs := r.Instruments()
+	byName := map[string]InstrumentRef{}
+	for _, ref := range refs {
+		byName[ref.Name] = ref
+	}
+	if ref := byName["c"]; ref.Kind != KindCounter || ref.Counter.Load() != 3 {
+		t.Fatalf("counter ref = %+v", ref)
+	}
+	if ref := byName["g"]; ref.Kind != KindGauge || ref.Gauge.Load() != 7 {
+		t.Fatalf("gauge ref = %+v", ref)
+	}
+	if ref := byName["h"]; ref.Kind != KindHistogram || ref.Histogram.Value().Count != 1 {
+		t.Fatalf("histogram ref = %+v", ref)
+	}
+	if ref := byName["f"]; ref.Kind != KindFunc || ref.Func() != 42 {
+		t.Fatalf("func ref = %+v", ref)
+	}
+	if ref := byName[`cv{k="x"}`]; ref.Kind != KindCounter || ref.Counter.Load() != 9 {
+		t.Fatalf("vec child ref = %+v", ref)
+	}
+	var nilReg *Registry
+	if nilReg.Instruments() != nil || nilReg.Generation() != 0 {
+		t.Fatal("nil registry not inert")
+	}
+}
+
+// TestDebugIndexListsEverything: every built-in endpoint and every mounted
+// extra must appear on the /debug index page with its description.
+func TestDebugIndexListsEverything(t *testing.T) {
+	r := New()
+	mux := DebugMux(r,
+		DebugEndpoint{Path: "/debug/trace", Handler: r.Handler(), Desc: "recent spans"},
+		DebugEndpoint{Path: "/debug/history", Handler: r.Handler(), Desc: "metric history ring"},
+		DebugEndpoint{Path: "/debug/profiles/", Handler: r.Handler(), Desc: "anomaly profile captures"},
+	)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	req := httptest.NewRequest("GET", "/debug", nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("GET /debug: %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"/stats", "/debug/stats", "/metrics", "/debug/flight", "/debug/trace",
+		"/debug/history", "/debug/profiles/", "/healthz", "/readyz",
+		"/debug/vars", "/debug/pprof/",
+		"recent spans", "metric history ring", "anomaly profile captures",
+		"Prometheus", "flight recorder", "readiness",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/debug index missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package profcap
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// indexEntry is one capture in the /debug/profiles JSON index.
+type indexEntry struct {
+	ID       int       `json:"id"`
+	Reason   string    `json:"reason"`
+	Time     time.Time `json:"time"`
+	Err      string    `json:"err,omitempty"`
+	Profiles []string  `json:"profiles"`
+}
+
+// Handler serves the capture ring. Mounted under /debug/profiles (via
+// http.StripPrefix), it answers:
+//
+//	GET  /            JSON index of retained captures, newest first
+//	GET  /<id>/<kind> raw pprof bytes (kind: cpu | heap | goroutine)
+//	POST /trigger     request a manual capture (subject to the same budget)
+//
+// A nil capturer answers 503 so daemons can mount the endpoint
+// unconditionally and light it up only when profile capture is enabled.
+func Handler(c *Capturer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if c == nil {
+			http.Error(w, "profcap: profile capture disabled", http.StatusServiceUnavailable)
+			return
+		}
+		path := strings.Trim(req.URL.Path, "/")
+		switch {
+		case path == "":
+			serveIndex(c, w)
+		case path == "trigger":
+			if req.Method != http.MethodPost {
+				http.Error(w, "profcap: trigger is POST-only", http.StatusMethodNotAllowed)
+				return
+			}
+			c.Trigger("manual")
+			w.WriteHeader(http.StatusAccepted)
+			_, _ = w.Write([]byte("capture requested\n"))
+		default:
+			serveProfile(c, w, path)
+		}
+	})
+}
+
+func serveIndex(c *Capturer, w http.ResponseWriter) {
+	caps := c.Captures()
+	idx := make([]indexEntry, 0, len(caps))
+	for _, cp := range caps {
+		idx = append(idx, indexEntry{
+			ID: cp.ID, Reason: cp.Reason, Time: cp.Time, Err: cp.Err,
+			Profiles: cp.Profiles(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Captures []indexEntry `json:"captures"`
+	}{Captures: idx})
+}
+
+func serveProfile(c *Capturer, w http.ResponseWriter, path string) {
+	idStr, kind, ok := strings.Cut(path, "/")
+	if !ok {
+		http.Error(w, "profcap: want /<id>/<kind>", http.StatusBadRequest)
+		return
+	}
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		http.Error(w, "profcap: bad capture id", http.StatusBadRequest)
+		return
+	}
+	b, ok := c.Get(id, kind)
+	if !ok {
+		http.Error(w, "profcap: no such capture or profile", http.StatusNotFound)
+		return
+	}
+	// pprof output is gzip-compressed protobuf; serve it as a download the
+	// way net/http/pprof does.
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		`attachment; filename="`+idStr+`-`+kind+`.pprof"`)
+	_, _ = w.Write(b)
+}

@@ -1,0 +1,284 @@
+// Package profcap captures profiling evidence when something goes wrong:
+// when an alert rule with Capture fires (or an operator POSTs
+// /debug/profiles/trigger), it records a CPU profile plus heap and goroutine
+// snapshots and keeps them in a bounded in-memory ring served at
+// /debug/profiles — so the "why was it slow at 3am" question has pprof data
+// attached even though nobody was running a profiler at 3am.
+//
+// Captures are deliberately hard to abuse: a token budget (default: burst of
+// 3, refilling one every 10 minutes) bounds how much profiling overhead a
+// flapping alert can impose, only one capture runs at a time (concurrent
+// triggers coalesce into the in-flight capture), and the ring keeps the last
+// N captures (default 8) in memory — roughly a few hundred KiB each — with an
+// optional spill directory for post-mortem collection.
+package profcap
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"openmeta/internal/obsv"
+)
+
+// Profile kinds inside a capture.
+const (
+	KindCPU       = "cpu"
+	KindHeap      = "heap"
+	KindGoroutine = "goroutine"
+)
+
+// Capture is one completed capture: the trigger that caused it and the
+// profiles taken.
+type Capture struct {
+	ID     int       `json:"id"`
+	Reason string    `json:"reason"`
+	Time   time.Time `json:"time"` // trigger time (CPU profiling covers [Time, Time+duration])
+	Err    string    `json:"err,omitempty"`
+
+	profiles map[string][]byte
+}
+
+// Profiles lists the profile kinds present, for the JSON index.
+func (c *Capture) Profiles() []string {
+	out := make([]string, 0, len(c.profiles))
+	for _, k := range []string{KindCPU, KindHeap, KindGoroutine} {
+		if _, ok := c.profiles[k]; ok {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Option configures a Capturer.
+type Option func(*Capturer)
+
+// WithCPUDuration sets how long the CPU profile runs (default 5s).
+func WithCPUDuration(d time.Duration) Option {
+	return func(c *Capturer) {
+		if d > 0 {
+			c.cpuDur = d
+		}
+	}
+}
+
+// WithRing sets how many captures are retained in memory (default 8).
+func WithRing(n int) Option {
+	return func(c *Capturer) {
+		if n > 0 {
+			c.ringCap = n
+		}
+	}
+}
+
+// WithBudget sets the capture token bucket: burst tokens available
+// immediately, one token refilled every refill (default 3 / 10m). A refill
+// of 0 disables refilling (burst captures total).
+func WithBudget(burst int, refill time.Duration) Option {
+	return func(c *Capturer) {
+		c.tokens = float64(burst)
+		c.burst = float64(burst)
+		c.refill = refill
+	}
+}
+
+// WithDir also writes every capture's profiles to dir as
+// <id>-<unixsec>-<kind>.pprof — the daemons' -profile-capture-dir flag.
+func WithDir(dir string) Option {
+	return func(c *Capturer) { c.dir = dir }
+}
+
+// WithObserver routes the capturer's counters (profcap.captures_total,
+// profcap.skipped_total) into reg.
+func WithObserver(reg *obsv.Registry) Option {
+	return func(c *Capturer) {
+		if reg != nil {
+			c.captures = reg.Counter("profcap.captures_total")
+			c.skipped = reg.Counter("profcap.skipped_total")
+		}
+	}
+}
+
+// Capturer runs rate-limited profile captures. It satisfies alert.Capturer.
+// A nil *Capturer ignores triggers, so callers can hold one unconditionally.
+type Capturer struct {
+	cpuDur  time.Duration
+	ringCap int
+	dir     string
+	refill  time.Duration
+	burst   float64
+
+	captures *obsv.Counter
+	skipped  *obsv.Counter
+
+	mu       sync.Mutex
+	tokens   float64
+	lastFill time.Time
+	inflight bool
+	nextID   int
+	ring     []*Capture // oldest first, at most ringCap
+
+	// wg tracks in-flight capture goroutines so tests (and shutdown) can wait.
+	wg sync.WaitGroup
+}
+
+// New returns a Capturer with the default 5s CPU window, 8-capture ring and
+// 3-token / 10-minute budget.
+func New(opts ...Option) *Capturer {
+	c := &Capturer{
+		cpuDur:   5 * time.Second,
+		ringCap:  8,
+		tokens:   3,
+		burst:    3,
+		refill:   10 * time.Minute,
+		lastFill: time.Now(),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Trigger requests a capture. It never blocks: the capture itself runs on a
+// fresh goroutine. A trigger is dropped (counted in profcap.skipped_total)
+// when one is already in flight or the token budget is exhausted.
+func (c *Capturer) Trigger(reason string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.refillLocked(time.Now())
+	if c.inflight || c.tokens < 1 {
+		c.mu.Unlock()
+		c.skipped.Inc()
+		return
+	}
+	c.tokens--
+	c.inflight = true
+	c.nextID++
+	cp := &Capture{ID: c.nextID, Reason: reason, Time: time.Now()}
+	c.mu.Unlock()
+
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.run(cp)
+	}()
+}
+
+// Wait blocks until no capture is in flight — test and shutdown hook.
+func (c *Capturer) Wait() {
+	if c == nil {
+		return
+	}
+	c.wg.Wait()
+}
+
+// refillLocked tops up the token bucket from elapsed time.
+func (c *Capturer) refillLocked(now time.Time) {
+	if c.refill <= 0 {
+		return
+	}
+	c.tokens += float64(now.Sub(c.lastFill)) / float64(c.refill)
+	if c.tokens > c.burst {
+		c.tokens = c.burst
+	}
+	c.lastFill = now
+}
+
+// run performs the capture and publishes it into the ring.
+func (c *Capturer) run(cp *Capture) {
+	cp.profiles = make(map[string][]byte, 3)
+	var firstErr error
+
+	// CPU first: it spans cpuDur, so the heap/goroutine snapshots that follow
+	// land inside or right after the anomaly window. StartCPUProfile fails if
+	// some other profiler is attached — keep the rest of the capture anyway.
+	var cpu bytes.Buffer
+	if err := pprof.StartCPUProfile(&cpu); err != nil {
+		firstErr = fmt.Errorf("cpu: %w", err)
+	} else {
+		time.Sleep(c.cpuDur)
+		pprof.StopCPUProfile()
+		cp.profiles[KindCPU] = cpu.Bytes()
+	}
+
+	for _, kind := range []string{KindHeap, KindGoroutine} {
+		var buf bytes.Buffer
+		if err := pprof.Lookup(kind).WriteTo(&buf, 0); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("%s: %w", kind, err)
+			}
+			continue
+		}
+		cp.profiles[kind] = buf.Bytes()
+	}
+	if firstErr != nil {
+		cp.Err = firstErr.Error()
+	}
+
+	if c.dir != "" {
+		c.spill(cp)
+	}
+
+	c.mu.Lock()
+	c.ring = append(c.ring, cp)
+	if len(c.ring) > c.ringCap {
+		c.ring = c.ring[len(c.ring)-c.ringCap:]
+	}
+	c.inflight = false
+	c.mu.Unlock()
+	c.captures.Inc()
+}
+
+// spill writes the capture's profiles to the configured directory; spill
+// failures are recorded on the capture but don't fail it (the in-memory ring
+// still has the bytes).
+func (c *Capturer) spill(cp *Capture) {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		if cp.Err == "" {
+			cp.Err = "spill: " + err.Error()
+		}
+		return
+	}
+	for kind, data := range cp.profiles {
+		name := fmt.Sprintf("%d-%d-%s.pprof", cp.ID, cp.Time.Unix(), kind)
+		if err := os.WriteFile(filepath.Join(c.dir, name), data, 0o644); err != nil && cp.Err == "" {
+			cp.Err = "spill: " + err.Error()
+		}
+	}
+}
+
+// Captures returns the retained captures, newest first.
+func (c *Capturer) Captures() []*Capture {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Capture, len(c.ring))
+	for i, cp := range c.ring {
+		out[len(c.ring)-1-i] = cp
+	}
+	return out
+}
+
+// Get returns one capture's profile bytes by id and kind.
+func (c *Capturer) Get(id int, kind string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cp := range c.ring {
+		if cp.ID == id {
+			b, ok := cp.profiles[kind]
+			return b, ok
+		}
+	}
+	return nil, false
+}

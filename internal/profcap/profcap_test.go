@@ -1,0 +1,263 @@
+package profcap
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"openmeta/internal/obsv"
+)
+
+// newFast returns a capturer with a CPU window short enough for tests.
+func newFast(opts ...Option) *Capturer {
+	return New(append([]Option{WithCPUDuration(20 * time.Millisecond)}, opts...)...)
+}
+
+// checkPprof asserts the bytes parse as a pprof profile: gzip-wrapped
+// protobuf whose first field tags look sane. Full protobuf decoding is out of
+// scope (stdlib only); gunzipping and checking non-emptiness catches the
+// real failure modes (truncated writes, HTML error pages, raw text).
+func checkPprof(t *testing.T, b []byte) {
+	t.Helper()
+	if len(b) == 0 {
+		t.Fatal("empty profile")
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("profile not gzip: %v", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("gunzip: %v", err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("profile decompressed to nothing")
+	}
+}
+
+func TestCaptureProducesParseableProfiles(t *testing.T) {
+	reg := obsv.New()
+	c := newFast(WithObserver(reg))
+	c.Trigger("alert:test-rule")
+	c.Wait()
+
+	caps := c.Captures()
+	if len(caps) != 1 {
+		t.Fatalf("captures = %d, want 1", len(caps))
+	}
+	cp := caps[0]
+	if cp.Reason != "alert:test-rule" || cp.ID != 1 {
+		t.Fatalf("capture = %+v", cp)
+	}
+	if cp.Err != "" {
+		t.Fatalf("capture error: %s", cp.Err)
+	}
+	kinds := cp.Profiles()
+	if len(kinds) != 3 {
+		t.Fatalf("profiles = %v, want cpu+heap+goroutine", kinds)
+	}
+	for _, kind := range kinds {
+		b, ok := c.Get(cp.ID, kind)
+		if !ok {
+			t.Fatalf("Get(%d, %s) missing", cp.ID, kind)
+		}
+		checkPprof(t, b)
+	}
+	if got := reg.Snapshot()["profcap.captures_total"]; got != 1 {
+		t.Fatalf("captures_total = %d", got)
+	}
+}
+
+func TestBudgetExhaustionSkips(t *testing.T) {
+	reg := obsv.New()
+	// Two tokens, no refill: third trigger must be dropped.
+	c := newFast(WithObserver(reg), WithBudget(2, 0))
+	for i := 0; i < 3; i++ {
+		c.Trigger("t")
+		c.Wait() // serialize so inflight coalescing doesn't mask the budget
+	}
+	if got := len(c.Captures()); got != 2 {
+		t.Fatalf("captures = %d, want 2 (budget)", got)
+	}
+	if got := reg.Snapshot()["profcap.skipped_total"]; got != 1 {
+		t.Fatalf("skipped_total = %d, want 1", got)
+	}
+}
+
+// TestBudgetRefills drives refillLocked with explicit clock steps so the
+// test doesn't race real capture durations against the refill period.
+func TestBudgetRefills(t *testing.T) {
+	c := New(WithBudget(3, 10*time.Minute))
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tokens = 0
+	c.lastFill = now
+
+	c.refillLocked(now.Add(5 * time.Minute))
+	if c.tokens != 0.5 {
+		t.Fatalf("tokens after half a period = %v, want 0.5", c.tokens)
+	}
+	c.refillLocked(now.Add(15 * time.Minute)) // another full period
+	if c.tokens != 1.5 {
+		t.Fatalf("tokens = %v, want 1.5", c.tokens)
+	}
+	c.refillLocked(now.Add(10 * time.Hour)) // caps at burst
+	if c.tokens != 3 {
+		t.Fatalf("tokens = %v, want burst cap 3", c.tokens)
+	}
+
+	// refill = 0 disables top-ups entirely.
+	c.refill = 0
+	c.tokens = 0
+	c.refillLocked(now.Add(100 * time.Hour))
+	if c.tokens != 0 {
+		t.Fatalf("tokens with refill disabled = %v, want 0", c.tokens)
+	}
+}
+
+func TestInflightCoalesces(t *testing.T) {
+	reg := obsv.New()
+	c := New(WithCPUDuration(100*time.Millisecond), WithObserver(reg), WithBudget(10, 0))
+	c.Trigger("first")
+	time.Sleep(10 * time.Millisecond) // let the capture goroutine start
+	c.Trigger("second")               // must coalesce, not queue
+	c.Wait()
+	if got := len(c.Captures()); got != 1 {
+		t.Fatalf("captures = %d, want 1 (coalesced)", got)
+	}
+	if got := reg.Snapshot()["profcap.skipped_total"]; got != 1 {
+		t.Fatalf("skipped_total = %d", got)
+	}
+}
+
+func TestRingBounded(t *testing.T) {
+	c := newFast(WithRing(2), WithBudget(10, 0))
+	for i := 0; i < 4; i++ {
+		c.Trigger("t")
+		c.Wait()
+	}
+	caps := c.Captures()
+	if len(caps) != 2 {
+		t.Fatalf("ring holds %d, want 2", len(caps))
+	}
+	// Newest first, oldest evicted.
+	if caps[0].ID != 4 || caps[1].ID != 3 {
+		t.Fatalf("ring ids = %d,%d want 4,3", caps[0].ID, caps[1].ID)
+	}
+	if _, ok := c.Get(1, KindHeap); ok {
+		t.Fatal("evicted capture still retrievable")
+	}
+}
+
+func TestSpillDir(t *testing.T) {
+	dir := t.TempDir()
+	c := newFast(WithDir(filepath.Join(dir, "caps")))
+	c.Trigger("t")
+	c.Wait()
+	files, err := os.ReadDir(filepath.Join(dir, "caps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("spilled %d files, want 3", len(files))
+	}
+	for _, f := range files {
+		if !strings.HasSuffix(f.Name(), ".pprof") || !strings.HasPrefix(f.Name(), "1-") {
+			t.Fatalf("spill name = %q", f.Name())
+		}
+	}
+}
+
+func TestNilCapturerInert(t *testing.T) {
+	var c *Capturer
+	c.Trigger("x")
+	c.Wait()
+	if c.Captures() != nil {
+		t.Fatal("nil capturer has captures")
+	}
+	if _, ok := c.Get(1, KindCPU); ok {
+		t.Fatal("nil capturer Get ok")
+	}
+}
+
+func TestHandler(t *testing.T) {
+	c := newFast(WithBudget(10, 0))
+	c.Trigger("alert:depth")
+	c.Wait()
+
+	h := http.StripPrefix("/debug/profiles", Handler(c))
+	get := func(path string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec
+	}
+
+	rec := get("/debug/profiles")
+	if rec.Code != 200 {
+		t.Fatalf("index: %d %s", rec.Code, rec.Body.String())
+	}
+	var idx struct {
+		Captures []indexEntry `json:"captures"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &idx); err != nil {
+		t.Fatalf("index JSON: %v", err)
+	}
+	if len(idx.Captures) != 1 || idx.Captures[0].Reason != "alert:depth" {
+		t.Fatalf("index = %+v", idx)
+	}
+	if len(idx.Captures[0].Profiles) != 3 {
+		t.Fatalf("index profiles = %v", idx.Captures[0].Profiles)
+	}
+
+	rec = get("/debug/profiles/1/heap")
+	if rec.Code != 200 {
+		t.Fatalf("download: %d", rec.Code)
+	}
+	checkPprof(t, rec.Body.Bytes())
+	if cd := rec.Header().Get("Content-Disposition"); !strings.Contains(cd, "1-heap.pprof") {
+		t.Fatalf("Content-Disposition = %q", cd)
+	}
+
+	if rec = get("/debug/profiles/9/heap"); rec.Code != 404 {
+		t.Fatalf("missing capture: %d, want 404", rec.Code)
+	}
+	if rec = get("/debug/profiles/x/heap"); rec.Code != 400 {
+		t.Fatalf("bad id: %d, want 400", rec.Code)
+	}
+	if rec = get("/debug/profiles/1"); rec.Code != 400 {
+		t.Fatalf("missing kind: %d, want 400", rec.Code)
+	}
+
+	// Manual trigger: POST-only, then a second capture appears.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles/trigger", nil))
+	if rec.Code != 405 {
+		t.Fatalf("GET trigger: %d, want 405", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/debug/profiles/trigger", nil))
+	if rec.Code != 202 {
+		t.Fatalf("POST trigger: %d, want 202", rec.Code)
+	}
+	c.Wait()
+	if got := len(c.Captures()); got != 2 {
+		t.Fatalf("captures after manual trigger = %d", got)
+	}
+
+	// Disabled (nil) capturer answers 503.
+	rec = httptest.NewRecorder()
+	http.StripPrefix("/debug/profiles", Handler(nil)).
+		ServeHTTP(rec, httptest.NewRequest("GET", "/debug/profiles", nil))
+	if rec.Code != 503 {
+		t.Fatalf("nil capturer: %d, want 503", rec.Code)
+	}
+}

@@ -56,6 +56,9 @@ go test -run xxx -bench 'BenchmarkTable|BenchmarkBindingVsGeneric' -benchmem \
     -benchtime "$BENCH_TIME" -count "$BENCH_COUNT" . | tee "$TXT"
 go test -run xxx -bench . -benchmem \
     -benchtime "$BENCH_TIME" -count "$BENCH_COUNT" ./internal/pbio/ | tee -a "$TXT"
+echo "== self-monitoring sampler benchmark"
+go test -run xxx -bench BenchmarkSample -benchmem \
+    -benchtime "$BENCH_TIME" -count "$BENCH_COUNT" ./internal/histdb/ | tee -a "$TXT"
 
 # Convert `go test -bench` lines into JSON. Benchmark lines look like:
 #   BenchmarkTable1Registration/native-8  1000  1234 ns/op  56 B/op  7 allocs/op
@@ -109,3 +112,21 @@ case "$REPORT" in
     exit 1
     ;;
 esac
+
+# Absolute gate on the self-monitoring sampler: histdb.Sample walks the whole
+# registry on every tick, so its cost is a standing tax on any process that
+# enables -history-interval. Unlike the relative gates above this is a hard
+# ns/op budget (override with HISTDB_BUDGET_NS), generous enough to hold on
+# shared CI hardware while still catching an accidental O(n^2) rebuild.
+BUDGET="${HISTDB_BUDGET_NS:-1000000}"
+echo "== histdb sampling budget (BenchmarkSample <= $BUDGET ns/op)"
+HIST_NS="$(jq -r '[.[] | select(.name | test("^BenchmarkSample")) | .ns_per_op] | max // empty' "$OUT")"
+if [ -z "$HIST_NS" ]; then
+    echo "bench: BenchmarkSample missing from $OUT" >&2
+    exit 1
+fi
+if [ "$(printf '%.0f' "$HIST_NS")" -gt "$BUDGET" ]; then
+    echo "bench: histdb BenchmarkSample at $HIST_NS ns/op exceeds budget $BUDGET" >&2
+    exit 1
+fi
+echo "bench: histdb sampler at $HIST_NS ns/op (budget $BUDGET)"

@@ -1,0 +1,159 @@
+package openmeta
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"openmeta/internal/alert"
+	"openmeta/internal/flight"
+	"openmeta/internal/histdb"
+	"openmeta/internal/obsv"
+	"openmeta/internal/profcap"
+)
+
+// Self-monitoring facade: history (a fixed-memory time-series ring over the
+// default observer), SLO alert rules evaluated against it, and
+// anomaly-triggered profile capture. Typical embedding:
+//
+//	openmeta.EnableHistory(5 * time.Second)
+//	openmeta.EnableProfileCapture("")            // in-memory ring only
+//	openmeta.RegisterAlertRules(openmeta.AlertRule{
+//	    Name: "queue-depth", Metric: "eventbus.queue_depth",
+//	    Op: openmeta.AlertGT, Threshold: 192,
+//	    For: 30 * time.Second, Capture: true,
+//	})
+//	mux.Handle("/debug/history", openmeta.HistoryHandler())
+//
+// DebugHandler mounts /debug/history, /debug/alerts and /debug/profiles/
+// automatically. While any rule fires, /readyz degrades (the "alerts"
+// probe) and alert_fired / alert_resolved events land in /debug/flight.
+
+// AlertRule is one SLO condition over a history series: Metric names a
+// series as /debug/history spells it, and the condition must hold across the
+// whole For window before the rule fires (and stay clear that long to
+// resolve). Capture requests a CPU/heap/goroutine snapshot at fire time.
+type AlertRule = alert.Rule
+
+// Comparison operators and severities for AlertRule.
+const (
+	AlertGT = alert.OpGT
+	AlertGE = alert.OpGE
+	AlertLT = alert.OpLT
+	AlertLE = alert.OpLE
+
+	AlertInfo     = alert.SevInfo
+	AlertWarn     = alert.SevWarn
+	AlertCritical = alert.SevCritical
+)
+
+// ParseAlertRules parses the alert rule DSL — one rule per line or
+// ';'-separated statement, '#' comments:
+//
+//	<name>: <metric> <op> <threshold> for <duration> [severity <sev>] [capture]
+//	queue-depth: eventbus.queue_depth > 192 for 30s severity warn capture
+func ParseAlertRules(src string) ([]AlertRule, error) {
+	return alert.ParseRules("inline", src)
+}
+
+var (
+	selfmonMu sync.Mutex
+	historyDB *histdb.DB
+	alertEng  *alert.Engine
+	capturer  *profcap.Capturer
+)
+
+// EnableHistory starts sampling the default observer every interval (0 uses
+// the 5s default) into an in-process ring of the last 720 samples, served by
+// HistoryHandler. Idempotent: after the first call the interval is fixed.
+func EnableHistory(interval time.Duration) {
+	selfmonMu.Lock()
+	defer selfmonMu.Unlock()
+	enableHistoryLocked(interval)
+}
+
+func enableHistoryLocked(interval time.Duration) *histdb.DB {
+	if historyDB == nil {
+		historyDB = histdb.New(obsv.Default(), histdb.WithInterval(interval)).Start()
+	}
+	return historyDB
+}
+
+// EnableProfileCapture arms anomaly-triggered profile capture: CPU + heap +
+// goroutine snapshots, kept in a bounded in-memory ring served by
+// ProfilesHandler and additionally spilled to dir when non-empty. Idempotent.
+func EnableProfileCapture(dir string) {
+	selfmonMu.Lock()
+	defer selfmonMu.Unlock()
+	enableProfileCaptureLocked(dir)
+}
+
+func enableProfileCaptureLocked(dir string) *profcap.Capturer {
+	if capturer == nil {
+		var opts []profcap.Option
+		if dir != "" {
+			opts = append(opts, profcap.WithDir(dir))
+		}
+		opts = append(opts, profcap.WithObserver(obsv.Default()))
+		capturer = profcap.New(opts...)
+	}
+	return capturer
+}
+
+// RegisterAlertRules adds rules to the process-wide alert engine, creating
+// it (and enabling history at the default interval, if not already enabled)
+// on first use. Firing rules degrade /readyz, emit flight-recorder events
+// and move alerts.active / alerts.fired_total; rules with Capture trigger a
+// profile capture if EnableProfileCapture was called.
+func RegisterAlertRules(rules ...AlertRule) error {
+	selfmonMu.Lock()
+	defer selfmonMu.Unlock()
+	if alertEng == nil {
+		db := enableHistoryLocked(0)
+		opts := []alert.Option{
+			alert.WithObserver(obsv.Default()),
+			alert.WithFlightRecorder(flight.Default()),
+			alert.WithHealth(obsv.DefaultHealth()),
+		}
+		if capturer != nil {
+			opts = append(opts, alert.WithCapturer(capturer))
+		}
+		alertEng = alert.New(db, opts...).Bind()
+	}
+	return alertEng.Add(rules...)
+}
+
+// HistoryHandler serves the metrics history ring as JSON (?key=&since=
+// filters); 503 until EnableHistory.
+func HistoryHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		selfmonMu.Lock()
+		db := historyDB
+		selfmonMu.Unlock()
+		histdb.Handler(db).ServeHTTP(w, req)
+	})
+}
+
+// AlertsHandler serves every registered rule's state as JSON; 503 until
+// RegisterAlertRules.
+func AlertsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		selfmonMu.Lock()
+		eng := alertEng
+		selfmonMu.Unlock()
+		alert.StatusHandler(eng).ServeHTTP(w, req)
+	})
+}
+
+// ProfilesHandler serves the capture ring: a JSON index at its root,
+// downloadable pprof profiles at <id>/<kind>, and POST trigger for a manual
+// capture. Expects to be mounted at /debug/profiles/; 503 until
+// EnableProfileCapture.
+func ProfilesHandler() http.Handler {
+	return http.StripPrefix("/debug/profiles", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		selfmonMu.Lock()
+		c := capturer
+		selfmonMu.Unlock()
+		profcap.Handler(c).ServeHTTP(w, req)
+	}))
+}

@@ -1,0 +1,349 @@
+package openmeta
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"openmeta/internal/alert"
+	"openmeta/internal/eventbus"
+	"openmeta/internal/faultnet"
+	"openmeta/internal/flight"
+	"openmeta/internal/histdb"
+	"openmeta/internal/machine"
+	"openmeta/internal/obsv"
+	"openmeta/internal/pbio"
+	"openmeta/internal/profcap"
+)
+
+// TestSelfMonitoringEndToEnd is the acceptance scenario for the
+// self-monitoring stack: a broker with a queue-depth alert rule (Capture on),
+// a subscriber stalled behind a faultnet-throttled link, and a publisher
+// pushing bulk records. Every assertion is made from the outside, over HTTP,
+// the way an operator would see the incident:
+//
+//	(a) /debug/history shows the queue-depth excursion
+//	(b) /debug/flight?kind=alert holds an ordered fired→resolved pair
+//	(c) /readyz is 503 while the alert fires and 200 after it resolves
+//	(d) /debug/profiles serves a parseable pprof capture timestamped inside
+//	    the firing window
+func TestSelfMonitoringEndToEnd(t *testing.T) {
+	// Isolated monitoring stack: 20ms sampling, so the rule's 60ms For window
+	// is three consecutive breaching samples.
+	reg := obsv.New()
+	health := obsv.NewHealth()
+	rec := flight.New(256)
+	db := histdb.New(reg, histdb.WithInterval(20*time.Millisecond), histdb.WithCapacity(512))
+	capt := profcap.New(profcap.WithCPUDuration(150*time.Millisecond), profcap.WithObserver(reg))
+	engine := alert.New(db,
+		alert.WithObserver(reg),
+		alert.WithFlightRecorder(rec),
+		alert.WithHealth(health),
+		alert.WithCapturer(capt),
+	).Bind()
+	if err := engine.Add(alert.Rule{
+		Name:      "queue-depth",
+		Metric:    "eventbus.queue_depth",
+		Op:        alert.OpGT,
+		Threshold: 8,
+		For:       60 * time.Millisecond,
+		Severity:  alert.SevCritical,
+		Capture:   true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.Start()
+	defer db.Stop()
+
+	srv := httptest.NewServer(obsv.DebugMuxFor(reg, health, rec,
+		obsv.DebugEndpoint{Path: "/debug/history", Handler: histdb.Handler(db), Desc: "history"},
+		obsv.DebugEndpoint{Path: "/debug/profiles/",
+			Handler: http.StripPrefix("/debug/profiles", profcap.Handler(capt)), Desc: "profiles"}))
+	defer srv.Close()
+
+	// The broker under observation: small queue so the excursion is quick, a
+	// long write deadline so resolution stays under the test's control.
+	broker, err := eventbus.Listen("127.0.0.1:0",
+		eventbus.WithObserver(reg),
+		eventbus.WithQueueDepth(32),
+		eventbus.WithWriteDeadline(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+
+	// The slow subscriber connects through a proxy whose broker-side reads
+	// crawl under injected faultnet latency — and it never calls Next, so its
+	// receive path wedges completely once buffers fill.
+	proxyAddr, closeProxy := stallingProxy(t, broker.Addr().String())
+	defer closeProxy()
+	subCtx, err := pbio.NewContext(machine.Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := eventbus.DialSubscriber(proxyAddr, subCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Subscribe("bulk"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "subscriber registration", func() bool {
+		return broker.SubscriberCount("bulk") == 1
+	})
+
+	pubCtx, err := pbio.NewContext(machine.Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := pubCtx.RegisterSpec("Bulk", []pbio.FieldSpec{
+		{Name: "seq", Kind: pbio.Int, CType: machine.CInt},
+		{Name: "payload", Kind: pbio.Uint, CType: machine.CULong, Dynamic: true, CountField: "n"},
+		{Name: "n", Kind: pbio.Int, CType: machine.CInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := eventbus.DialPublisher(broker.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	// Publish 32KB records until told to stop; the stalled subscriber's queue
+	// climbs past the threshold within a few samples.
+	payload := make([]uint64, 4096)
+	stopPub := make(chan struct{})
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stopPub:
+				return
+			default:
+			}
+			if err := pub.PublishRecord("bulk", bulk, pbio.Record{"seq": i, "payload": payload}); err != nil {
+				return
+			}
+		}
+	}()
+
+	// (c1) readiness degrades while the rule fires.
+	waitFor(t, 15*time.Second, "/readyz to degrade while alert fires", func() bool {
+		return httpStatus(t, srv.URL+"/readyz") == http.StatusServiceUnavailable
+	})
+
+	// (d1) the capture the rule requested appears (CPU window is 150ms).
+	var capIdx struct {
+		Captures []struct {
+			ID       int       `json:"id"`
+			Reason   string    `json:"reason"`
+			Time     time.Time `json:"time"`
+			Profiles []string  `json:"profiles"`
+		} `json:"captures"`
+	}
+	waitFor(t, 10*time.Second, "profile capture to land", func() bool {
+		httpJSON(t, srv.URL+"/debug/profiles/", &capIdx)
+		return len(capIdx.Captures) >= 1
+	})
+
+	// Clear the incident: stop publishing and tear the stalled path down; the
+	// broker unregisters the subscriber and queue depth returns to zero.
+	close(stopPub)
+	<-pubDone
+	closeProxy()
+	_ = sub.Close()
+
+	// (c2) readiness restores after the hysteresis window.
+	waitFor(t, 15*time.Second, "/readyz to restore after resolve", func() bool {
+		return httpStatus(t, srv.URL+"/readyz") == http.StatusOK
+	})
+
+	// (a) the history ring recorded the excursion.
+	var hist struct {
+		Series map[string]struct {
+			Kind   string `json:"kind"`
+			Points []struct {
+				T int64 `json:"t"`
+				V int64 `json:"v"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	httpJSON(t, srv.URL+"/debug/history?key=eventbus.queue_depth", &hist)
+	qd, ok := hist.Series["eventbus.queue_depth"]
+	if !ok {
+		t.Fatalf("history has no eventbus.queue_depth series")
+	}
+	var peak int64
+	for _, p := range qd.Points {
+		if p.V > peak {
+			peak = p.V
+		}
+	}
+	if peak <= 8 {
+		t.Fatalf("history peak queue depth = %d, want > threshold 8", peak)
+	}
+
+	// (b) the flight recorder holds the ordered fired → resolved pair,
+	// selectable with the kind=alert family filter.
+	var flightBody struct {
+		Events []flight.Event `json:"events"`
+	}
+	httpJSON(t, srv.URL+"/debug/flight?kind=alert", &flightBody)
+	var fired, resolved *flight.Event
+	for i := range flightBody.Events {
+		ev := &flightBody.Events[i]
+		if ev.Stream != "queue-depth" {
+			t.Fatalf("foreign event under kind=alert: %+v", ev)
+		}
+		switch ev.Kind {
+		case "alert_fired":
+			fired = ev
+		case "alert_resolved":
+			resolved = ev
+		default:
+			t.Fatalf("non-alert kind %q under kind=alert filter", ev.Kind)
+		}
+	}
+	if fired == nil || resolved == nil {
+		t.Fatalf("missing fired/resolved pair: %+v", flightBody.Events)
+	}
+	if fired.Seq >= resolved.Seq {
+		t.Fatalf("fired seq %d not before resolved seq %d", fired.Seq, resolved.Seq)
+	}
+	if !strings.Contains(fired.Detail, "critical") || !strings.Contains(fired.Detail, "eventbus.queue_depth > 8") {
+		t.Fatalf("fired detail = %q", fired.Detail)
+	}
+	if fired.Bytes <= 8 {
+		t.Fatalf("fired observed value = %d, want > 8", fired.Bytes)
+	}
+
+	// (d2) the capture parses as pprof data and sits inside the firing window.
+	cp := capIdx.Captures[0]
+	if cp.Reason != "alert:queue-depth" {
+		t.Fatalf("capture reason = %q", cp.Reason)
+	}
+	const slack = 500 * time.Millisecond
+	if cp.Time.Before(fired.Time.Add(-slack)) || cp.Time.After(resolved.Time.Add(slack)) {
+		t.Fatalf("capture at %v outside firing window [%v, %v]", cp.Time, fired.Time, resolved.Time)
+	}
+	if len(cp.Profiles) == 0 {
+		t.Fatalf("capture has no profiles")
+	}
+	for _, kind := range cp.Profiles {
+		resp, err := http.Get(fmt.Sprintf("%s/debug/profiles/%d/%s", srv.URL, cp.ID, kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("download %s: status %d err %v", kind, resp.StatusCode, err)
+		}
+		zr, err := gzip.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s profile not gzip-wrapped pprof: %v", kind, err)
+		}
+		if body, err := io.ReadAll(zr); err != nil || len(body) == 0 {
+			t.Fatalf("%s profile empty or corrupt: %v", kind, err)
+		}
+	}
+}
+
+// stallingProxy forwards one TCP connection to target with faultnet latency
+// injected on the target-side conn, so everything the broker sends the
+// subscriber crawls. Returns the proxy address and an idempotent closer.
+func stallingProxy(t *testing.T, target string) (addr string, closeProxy func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conns []net.Conn
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		client, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		upstream, err := net.Dial("tcp", target)
+		if err != nil {
+			client.Close()
+			return
+		}
+		conns = append(conns, client, upstream)
+		// A handful of clean ops lets the hello/subscribe handshake through,
+		// then every operation eats 100ms of injected latency.
+		sched := faultnet.NewSchedule(
+			faultnet.Fault{}, faultnet.Fault{}, faultnet.Fault{}, faultnet.Fault{},
+			faultnet.Fault{}, faultnet.Fault{}, faultnet.Fault{}, faultnet.Fault{},
+			faultnet.Fault{Kind: faultnet.Latency, Delay: 100 * time.Millisecond},
+		).Loop()
+		slow := faultnet.Wrap(upstream, sched)
+		go func() { _, _ = io.Copy(slow, client) }()
+		_, _ = io.Copy(client, slow)
+	}()
+	var closed bool
+	return ln.Addr().String(), func() {
+		if closed {
+			return
+		}
+		closed = true
+		_ = ln.Close()
+		for _, c := range conns {
+			_ = c.Close()
+		}
+		<-done
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// httpStatus GETs url and returns the status code.
+func httpStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// httpJSON GETs url and decodes the JSON body into v.
+func httpJSON(t *testing.T, url string, v interface{}) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", url, err)
+	}
+}
