@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"openmeta/internal/loadgen"
+)
+
+// TestRunSmoke is the acceptance check in miniature: a short run against the
+// in-process broker must print percentiles and a stage share breakdown that
+// sums to ~100%, and -out must emit JSON that parses back into a report.
+func TestRunSmoke(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "run.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-duration", "250ms", "-rate", "2000", "-sample", "4",
+		"-scoped", "1", "-out", outPath,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	text := stdout.String()
+	for _, want := range []string{"p50", "p95", "p99", "p999", "stage share", "published", "delivered"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table output missing %q:\n%s", want, text)
+		}
+	}
+
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("-out JSON does not parse: %v", err)
+	}
+	if rep.Schema != loadgen.ReportSchema || rep.Delivered == 0 {
+		t.Fatalf("-out report incomplete: %+v", rep)
+	}
+	var sum float64
+	for _, st := range rep.Stages {
+		sum += st.SharePct
+	}
+	if sum < 99.9 || sum > 100.1 {
+		t.Fatalf("stage shares sum to %.2f%%, want ~100%%", sum)
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-duration", "150ms", "-rate", "1000", "-format", "json"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, stdout.String())
+	}
+	if rep.Published == 0 {
+		t.Fatal("JSON report shows nothing published")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown flag", []string{"-bogus"}},
+		{"positional args", []string{"extra"}},
+		{"bad format", []string{"-duration", "50ms", "-format", "yaml"}},
+		{"bad chaos", []string{"-duration", "50ms", "-chaos", "hurricane"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if code := run(tc.args, &stdout, &stderr); code == 0 {
+				t.Fatalf("args %v: expected nonzero exit, stderr: %s", tc.args, stderr.String())
+			}
+		})
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-h must exit 0, got %d", code)
+	}
+	if !strings.Contains(stderr.String(), "Open-loop load harness") {
+		t.Errorf("usage text missing:\n%s", stderr.String())
+	}
+}

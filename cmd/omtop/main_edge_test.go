@@ -1,0 +1,163 @@
+package main
+
+// Table-driven edge-case tests for the stats-view parsing and rendering
+// helpers: splitLabels on malformed label blocks, sparklines on degenerate
+// histories, and reset markers when a counter goes backwards mid-window.
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSplitLabelsTable(t *testing.T) {
+	cases := []struct {
+		name, key  string
+		wantOK     bool
+		wantBase   string
+		wantLabels map[string]string
+	}{
+		{
+			name: "single label", key: `evb.records{stream="flights"}`,
+			wantOK: true, wantBase: "evb.records",
+			wantLabels: map[string]string{"stream": "flights"},
+		},
+		{
+			name: "multiple labels", key: `w{a="1",b="2",c="3"}`,
+			wantOK: true, wantBase: "w",
+			wantLabels: map[string]string{"a": "1", "b": "2", "c": "3"},
+		},
+		{
+			name: "empty label value", key: `w{a=""}`,
+			wantOK: true, wantBase: "w",
+			wantLabels: map[string]string{"a": ""},
+		},
+		{name: "no label block", key: "plain.counter", wantOK: false},
+		{name: "empty key", key: "", wantOK: false},
+		{name: "empty label block", key: "name{}", wantOK: false},
+		{name: "missing closing brace", key: `name{a="b"`, wantOK: false},
+		{name: "missing quotes", key: `name{a=b}`, wantOK: false},
+		{name: "pair without equals", key: `name{ab}`, wantOK: false},
+		{name: "trailing comma", key: `name{a="b",}`, wantOK: false},
+		{name: "comma inside value unsupported", key: `name{a="x,y"}`, wantOK: false},
+		{name: "brace only suffix", key: "name}", wantOK: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base, labels, ok := splitLabels(tc.key)
+			if ok != tc.wantOK {
+				t.Fatalf("splitLabels(%q) ok = %v, want %v", tc.key, ok, tc.wantOK)
+			}
+			if !ok {
+				return
+			}
+			if base != tc.wantBase {
+				t.Errorf("base = %q, want %q", base, tc.wantBase)
+			}
+			if len(labels) != len(tc.wantLabels) {
+				t.Fatalf("labels = %v, want %v", labels, tc.wantLabels)
+			}
+			for k, v := range tc.wantLabels {
+				if labels[k] != v {
+					t.Errorf("label %s = %q, want %q", k, labels[k], v)
+				}
+			}
+		})
+	}
+}
+
+func TestSparklineTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		vals  []int64
+		width int
+		want  string
+	}{
+		{name: "empty history", vals: nil, width: 20, want: ""},
+		{name: "empty slice", vals: []int64{}, width: 20, want: ""},
+		{name: "zero width", vals: []int64{1, 2}, width: 0, want: ""},
+		{name: "negative width", vals: []int64{1, 2}, width: -3, want: ""},
+		{name: "single zero sample", vals: []int64{0}, width: 20, want: "▁"},
+		{name: "single nonzero sample", vals: []int64{7}, width: 20, want: "▅"},
+		{name: "two equal samples", vals: []int64{3, 3}, width: 20, want: "▅▅"},
+		{name: "counter reset mid-window", vals: []int64{10, 20, 30, 2, 4}, width: 20, want: "▃▅█▁▁"},
+		{name: "negative deltas", vals: []int64{-4, 0, 4}, width: 20, want: "▁▄█"},
+		// A width-1 window is a flat series of its newest value, so it
+		// renders at mid height like any other flat nonzero series.
+		{name: "width one keeps newest", vals: []int64{0, 100}, width: 1, want: "▅"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := sparkline(tc.vals, tc.width); got != tc.want {
+				t.Fatalf("sparkline(%v, %d) = %q, want %q", tc.vals, tc.width, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRateCellTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		cur, prev int64
+		want      string
+	}{
+		{name: "steady rate", cur: 20, prev: 10, want: "5.0/s"},
+		{name: "no movement", cur: 10, prev: 10, want: "0.0/s"},
+		{name: "counter reset mid-window", cur: 3, prev: 1000, want: "reset"},
+		{name: "fresh counter", cur: 4, prev: 0, want: "2.0/s"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := rateCell(tc.cur, tc.prev, 2*time.Second)
+			if !strings.Contains(got, tc.want) {
+				t.Fatalf("rateCell(%d, %d) = %q, want to contain %q",
+					tc.cur, tc.prev, got, tc.want)
+			}
+			if tc.want != "reset" && strings.Contains(got, "-") {
+				t.Fatalf("negative rate leaked: %q", got)
+			}
+		})
+	}
+}
+
+// TestRenderHistogramFamilyReset: a histogram family whose .count went
+// backwards between polls must show the reset marker in its events/s column,
+// not a negative rate.
+func TestRenderHistogramFamilyReset(t *testing.T) {
+	keys := func(count int64) map[string]int64 {
+		return map[string]int64{
+			"dcg.convert_ns.count": count,
+			"dcg.convert_ns.sum":   count * 100,
+			"dcg.convert_ns.max":   900,
+			"dcg.convert_ns.p50":   100,
+			"dcg.convert_ns.p95":   200,
+			"dcg.convert_ns.p99":   300,
+		}
+	}
+	out := render("test", keys(50000), keys(12), nil, 2*time.Second)
+	line := ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "dcg.convert_ns") {
+			line = l
+		}
+	}
+	if line == "" {
+		t.Fatalf("histogram family row missing:\n%s", out)
+	}
+	if !strings.Contains(line, "reset") {
+		t.Fatalf("restarted histogram count not marked reset: %q", line)
+	}
+}
+
+// TestRenderEmptyHistory: rendering with an empty (but non-nil) history map
+// and an empty snapshot must not panic or emit sparkline glyphs.
+func TestRenderEmptyHistory(t *testing.T) {
+	out := render("test", nil, map[string]int64{"evb.published": 3}, history{}, 0)
+	if strings.ContainsAny(out, "▁▂▃▄▅▆▇█") {
+		t.Fatalf("sparkline appeared with empty history:\n%s", out)
+	}
+	out = render("test", nil, map[string]int64{}, history{"orphan": {1, 2}}, 0)
+	if !strings.Contains(out, "omtop") {
+		t.Fatalf("header missing on empty snapshot:\n%s", out)
+	}
+}

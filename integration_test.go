@@ -18,6 +18,7 @@ import (
 
 	"openmeta"
 	"openmeta/internal/airline"
+	"openmeta/internal/testutil"
 )
 
 func TestFullSystemIntegration(t *testing.T) {
@@ -86,16 +87,15 @@ func TestFullSystemIntegration(t *testing.T) {
 	fullEvents := collectAsync(fullSub, wantEach)
 	scopedEvents := collectAsync(scopedSub, wantEach)
 	published := 0
-	deadline := time.Now().Add(10 * time.Second)
-	for (len(fullEvents.got) < wantEach || len(scopedEvents.got) < wantEach) && time.Now().Before(deadline) {
+	testutil.Poll(10*time.Second, func() bool {
 		if err := pub.PublishRecord(airline.FlightStream, flightFmt, rec); err != nil {
 			t.Fatal(err)
 		}
 		published++
-		time.Sleep(2 * time.Millisecond)
 		fullEvents.drain()
 		scopedEvents.drain()
-	}
+		return len(fullEvents.got) >= wantEach && len(scopedEvents.got) >= wantEach
+	})
 	if len(fullEvents.got) < wantEach || len(scopedEvents.got) < wantEach {
 		t.Fatalf("full=%d scoped=%d after %d publishes",
 			len(fullEvents.got), len(scopedEvents.got), published)

@@ -1,0 +1,160 @@
+package loadgen
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Hist is a log-linear latency histogram: values are bucketed with 64
+// sub-buckets per power of two, bounding the relative quantile error at
+// 1/64 (~1.6%) while keeping the footprint fixed (~29KB) regardless of how
+// many samples are recorded. Recording is O(1) and allocation-free, so a
+// subscriber hot loop can feed one directly; per-goroutine histograms merge
+// exactly (bucket counts are commutative), which makes every reported
+// quantile independent of sample arrival order.
+//
+// Hist is not safe for concurrent use; give each goroutine its own and
+// Merge at the end.
+type Hist struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+const (
+	// histSubBits fixes 2^6 = 64 sub-buckets per power of two.
+	histSubBits  = 6
+	histSubCount = 1 << histSubBits
+	// histBuckets covers the full non-negative int64 range: values below 64
+	// get one exact bucket each, then 64 buckets per remaining octave.
+	histBuckets = (63 - histSubBits + 1) * histSubCount
+)
+
+// bucketIdx maps a value to its bucket. Negative values (clock skew between
+// the publish timestamp and the receive clock) clamp to bucket zero.
+func bucketIdx(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < histSubCount {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - 1
+	sub := int((uint64(v) >> uint(exp-histSubBits)) & (histSubCount - 1))
+	return (exp-histSubBits+1)*histSubCount + sub
+}
+
+// bucketUpper is the largest value that maps to bucket idx — the value a
+// quantile lookup reports for the bucket, so reported quantiles never
+// undershoot the true sample.
+func bucketUpper(idx int) int64 {
+	if idx < histSubCount {
+		return int64(idx)
+	}
+	exp := idx/histSubCount + histSubBits - 1
+	sub := idx % histSubCount
+	width := int64(1) << uint(exp-histSubBits)
+	lo := int64(histSubCount+sub) << uint(exp-histSubBits)
+	return lo + width - 1
+}
+
+// Record adds one sample.
+func (h *Hist) Record(v int64) {
+	h.counts[bucketIdx(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Merge folds o's samples into h. Merging is exact: the result is identical
+// to having recorded every sample into h directly, in any order.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.count == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Count reports how many samples have been recorded.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Min reports the smallest recorded sample (0 when empty).
+func (h *Hist) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max reports the largest recorded sample (0 when empty).
+func (h *Hist) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean reports the exact arithmetic mean of the recorded samples.
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile reports the value at quantile q in [0, 1]: the upper bound of
+// the bucket holding the ceil(q*count)-th smallest sample, clamped to the
+// exact observed [min, max]. Quantiles are monotone in q and within 1/64
+// relative error of the sort-based reference (see the property tests).
+func (h *Hist) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if math.IsNaN(q) || q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i == 0 && h.min < 0 {
+				// Bucket 0 holds clamped negative samples (clock skew); report
+				// the exact observed min rather than the bucket bound of 0.
+				return h.min
+			}
+			v := bucketUpper(i)
+			if v < h.min {
+				return h.min
+			}
+			if v > h.max {
+				return h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}

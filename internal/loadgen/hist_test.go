@@ -1,0 +1,212 @@
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// naiveQuantile is the sort-based reference: the ceil(q*n)-th smallest
+// sample (nearest-rank definition, matching Hist.Quantile).
+func naiveQuantile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// sampleSets generates assorted latency-shaped distributions: uniform,
+// exponential-ish tails, constant, tiny, and adversarial bucket-boundary
+// values.
+func sampleSets(rng *rand.Rand) [][]int64 {
+	uniform := make([]int64, 5000)
+	for i := range uniform {
+		uniform[i] = rng.Int63n(50_000_000) // 0..50ms
+	}
+	tail := make([]int64, 5000)
+	for i := range tail {
+		// Exponential-ish: mostly microseconds, occasional huge outliers.
+		tail[i] = int64(1000 * math.Exp(rng.Float64()*12))
+	}
+	constant := []int64{12345, 12345, 12345, 12345}
+	tiny := []int64{0, 1, 2, 3, 63, 64, 65, 127, 128, 129}
+	boundaries := make([]int64, 0, 200)
+	for exp := uint(6); exp < 40; exp++ {
+		boundaries = append(boundaries, int64(1)<<exp, (int64(1)<<exp)-1, (int64(1)<<exp)+1)
+	}
+	single := []int64{777}
+	return [][]int64{uniform, tail, constant, tiny, boundaries, single}
+}
+
+var quantiles = []float64{0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+
+// TestHistQuantileProperties is the satellite property test: for random and
+// adversarial inputs, percentiles must be monotone (p50 <= p95 <= p99 <=
+// p999), bounded by min/max, stable under sample reordering, and within the
+// histogram's documented relative error of a naive sort-based reference.
+func TestHistQuantileProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for si, samples := range sampleSets(rng) {
+		var h Hist
+		for _, v := range samples {
+			h.Record(v)
+		}
+		sorted := append([]int64(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+		if h.Count() != uint64(len(samples)) {
+			t.Fatalf("set %d: count = %d, want %d", si, h.Count(), len(samples))
+		}
+		if h.Min() != sorted[0] || h.Max() != sorted[len(sorted)-1] {
+			t.Fatalf("set %d: min/max = %d/%d, want %d/%d",
+				si, h.Min(), h.Max(), sorted[0], sorted[len(sorted)-1])
+		}
+
+		// Monotone in q, and bounded by [min, max].
+		prev := int64(math.MinInt64)
+		for _, q := range quantiles {
+			v := h.Quantile(q)
+			if v < prev {
+				t.Fatalf("set %d: quantile(%v) = %d < previous %d (not monotone)", si, q, v, prev)
+			}
+			if v < h.Min() || v > h.Max() {
+				t.Fatalf("set %d: quantile(%v) = %d outside [%d, %d]", si, q, v, h.Min(), h.Max())
+			}
+			prev = v
+		}
+		p50, p95, p99, p999 := h.Quantile(.5), h.Quantile(.95), h.Quantile(.99), h.Quantile(.999)
+		if !(p50 <= p95 && p95 <= p99 && p99 <= p999) {
+			t.Fatalf("set %d: p50=%d p95=%d p99=%d p999=%d not monotone", si, p50, p95, p99, p999)
+		}
+
+		// Cross-check against the sort-based reference: the histogram reports
+		// the bucket upper bound, so it may overshoot by at most one bucket
+		// width (1/64 relative) and never undershoots below the reference's
+		// bucket.
+		for _, q := range quantiles {
+			got, want := h.Quantile(q), naiveQuantile(sorted, q)
+			hi := want + want/32 + 1
+			if got < want-want/32-1 || got > hi {
+				t.Fatalf("set %d: quantile(%v) = %d, naive reference %d (allowed up to %d)",
+					si, q, got, want, hi)
+			}
+		}
+
+		// Stability under reordering: shuffled input yields identical output.
+		shuffled := append([]int64(nil), samples...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		var h2 Hist
+		for _, v := range shuffled {
+			h2.Record(v)
+		}
+		for _, q := range quantiles {
+			if h.Quantile(q) != h2.Quantile(q) {
+				t.Fatalf("set %d: quantile(%v) differs after reorder: %d vs %d",
+					si, q, h.Quantile(q), h2.Quantile(q))
+			}
+		}
+		if h.Mean() != h2.Mean() || h.Min() != h2.Min() || h.Max() != h2.Max() {
+			t.Fatalf("set %d: summary stats differ after reorder", si)
+		}
+	}
+}
+
+// TestHistMergeEquivalence: merging arbitrary partitions of the samples is
+// identical to recording them all into one histogram — the property that
+// makes per-subscriber histograms aggregate exactly.
+func TestHistMergeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	samples := make([]int64, 3000)
+	for i := range samples {
+		samples[i] = rng.Int63n(10_000_000)
+	}
+	var whole Hist
+	for _, v := range samples {
+		whole.Record(v)
+	}
+	// Random 4-way partition, merged in a scrambled order.
+	parts := make([]Hist, 4)
+	for _, v := range samples {
+		parts[rng.Intn(4)].Record(v)
+	}
+	var merged Hist
+	for _, i := range rng.Perm(4) {
+		merged.Merge(&parts[i])
+	}
+	if merged.Count() != whole.Count() || merged.Min() != whole.Min() ||
+		merged.Max() != whole.Max() || merged.Mean() != whole.Mean() {
+		t.Fatalf("merged summary differs: %+v vs %+v", merged, whole)
+	}
+	for _, q := range quantiles {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("quantile(%v) differs after merge: %d vs %d",
+				q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+	// Merging an empty histogram is a no-op.
+	var empty Hist
+	before := whole.Quantile(0.99)
+	whole.Merge(&empty)
+	if whole.Quantile(0.99) != before || whole.Count() != uint64(len(samples)) {
+		t.Fatal("merging an empty histogram changed the target")
+	}
+}
+
+func TestHistEdgeCases(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	// Negative samples (clock skew) clamp into bucket 0 but keep exact
+	// min/max so the clamping is visible.
+	h.Record(-50)
+	h.Record(10)
+	if h.Min() != -50 || h.Max() != 10 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if q := h.Quantile(0.25); q != -50 {
+		t.Fatalf("low quantile must clamp to observed min, got %d", q)
+	}
+	// NaN and out-of-range q degrade to min/max rather than panicking.
+	if h.Quantile(math.NaN()) != h.Min() || h.Quantile(-1) != h.Min() || h.Quantile(2) != h.Max() {
+		t.Fatal("degenerate q must clamp to min/max")
+	}
+}
+
+// TestBucketMappingRoundTrip pins the bucket math: indexes are monotone
+// non-decreasing in v, upper bounds invert the mapping, and the relative
+// bucket width stays within 1/64.
+func TestBucketMappingRoundTrip(t *testing.T) {
+	prev := -1
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 129, 1 << 20, 1<<40 + 12345, math.MaxInt64} {
+		idx := bucketIdx(v)
+		if idx < prev {
+			t.Fatalf("bucketIdx(%d) = %d < previous %d", v, idx, prev)
+		}
+		prev = idx
+		if idx >= histBuckets {
+			t.Fatalf("bucketIdx(%d) = %d out of range", v, idx)
+		}
+		up := bucketUpper(idx)
+		if up < v {
+			t.Fatalf("bucketUpper(%d) = %d < %d", idx, up, v)
+		}
+		if bucketIdx(up) != idx {
+			t.Fatalf("bucketUpper(%d) = %d maps to bucket %d", idx, up, bucketIdx(up))
+		}
+		if v >= 64 && float64(up-v) > float64(v)/64+1 {
+			t.Fatalf("bucket width at %d too wide: upper %d", v, up)
+		}
+	}
+}

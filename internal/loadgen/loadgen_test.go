@@ -1,0 +1,190 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunInProcessSmoke drives a short mixed-class run against an in-process
+// broker and checks the report invariants the harness promises: records flow
+// to every class, percentiles are monotone, stage shares sum to ~100%, and
+// the JSON report round-trips.
+func TestRunInProcessSmoke(t *testing.T) {
+	rep, err := Run(context.Background(), Spec{
+		Publishers:  2,
+		Subscribers: 1,
+		Scoped:      1,
+		Converting:  1,
+		Rate:        2000,
+		Duration:    300 * time.Millisecond,
+		Payload:     4,
+		SampleEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Published == 0 {
+		t.Fatal("nothing published")
+	}
+	if rep.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	for _, class := range []string{ClassPlain, ClassScoped, ClassConverting} {
+		cr := rep.Classes[class]
+		if cr == nil || cr.Received == 0 {
+			t.Fatalf("class %s received nothing: %+v", class, cr)
+		}
+		if cr.DecodeErrors != 0 {
+			t.Fatalf("class %s had %d decode errors", class, cr.DecodeErrors)
+		}
+		l := cr.Latency
+		if !(l.P50 <= l.P95 && l.P95 <= l.P99 && l.P99 <= l.P999) {
+			t.Fatalf("class %s percentiles not monotone: %+v", class, l)
+		}
+		if l.P50 < l.Min || l.P999 > l.Max {
+			t.Fatalf("class %s percentiles out of [min, max]: %+v", class, l)
+		}
+	}
+	if rep.Latency.Count == 0 {
+		t.Fatal("overall latency summary empty")
+	}
+	if rep.RecordsPerSec <= 0 || rep.Elapsed <= 0 {
+		t.Fatalf("throughput not computed: %+v", rep)
+	}
+	// Broker-side counters come from the in-process broker's registry.
+	if rep.BrokerPublished == 0 || rep.BrokerDelivered == 0 {
+		t.Fatalf("broker counters empty: published=%d delivered=%d",
+			rep.BrokerPublished, rep.BrokerDelivered)
+	}
+
+	// Stage shares: sampled tracing must capture all five stages and the
+	// self-time normalization must sum to 100%.
+	if len(rep.Stages) == 0 {
+		t.Fatal("no stage share breakdown")
+	}
+	var sum float64
+	seen := map[string]bool{}
+	for _, st := range rep.Stages {
+		sum += st.SharePct
+		seen[st.Name] = true
+		if st.SharePct < 0 {
+			t.Fatalf("negative stage share: %+v", st)
+		}
+	}
+	if math.Abs(sum-100) > 0.01 {
+		t.Fatalf("stage shares sum to %.3f%%, want 100%%", sum)
+	}
+	for _, want := range []string{"encode", "publish", "route", "deliver"} {
+		if !seen[want] {
+			t.Fatalf("stage %q missing from breakdown %v", want, rep.Stages)
+		}
+	}
+
+	// JSON round-trip: the schema tag and key metrics survive.
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != ReportSchema || back.Published != rep.Published ||
+		back.Latency.P99 != rep.Latency.P99 {
+		t.Fatalf("JSON round-trip mismatch: %+v vs %+v", back, rep)
+	}
+
+	// Render paths all succeed and mention the latency table.
+	for _, format := range []string{"", "table", "markdown", "md", "json"} {
+		out, err := rep.Render(format)
+		if err != nil {
+			t.Fatalf("Render(%q): %v", format, err)
+		}
+		if !strings.Contains(out, "p99") {
+			t.Fatalf("Render(%q) output missing percentiles:\n%s", format, out)
+		}
+	}
+	if _, err := rep.Render("bogus"); err == nil {
+		t.Fatal("Render must reject unknown formats")
+	}
+}
+
+// TestRunChaosProfile exercises the faultnet integration: a lossy/laggy
+// profile on every connection with auto-reconnect must still complete the
+// run and deliver records.
+func TestRunChaosProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	rep, err := Run(context.Background(), Spec{
+		Duration:  250 * time.Millisecond,
+		Rate:      500,
+		Chaos:     "latency",
+		ChaosSeed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Published == 0 || rep.Delivered == 0 {
+		t.Fatalf("chaos run moved no records: published=%d delivered=%d",
+			rep.Published, rep.Delivered)
+	}
+}
+
+func TestChaosProfileResolution(t *testing.T) {
+	for _, name := range ChaosProfiles() {
+		if _, _, err := chaosProfile(name); err != nil {
+			t.Errorf("chaosProfile(%q): %v", name, err)
+		}
+	}
+	if _, subOnly, err := chaosProfile("slowsub"); err != nil || !subOnly {
+		t.Errorf("slowsub must be subscriber-only (subOnly=%v, err=%v)", subOnly, err)
+	}
+	if _, _, err := chaosProfile("nope"); err == nil {
+		t.Error("unknown chaos profile must error")
+	}
+	if _, err := Run(context.Background(), Spec{Chaos: "nope"}); err == nil {
+		t.Error("Run must reject unknown chaos profiles before dialing anything")
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	s := Spec{}.withDefaults()
+	if s.Publishers != 1 || s.Subscribers != 1 || s.Duration != time.Second ||
+		s.Payload != 8 || s.QueueDepth != 1024 || s.SampleEvery != 32 ||
+		s.Stream != "load" || s.ChaosSeed != 1 {
+		t.Fatalf("zero-spec defaults wrong: %+v", s)
+	}
+	// Requesting only scoped subscribers must not add a default plain one.
+	s = Spec{Scoped: 2}.withDefaults()
+	if s.Subscribers != 0 || s.Scoped != 2 {
+		t.Fatalf("scoped-only spec gained plain subscribers: %+v", s)
+	}
+	// Negative SampleEvery disables tracing rather than being defaulted.
+	s = Spec{SampleEvery: -1}.withDefaults()
+	if s.SampleEvery != -1 {
+		t.Fatalf("negative SampleEvery must survive defaults: %+v", s)
+	}
+}
+
+// TestRunContextCancel: cancelling the context ends the run early and still
+// returns a report covering what ran.
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	rep, err := Run(ctx, Spec{Duration: 30 * time.Second, Rate: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancelled run took %v", elapsed)
+	}
+	if rep.Published == 0 {
+		t.Fatal("cancelled run should still report the records it published")
+	}
+}

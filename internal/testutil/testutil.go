@@ -1,0 +1,56 @@
+// Package testutil holds shared test synchronization helpers: polling with a
+// deadline instead of fixed time.Sleep calls, so e2e tests wait exactly as
+// long as the condition needs — no longer (slow suites) and no shorter
+// (flakes under -race or loaded CI hardware).
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// pollInterval is the initial backoff between condition checks; it doubles
+// up to pollMax so hot conditions resolve in microseconds while slow ones
+// don't spin a CPU.
+const (
+	pollInterval = time.Millisecond
+	pollMax      = 50 * time.Millisecond
+)
+
+// WaitFor polls cond until it holds or timeout passes, then fails the test
+// fatally, naming what it was waiting for.
+func WaitFor(t testing.TB, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	if !Poll(timeout, cond) {
+		t.Fatalf("timed out after %v waiting for %s", timeout, what)
+	}
+}
+
+// Poll repeatedly evaluates cond (with exponential backoff between checks)
+// until it returns true or timeout passes. It reports whether cond held, for
+// call sites that want a non-fatal check or a custom failure message. cond
+// runs at least once even with a zero timeout.
+func Poll(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	interval := pollInterval
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(interval)
+		if interval < pollMax {
+			interval *= 2
+		}
+	}
+}
+
+// Eventually polls cond and calls fail with a message when it never held —
+// the non-fatal sibling of WaitFor for use with t.Errorf-style reporting.
+func Eventually(timeout time.Duration, cond func() bool, fail func(msg string)) {
+	if !Poll(timeout, cond) {
+		fail("condition did not hold within " + timeout.String())
+	}
+}

@@ -1,0 +1,65 @@
+package testutil
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPollImmediateSuccess(t *testing.T) {
+	start := time.Now()
+	if !Poll(5*time.Second, func() bool { return true }) {
+		t.Fatal("Poll must report success")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("immediate success must not wait")
+	}
+}
+
+func TestPollEventualSuccess(t *testing.T) {
+	var n atomic.Int32
+	ok := Poll(5*time.Second, func() bool { return n.Add(1) >= 3 })
+	if !ok || n.Load() < 3 {
+		t.Fatalf("ok=%v calls=%d", ok, n.Load())
+	}
+}
+
+func TestPollTimeout(t *testing.T) {
+	var n atomic.Int32
+	start := time.Now()
+	if Poll(30*time.Millisecond, func() bool { n.Add(1); return false }) {
+		t.Fatal("Poll must report timeout")
+	}
+	if n.Load() < 1 {
+		t.Fatal("cond must run at least once")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("timeout overshot far past the deadline")
+	}
+}
+
+func TestPollZeroTimeoutRunsOnce(t *testing.T) {
+	var n atomic.Int32
+	Poll(0, func() bool { n.Add(1); return false })
+	if n.Load() == 0 {
+		t.Fatal("cond must run at least once with zero timeout")
+	}
+}
+
+func TestWaitForPasses(t *testing.T) {
+	// Must not fail the test when the condition holds.
+	WaitFor(t, time.Second, "trivial condition", func() bool { return true })
+}
+
+func TestEventually(t *testing.T) {
+	var msg string
+	Eventually(10*time.Millisecond, func() bool { return false }, func(m string) { msg = m })
+	if msg == "" {
+		t.Fatal("Eventually must report failure")
+	}
+	msg = ""
+	Eventually(time.Second, func() bool { return true }, func(m string) { msg = m })
+	if msg != "" {
+		t.Fatalf("Eventually reported failure on success: %s", msg)
+	}
+}

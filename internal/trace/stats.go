@@ -1,0 +1,63 @@
+package trace
+
+import "time"
+
+// spanKey identifies a span across traces: SpanIDs are only unique within
+// one trace, so aggregation must key on the pair.
+type spanKey struct {
+	trace TraceID
+	span  SpanID
+}
+
+// SelfTimes aggregates completed spans by name into each stage's total
+// *self* time: a span's duration minus the duration of its recorded
+// children, clamped at zero. Summing self times instead of raw durations
+// keeps nested stages (broker.route parenting dcg.convert, pub.publish
+// parenting pbio.encode) from double-counting, so the totals of a set of
+// stage names can be normalized into a share breakdown that sums to 100%.
+//
+// Children whose parent span is not in the snapshot (the parent was
+// overwritten in the ring, or lives in another process) contribute their
+// own self time but subtract from nothing.
+func SelfTimes(spans []Span) map[string]time.Duration {
+	if len(spans) == 0 {
+		return nil
+	}
+	// Per-span self time, then fold into per-name totals.
+	self := make([]time.Duration, len(spans))
+	index := make(map[spanKey]int, len(spans))
+	for i, sp := range spans {
+		self[i] = sp.Dur
+		index[spanKey{sp.Trace, sp.ID}] = i
+	}
+	for _, sp := range spans {
+		if sp.Parent.IsZero() {
+			continue
+		}
+		if pi, ok := index[spanKey{sp.Trace, sp.Parent}]; ok {
+			self[pi] -= sp.Dur
+		}
+	}
+	totals := make(map[string]time.Duration)
+	for i, sp := range spans {
+		d := self[i]
+		if d < 0 {
+			d = 0
+		}
+		totals[sp.Name] += d
+	}
+	return totals
+}
+
+// SumByName aggregates completed spans into per-name totals of their raw
+// (inclusive) durations. Unlike SelfTimes, nested stages double-count.
+func SumByName(spans []Span) map[string]time.Duration {
+	if len(spans) == 0 {
+		return nil
+	}
+	totals := make(map[string]time.Duration)
+	for _, sp := range spans {
+		totals[sp.Name] += sp.Dur
+	}
+	return totals
+}

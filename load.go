@@ -1,0 +1,41 @@
+package openmeta
+
+import (
+	"context"
+
+	"openmeta/internal/loadgen"
+)
+
+// Load testing, re-exported from internal/loadgen so applications (and
+// cmd/omload) drive the open-loop harness through the facade.
+type (
+	// LoadSpec configures one open-loop load run: publisher/subscriber
+	// counts and classes, arrival rate, duration, payload size, chaos
+	// profile. The zero value is a usable one-second smoke run.
+	LoadSpec = loadgen.Spec
+	// LoadReport is the result of a load run: throughput, drop counts,
+	// E2E latency percentiles per subscriber class, and the traced
+	// stage-share breakdown. Render with Table, Markdown or JSON.
+	LoadReport = loadgen.Report
+	// LoadLatency is one latency distribution's percentile digest.
+	LoadLatency = loadgen.LatencySummary
+	// LoadStage is one pipeline stage's share of traced self time.
+	LoadStage = loadgen.StageShare
+)
+
+// Subscriber class names appearing in LoadReport.Classes.
+const (
+	LoadClassPlain      = loadgen.ClassPlain
+	LoadClassScoped     = loadgen.ClassScoped
+	LoadClassConverting = loadgen.ClassConverting
+)
+
+// RunLoad executes one load run against an in-process broker (spec.Addr
+// empty) or a remote one, measuring true end-to-end latency at the
+// subscribers. ctx cancels the run early; the report covers what ran.
+func RunLoad(ctx context.Context, spec LoadSpec) (*LoadReport, error) {
+	return loadgen.Run(ctx, spec)
+}
+
+// LoadChaosProfiles lists the chaos profile names LoadSpec.Chaos accepts.
+func LoadChaosProfiles() []string { return loadgen.ChaosProfiles() }

@@ -1,0 +1,116 @@
+#!/bin/sh
+# Performance trajectory keeper: BENCH_trajectory.json is the committed,
+# append-only history of omload E2E latency across PRs — the repo's defended
+# perf numbers over time, in the style of buildpacks' dev/bench history.
+#
+# Usage:
+#   scripts/trajectory.sh append RUN.json   # append one entry from an omload
+#                                           # JSON report (omload -format json)
+#   scripts/trajectory.sh validate          # check the committed trajectory
+#
+#   TRAJECTORY=path scripts/trajectory.sh … # operate on another file
+#
+# Schema (see EXPERIMENTS.md "Load testing"): a JSON array of entries
+#   {
+#     "timestamp": "2026-08-08T12:00:00Z",   UTC ISO-8601, non-decreasing
+#     "commit":    "abc1234",                short git hash ("dirty" suffix ok)
+#     "tool":      "omload",
+#     "benches": [ {"name": "e2e_p99", "value": 812345, "unit": "ns"}, … ]
+#   }
+# validate fails on malformed entries or timestamps that go backwards, so a
+# bad merge of the history is caught in CI rather than silently corrupting
+# the trajectory. Requires jq.
+set -eu
+cd "$(dirname "$0")/.."
+
+TRAJ="${TRAJECTORY:-BENCH_trajectory.json}"
+
+if ! command -v jq >/dev/null 2>&1; then
+    echo "trajectory: needs jq" >&2
+    exit 1
+fi
+
+validate() {
+    if [ ! -f "$TRAJ" ]; then
+        echo "trajectory: $TRAJ not found" >&2
+        return 1
+    fi
+    jq -r '
+      if type != "array" then error("top level is not an array") else . end
+      | if length == 0 then error("trajectory is empty") else . end
+      | to_entries[]
+      | .key as $i | .value
+      | if (.timestamp | type) != "string" then error("entry \($i): missing timestamp") else . end
+      | if (try (.timestamp | fromdateiso8601) catch null) == null
+          then error("entry \($i): timestamp \(.timestamp) is not ISO-8601") else . end
+      | if (.commit | type) != "string" or .commit == "" then error("entry \($i): missing commit") else . end
+      | if (.tool | type) != "string" then error("entry \($i): missing tool") else . end
+      | if (.benches | type) != "array" or (.benches | length) == 0
+          then error("entry \($i): missing benches") else . end
+      | .benches[]
+      | if (.name | type) != "string" or (.value | type) != "number" or (.unit | type) != "string"
+          then error("entry \($i): bench needs name/value/unit: \(.)") else empty end
+    ' "$TRAJ" >/dev/null || { echo "trajectory: $TRAJ is malformed" >&2; return 1; }
+    jq -e '
+      [.[].timestamp | fromdateiso8601] as $ts
+      | all(range(1; $ts | length); $ts[.] >= $ts[. - 1])
+    ' "$TRAJ" >/dev/null || {
+        echo "trajectory: timestamps in $TRAJ are not non-decreasing" >&2
+        return 1
+    }
+    echo "trajectory: $TRAJ ok ($(jq length "$TRAJ") entries)"
+}
+
+append() {
+    RUN="$1"
+    if [ ! -f "$RUN" ]; then
+        echo "trajectory: run report $RUN not found" >&2
+        exit 1
+    fi
+    SCHEMA="$(jq -r '.schema // empty' "$RUN")"
+    if [ "$SCHEMA" != "omload/v1" ]; then
+        echo "trajectory: $RUN is not an omload/v1 report (schema: ${SCHEMA:-none})" >&2
+        exit 1
+    fi
+    TS="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+    if ! git diff --quiet HEAD 2>/dev/null; then
+        COMMIT="$COMMIT-dirty"
+    fi
+    [ -f "$TRAJ" ] || echo '[]' > "$TRAJ"
+    TMP="$(mktemp)"
+    jq --arg ts "$TS" --arg commit "$COMMIT" --slurpfile run "$RUN" '
+      . + [ $run[0] | {
+        timestamp: $ts,
+        commit: $commit,
+        tool: "omload",
+        benches: ([
+          {name: "e2e_p50",  value: .latency_ns.p50,  unit: "ns"},
+          {name: "e2e_p95",  value: .latency_ns.p95,  unit: "ns"},
+          {name: "e2e_p99",  value: .latency_ns.p99,  unit: "ns"},
+          {name: "e2e_p999", value: .latency_ns.p999, unit: "ns"},
+          {name: "records_per_sec", value: .records_per_sec, unit: "rec/s"},
+          {name: "delivered", value: .delivered, unit: "records"},
+          {name: "dropped",   value: .dropped,   unit: "records"}
+        ])
+      } ]
+    ' "$TRAJ" > "$TMP" && mv "$TMP" "$TRAJ"
+    validate
+}
+
+case "${1:-}" in
+append)
+    if [ -z "${2:-}" ]; then
+        echo "usage: trajectory.sh append RUN.json" >&2
+        exit 2
+    fi
+    append "$2"
+    ;;
+validate)
+    validate
+    ;;
+*)
+    echo "usage: trajectory.sh {append RUN.json | validate}" >&2
+    exit 2
+    ;;
+esac

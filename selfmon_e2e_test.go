@@ -22,6 +22,7 @@ import (
 	"openmeta/internal/obsv"
 	"openmeta/internal/pbio"
 	"openmeta/internal/profcap"
+	"openmeta/internal/testutil"
 )
 
 // TestSelfMonitoringEndToEnd is the acceptance scenario for the
@@ -311,13 +312,7 @@ func stallingProxy(t *testing.T, target string) (addr string, closeProxy func())
 // waitFor polls cond until it holds or the deadline passes.
 func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatalf("timed out waiting for %s", what)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	testutil.WaitFor(t, timeout, what, cond)
 }
 
 // httpStatus GETs url and returns the status code.

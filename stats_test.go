@@ -11,6 +11,7 @@ import (
 
 	"openmeta"
 	"openmeta/internal/airline"
+	"openmeta/internal/testutil"
 )
 
 // publishUntilReceived publishes rec repeatedly until sub receives an event
@@ -229,14 +230,10 @@ func TestBrokerOptionsAndStats(t *testing.T) {
 	publishUntilReceived(t, pub, sub, f, rec)
 
 	var st openmeta.BrokerStats
-	deadline := time.Now().Add(2 * time.Second)
-	for {
+	testutil.Poll(2*time.Second, func() bool {
 		st = broker.Stats()
-		if st.Delivered >= 1 || time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+		return st.Delivered >= 1
+	})
 	if st.Published < 1 || st.Delivered < 1 {
 		t.Errorf("broker stats = %+v, want published/delivered >= 1", st)
 	}

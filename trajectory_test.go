@@ -1,0 +1,142 @@
+package openmeta
+
+// Tests for scripts/trajectory.sh: the append/validate keeper of the
+// committed BENCH_trajectory.json perf history. Validation must reject
+// malformed entries and timestamps that go backwards; append must turn an
+// omload JSON report into a well-formed entry.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"openmeta/internal/loadgen"
+)
+
+func trajectorySh(t *testing.T, trajPath string, args ...string) (string, error) {
+	t.Helper()
+	if _, err := exec.LookPath("jq"); err != nil {
+		t.Skip("jq not installed")
+	}
+	if _, err := exec.LookPath("sh"); err != nil {
+		t.Skip("sh not installed")
+	}
+	cmd := exec.Command("sh", append([]string{"scripts/trajectory.sh"}, args...)...)
+	cmd.Env = append(cmd.Environ(), "TRAJECTORY="+trajPath)
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+func TestTrajectoryValidateCommitted(t *testing.T) {
+	// The committed trajectory must always validate.
+	out, err := trajectorySh(t, "BENCH_trajectory.json", "validate")
+	if err != nil {
+		t.Fatalf("committed BENCH_trajectory.json invalid: %v\n%s", err, out)
+	}
+}
+
+func TestTrajectoryValidateRejects(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name, content, wantMsg string
+	}{
+		{"not array", `{"timestamp": "x"}`, "malformed"},
+		{"empty", `[]`, "malformed"},
+		{"missing fields", `[{"timestamp": "2026-08-08T12:00:00Z"}]`, "malformed"},
+		{"bad timestamp", `[{"timestamp": "yesterday", "commit": "a", "tool": "omload",
+			"benches": [{"name": "x", "value": 1, "unit": "ns"}]}]`, "malformed"},
+		{"bad bench", `[{"timestamp": "2026-08-08T12:00:00Z", "commit": "a", "tool": "omload",
+			"benches": [{"name": "x"}]}]`, "malformed"},
+		{"backwards timestamps", `[
+			{"timestamp": "2026-08-08T12:00:00Z", "commit": "a", "tool": "omload",
+			 "benches": [{"name": "x", "value": 1, "unit": "ns"}]},
+			{"timestamp": "2026-08-07T12:00:00Z", "commit": "b", "tool": "omload",
+			 "benches": [{"name": "x", "value": 1, "unit": "ns"}]}]`, "not non-decreasing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := filepath.Join(dir, strings.ReplaceAll(tc.name, " ", "_")+".json")
+			if err := os.WriteFile(p, []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			out, err := trajectorySh(t, p, "validate")
+			if err == nil {
+				t.Fatalf("invalid trajectory accepted:\n%s", out)
+			}
+			if !strings.Contains(out, tc.wantMsg) {
+				t.Fatalf("output missing %q:\n%s", tc.wantMsg, out)
+			}
+		})
+	}
+}
+
+func TestTrajectoryAppendFromRun(t *testing.T) {
+	if _, err := exec.LookPath("jq"); err != nil {
+		t.Skip("jq not installed")
+	}
+	// Produce a real (tiny) omload report and append it twice: both entries
+	// must land, validate, and carry the report's p99.
+	rep, err := loadgen.Run(context.Background(), loadgen.Spec{
+		Duration: 150 * time.Millisecond, Rate: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	runPath := filepath.Join(dir, "run.json")
+	if err := os.WriteFile(runPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	traj := filepath.Join(dir, "traj.json")
+	for i := 0; i < 2; i++ {
+		if out, err := trajectorySh(t, traj, "append", runPath); err != nil {
+			t.Fatalf("append %d: %v\n%s", i, err, out)
+		}
+	}
+	raw, err := os.ReadFile(traj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []struct {
+		Tool    string `json:"tool"`
+		Benches []struct {
+			Name  string  `json:"name"`
+			Value float64 `json:"value"`
+			Unit  string  `json:"unit"`
+		} `json:"benches"`
+	}
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Tool != "omload" {
+		t.Fatalf("unexpected trajectory: %s", raw)
+	}
+	found := false
+	for _, b := range entries[1].Benches {
+		if b.Name == "e2e_p99" && b.Unit == "ns" && int64(b.Value) == rep.Latency.P99 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("e2e_p99 %d not in appended entry: %s", rep.Latency.P99, raw)
+	}
+	// Appending a non-omload file must fail with a schema message.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"hello": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := trajectorySh(t, traj, "append", bad); err == nil {
+		t.Fatalf("non-omload report accepted:\n%s", out)
+	} else if !strings.Contains(out, "omload/v1") {
+		t.Fatalf("missing schema message:\n%s", out)
+	}
+}
