@@ -30,6 +30,14 @@
 //	curl http://127.0.0.1:8781/debug/flight?kind=alert
 //	curl http://127.0.0.1:8781/debug/profiles/
 //
+// With -register <metaserver-url> the broker announces its debug listener
+// to the fleet registry (/instances/ on the metaserver, heartbeat-kept), so
+// cmd/omcollect discovers and scrapes it without static configuration; the
+// instance name defaults to eventbusd-<host>-<pid>, -instance overrides:
+//
+//	eventbusd -addr :8701 -debug-addr 127.0.0.1:8781 -trace-sample 1 \
+//	    -register http://127.0.0.1:8700 -instance broker
+//
 // Diagnostics go to stderr via log/slog; -log-format selects text or json.
 // The broker exits cleanly on SIGINT/SIGTERM.
 package main
@@ -47,6 +55,7 @@ import (
 
 	"openmeta/internal/alert"
 	"openmeta/internal/dcg"
+	"openmeta/internal/discovery"
 	"openmeta/internal/eventbus"
 	"openmeta/internal/flight"
 	"openmeta/internal/histdb"
@@ -74,6 +83,8 @@ func run(args []string) error {
 	historyInterval := fs.Duration("history-interval", 0, "sample metrics into the /debug/history ring this often (0 = self-monitoring off)")
 	alertRules := fs.String("alert-rules", "", "alert rules: a rule file path or inline DSL (default: built-in queue-depth and plan-cache rules; needs -history-interval)")
 	profileDir := fs.String("profile-capture-dir", "", "also spill anomaly profile captures to this directory (captures are in-memory otherwise)")
+	register := fs.String("register", "", "metaserver base URL to self-register the debug endpoint with (fleet discovery for omcollect; needs -debug-addr)")
+	instanceName := fs.String("instance", "", "fleet instance name for -register (default eventbusd-<host>-<pid>)")
 	logFormat := fs.String("log-format", "text", "diagnostic log format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -151,7 +162,7 @@ func run(args []string) error {
 	if *debugAddr != "" {
 		dbg, err := obsv.ListenAndServeDebug(*debugAddr, obsv.Default(),
 			obsv.DebugEndpoint{Path: "/debug/trace", Handler: trace.Handler(trace.Default()),
-				Desc: "recent trace spans, newest first"},
+				Desc: "recent trace spans, oldest first (?since= unix-ns scrape cursor, ?format=chrome)"},
 			obsv.DebugEndpoint{Path: "/debug/history", Handler: histdb.Handler(histDB),
 				Desc: "metrics time-series ring (?key=&since=)"},
 			obsv.DebugEndpoint{Path: "/debug/alerts", Handler: alert.StatusHandler(engine),
@@ -163,6 +174,26 @@ func run(args []string) error {
 		}
 		logger.Info("debug endpoints up", "component", "eventbusd",
 			"addr", dbg.String(), "paths", "/debug /stats /metrics /debug/flight /debug/trace /debug/history /debug/alerts /debug/profiles /healthz /readyz /debug/pprof")
+		// Fleet self-registration: announce the debug endpoint to the
+		// metaserver so omcollect discovers this broker without static
+		// -targets, heartbeating until shutdown.
+		if *register != "" {
+			name := *instanceName
+			if name == "" {
+				name = discovery.DefaultInstanceName("eventbusd")
+			}
+			stopAnnounce, err := discovery.AnnounceInstance(*register, discovery.Instance{
+				Name: name, Component: "eventbusd", DebugAddr: dbg.String(),
+			}, 0)
+			if err != nil {
+				return fmt.Errorf("self-register with %s: %w", *register, err)
+			}
+			defer stopAnnounce()
+			logger.Info("registered with fleet", "component", "eventbusd",
+				"registry", *register, "instance", name)
+		}
+	} else if *register != "" {
+		return fmt.Errorf("-register needs -debug-addr (nothing to scrape otherwise)")
 	}
 	if *statsInterval > 0 {
 		stop := obsv.StartStatsLogger(obsv.Default(), *statsInterval, func(format string, args ...interface{}) {

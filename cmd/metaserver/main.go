@@ -13,6 +13,11 @@
 // /healthz, /readyz and pprof (GET /debug lists everything); adding
 // -history-interval enables self-monitoring — /debug/history sampling,
 // -alert-rules evaluation and /debug/profiles capture — mirroring eventbusd.
+//
+// The repository doubles as the fleet rendezvous: daemons started with
+// -register announce their debug endpoints under /instances/ (heartbeat
+// TTL via -instance-ttl), where cmd/omcollect discovers them — discovery
+// of processes rides the same server as discovery of formats.
 // Diagnostics go to stderr via log/slog; -log-format selects text or json.
 package main
 
@@ -25,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"log/slog"
 
@@ -35,6 +41,7 @@ import (
 	"openmeta/internal/histdb"
 	"openmeta/internal/obsv"
 	"openmeta/internal/profcap"
+	"openmeta/internal/trace"
 )
 
 func main() {
@@ -50,6 +57,8 @@ func run(args []string) error {
 	dir := fs.String("dir", "", "directory of <name>.xsd schema documents to serve")
 	builtin := fs.Bool("builtin", false, "serve the built-in airline scenario schemas")
 	writable := fs.Bool("writable", false, "accept PUT/DELETE so streams can publish their own metadata")
+	instanceTTL := fs.Duration("instance-ttl", discovery.DefaultInstanceTTL, "fleet registrations under /instances/ expire after this long without a heartbeat")
+	instanceName := fs.String("instance", "", "fleet instance name to self-register under (default metaserver-<host>-<pid>; needs -debug-addr)")
 	debugAddr := fs.String("debug-addr", "", "serve /stats, /debug/vars, /healthz, /readyz and /debug/pprof on this address")
 	historyInterval := fs.Duration("history-interval", 0, "sample metrics into the /debug/history ring this often (0 = self-monitoring off)")
 	alertRules := fs.String("alert-rules", "", "alert rules: a rule file path or inline DSL (needs -history-interval)")
@@ -107,6 +116,12 @@ func run(args []string) error {
 	logger.Info("serving schemas", "component", "metaserver",
 		"count", loaded, "url", "http://"+ln.Addr().String()+discovery.SchemaPathPrefix)
 
+	// Fleet rendezvous: daemons started with -register self-announce their
+	// debug endpoints under /instances/ and omcollect discovers them there.
+	instances := discovery.NewInstanceRegistry(*instanceTTL)
+	logger.Info("fleet registry up", "component", "metaserver",
+		"url", "http://"+ln.Addr().String()+discovery.InstancePathPrefix, "ttl", *instanceTTL)
+
 	// Readiness: a read-only repository that has lost all its documents
 	// cannot answer discovery, so it must stop advertising ready.
 	canWrite := *writable
@@ -156,6 +171,8 @@ func run(args []string) error {
 		dbg, err := obsv.ListenAndServeDebug(*debugAddr, obsv.Default(),
 			obsv.DebugEndpoint{Path: "/debug/history", Handler: histdb.Handler(histDB),
 				Desc: "metrics time-series ring (?key=&since=)"},
+			obsv.DebugEndpoint{Path: "/debug/trace", Handler: trace.Handler(trace.Default()),
+				Desc: "recent trace spans, oldest first (?since= unix-ns scrape cursor, ?format=chrome)"},
 			obsv.DebugEndpoint{Path: "/debug/alerts", Handler: alert.StatusHandler(engine),
 				Desc: "SLO alert rules and firing state"},
 			obsv.DebugEndpoint{Path: "/debug/profiles/", Handler: http.StripPrefix("/debug/profiles", profcap.Handler(capt)),
@@ -164,7 +181,27 @@ func run(args []string) error {
 			return err
 		}
 		logger.Info("debug endpoints up", "component", "metaserver",
-			"addr", dbg.String(), "paths", "/debug /stats /metrics /debug/history /debug/alerts /debug/profiles /healthz /readyz /debug/pprof")
+			"addr", dbg.String(), "paths", "/debug /stats /metrics /debug/trace /debug/history /debug/alerts /debug/profiles /healthz /readyz /debug/pprof")
+		// The metaserver is itself a fleet member: register its own debug
+		// endpoint in the registry it hosts so omcollect -registry scrapes it
+		// alongside the daemons.
+		name := *instanceName
+		if name == "" {
+			name = discovery.DefaultInstanceName("metaserver")
+		}
+		if err := instances.Register(discovery.Instance{
+			Name: name, Component: "metaserver", DebugAddr: dbg.String(),
+		}); err != nil {
+			return err
+		}
+		// Keep the self-registration alive past the TTL.
+		go func() {
+			for range time.Tick(*instanceTTL / 3) {
+				_ = instances.Register(discovery.Instance{
+					Name: name, Component: "metaserver", DebugAddr: dbg.String(),
+				})
+			}
+		}()
 	}
 	if *statsInterval > 0 {
 		stop := obsv.StartStatsLogger(obsv.Default(), *statsInterval, func(format string, args ...interface{}) {
@@ -175,6 +212,9 @@ func run(args []string) error {
 	for _, n := range repo.Names() {
 		logger.Info("schema loaded", "component", "metaserver", "name", n)
 	}
-	srv := &http.Server{Handler: repo.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle(discovery.SchemaPathPrefix, repo.Handler())
+	mux.Handle(discovery.InstancePathPrefix, instances.Handler())
+	srv := &http.Server{Handler: mux}
 	return srv.Serve(ln)
 }

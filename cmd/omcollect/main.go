@@ -1,0 +1,176 @@
+// Command omcollect is the fleet telemetry aggregator: it discovers the
+// processes of one deployment, scrapes each one's debug listener — /stats,
+// /debug/trace, /debug/flight, /debug/history — on an interval with
+// incremental cursors, and serves the merged result:
+//
+//	/fleet/members      scrape targets with health and clock hints
+//	/fleet/stats        every instance's metrics, instance-labeled, one flat map
+//	/fleet/flight       all processes' flight events, one time-ordered stream
+//	/fleet/history      merged instance-labeled metrics history
+//	/fleet/trace        assembled cross-process traces, newest first
+//	/fleet/trace/<id>   one record journey stitched across processes: a
+//	                    parent-linked tree with clock-skew estimates and a
+//	                    per-stage self-time breakdown summing to 100%
+//
+// Members are found two ways, freely combined: a static -targets list, and
+// the metaserver's fleet registry (-registry), where daemons started with
+// -register announce themselves — discovery of *processes* rides the same
+// rendezvous as the paper's discovery of formats (§4.4).
+//
+// Usage:
+//
+//	omcollect -targets 127.0.0.1:8781,127.0.0.1:8782 -addr 127.0.0.1:8790
+//	omcollect -registry 127.0.0.1:8700 -interval 2s
+//	omcollect -targets broker=127.0.0.1:8781 -once   # one scrape round, then serve nothing: print members as JSON
+//
+// A member that stops answering is retried, then flagged stale — its last
+// data stays served (fleet.instance.up{instance=...} drops to 0) and it
+// recovers in place when the process returns.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"log/slog"
+
+	"openmeta/internal/obsv"
+	"openmeta/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "omcollect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("omcollect", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8790", "serve the /fleet endpoints on this address")
+	targets := fs.String("targets", "", "comma-separated static scrape targets: host:port or name=host:port")
+	registry := fs.String("registry", "", "metaserver base URL whose /instances/ listing is scraped for fleet members")
+	interval := fs.Duration("interval", telemetry.DefaultInterval, "scrape cadence")
+	spanCap := fs.Int("span-cap", telemetry.DefaultSpanCapacity, "spans kept per instance (newest win)")
+	flightCap := fs.Int("flight-cap", telemetry.DefaultFlightCapacity, "flight events kept per instance")
+	once := fs.Bool("once", false, "run one scrape round, print the member summary as JSON, exit")
+	debugAddr := fs.String("debug-addr", "", "serve the collector's own /stats and /debug/pprof on this address")
+	logFormat := fs.String("log-format", "text", "diagnostic log format: text or json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := obsv.NewSlog(*logFormat, os.Stderr)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
+	if *targets == "" && *registry == "" {
+		return errors.New("nothing to scrape: pass -targets and/or -registry")
+	}
+
+	opts := []telemetry.Option{
+		telemetry.WithInterval(*interval),
+		telemetry.WithSpanCapacity(*spanCap),
+		telemetry.WithFlightCapacity(*flightCap),
+		telemetry.WithObserver(obsv.Default()),
+	}
+	if *registry != "" {
+		opts = append(opts, telemetry.WithRegistry(*registry))
+	}
+	if *targets != "" {
+		ts, err := parseTargets(*targets)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, telemetry.WithTargets(ts...))
+	}
+	c := telemetry.New(opts...)
+
+	if *once {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		healthy := c.ScrapeOnce(ctx)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Healthy int                `json:"healthy"`
+			Members []telemetry.Member `json:"members"`
+		}{healthy, c.Members()}); err != nil {
+			return err
+		}
+		if healthy == 0 {
+			return errors.New("no target answered")
+		}
+		return nil
+	}
+
+	if *debugAddr != "" {
+		dbg, err := obsv.ListenAndServeDebug(*debugAddr, obsv.Default())
+		if err != nil {
+			return err
+		}
+		logger.Info("debug endpoints up", "component", "omcollect", "addr", dbg.String())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	c.Start()
+	defer c.Stop()
+	logger.Info("fleet telemetry up", "component", "omcollect",
+		"url", "http://"+ln.Addr().String()+"/fleet",
+		"registry", *registry, "targets", *targets, "interval", interval.String())
+
+	mux := http.NewServeMux()
+	mux.Handle("/fleet", telemetry.Handler(c))
+	mux.Handle("/fleet/", telemetry.Handler(c))
+	srv := &http.Server{Handler: mux}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		logger.Info("shutting down", "component", "omcollect")
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	}()
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// parseTargets parses the -targets list: "host:port" entries, optionally
+// named as "name=host:port".
+func parseTargets(s string) ([]telemetry.Target, error) {
+	var out []telemetry.Target
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		t := telemetry.Target{Addr: part}
+		if name, addr, ok := strings.Cut(part, "="); ok {
+			if name == "" || addr == "" {
+				return nil, fmt.Errorf("bad target %q (want name=host:port)", part)
+			}
+			t = telemetry.Target{Name: name, Addr: addr}
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-targets is empty")
+	}
+	return out, nil
+}

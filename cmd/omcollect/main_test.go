@@ -1,0 +1,57 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"openmeta/internal/telemetry"
+)
+
+func TestParseTargets(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want []telemetry.Target
+		err  bool
+	}{
+		{
+			name: "bare addresses",
+			in:   "127.0.0.1:8781,127.0.0.1:8782",
+			want: []telemetry.Target{{Addr: "127.0.0.1:8781"}, {Addr: "127.0.0.1:8782"}},
+		},
+		{
+			name: "named, with spaces and empties",
+			in:   " broker=127.0.0.1:8781 ,, pub=127.0.0.1:8782 ",
+			want: []telemetry.Target{
+				{Name: "broker", Addr: "127.0.0.1:8781"},
+				{Name: "pub", Addr: "127.0.0.1:8782"},
+			},
+		},
+		{name: "empty list", in: " , ", err: true},
+		{name: "missing address", in: "broker=", err: true},
+		{name: "missing name", in: "=127.0.0.1:8781", err: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseTargets(tc.in)
+			if tc.err {
+				if err == nil {
+					t.Fatalf("parseTargets(%q) = %v, want error", tc.in, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("parseTargets(%q)\n got %v\nwant %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRunRequiresAScrapeSource(t *testing.T) {
+	if err := run([]string{"-once"}); err == nil {
+		t.Error("run with neither -targets nor -registry succeeded")
+	}
+}

@@ -12,7 +12,13 @@
 //
 // With -reconnect the publisher survives broker restarts: it redials with
 // backoff, re-announces its streams and re-sends format metadata before
-// continuing.
+// continuing. Demo publishing is paced with -pace (delay between events),
+// useful for feeding a live fleet at a steady rate.
+//
+// With -debug-addr the publisher serves its own /stats, /debug/trace and
+// /debug/flight, and -register <metaserver-url> announces that listener to
+// the fleet registry so cmd/omcollect scrapes it (name via -instance,
+// default ompub-<host>-<pid>).
 package main
 
 import (
@@ -21,9 +27,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"openmeta/internal/airline"
 	"openmeta/internal/core"
+	"openmeta/internal/discovery"
 	"openmeta/internal/eventbus"
 	"openmeta/internal/machine"
 	"openmeta/internal/obsv"
@@ -48,8 +56,11 @@ func run(args []string) error {
 	typeName := fs.String("type", "", "complexType name within the schema (default: last)")
 	demo := fs.String("demo", "", "publish synthetic events: flights | weather | mining")
 	n := fs.Int("n", 10, "number of demo events")
+	pace := fs.Duration("pace", 0, "delay between demo events (0 = publish as fast as possible)")
 	seed := fs.Int64("seed", 1, "demo generator seed")
 	debugAddr := fs.String("debug-addr", "", "serve /stats, /debug/vars and /debug/pprof on this address")
+	register := fs.String("register", "", "metaserver base URL to self-register the debug endpoint with (fleet discovery for omcollect; needs -debug-addr)")
+	instanceName := fs.String("instance", "", "fleet instance name for -register (default ompub-<host>-<pid>)")
 	reconnect := fs.Bool("reconnect", false, "redial the broker with backoff when the connection breaks")
 	dialTimeout := fs.Duration("dial-timeout", 0, "per-attempt broker dial timeout (0 = default 10s)")
 	traceSample := fs.Int("trace-sample", 0, "record spans for 1 in N published records (1 = all, 0 = tracing off)")
@@ -59,11 +70,27 @@ func run(args []string) error {
 	trace.Default().SetSampling(*traceSample)
 	if *debugAddr != "" {
 		dbg, err := obsv.ListenAndServeDebug(*debugAddr, obsv.Default(),
-			obsv.DebugEndpoint{Path: "/debug/trace", Handler: trace.Handler(trace.Default())})
+			obsv.DebugEndpoint{Path: "/debug/trace", Handler: trace.Handler(trace.Default()),
+				Desc: "recent trace spans, oldest first (?since= unix-ns scrape cursor, ?format=chrome)"})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "ompub: stats and pprof at http://%s/stats\n", dbg)
+		if *register != "" {
+			name := *instanceName
+			if name == "" {
+				name = discovery.DefaultInstanceName("ompub")
+			}
+			stopAnnounce, err := discovery.AnnounceInstance(*register, discovery.Instance{
+				Name: name, Component: "ompub", DebugAddr: dbg.String(),
+			}, 0)
+			if err != nil {
+				return fmt.Errorf("self-register with %s: %w", *register, err)
+			}
+			defer stopAnnounce()
+		}
+	} else if *register != "" {
+		return errors.New("-register needs -debug-addr (nothing to scrape otherwise)")
 	}
 
 	pctx, err := pbio.NewContext(machine.Native)
@@ -84,7 +111,7 @@ func run(args []string) error {
 	defer pub.Close()
 
 	if *demo != "" {
-		return runDemo(pctx, pub, *demo, *stream, *n, *seed)
+		return runDemo(pctx, pub, *demo, *stream, *n, *seed, *pace)
 	}
 	if *stream == "" || *schemaFile == "" {
 		return errors.New("-stream and -schema are required (or -demo)")
@@ -125,7 +152,7 @@ func run(args []string) error {
 	return nil
 }
 
-func runDemo(pctx *pbio.Context, pub *eventbus.Publisher, demo, stream string, n int, seed int64) error {
+func runDemo(pctx *pbio.Context, pub *eventbus.Publisher, demo, stream string, n int, seed int64, pace time.Duration) error {
 	var (
 		doc      string
 		typeName string
@@ -167,6 +194,9 @@ func runDemo(pctx *pbio.Context, pub *eventbus.Publisher, demo, stream string, n
 	for i := 0; i < n; i++ {
 		if err := pub.PublishRecord(stream, format, next()); err != nil {
 			return err
+		}
+		if pace > 0 && i < n-1 {
+			time.Sleep(pace)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "ompub: published %d %s events on %s\n", n, demo, stream)

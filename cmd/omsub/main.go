@@ -12,6 +12,11 @@
 //
 // With -reconnect the subscriber survives broker restarts: it redials with
 // backoff and replays every subscription, field scopes intact.
+//
+// With -debug-addr the subscriber serves its own /stats, /debug/trace and
+// /debug/flight, and -register <metaserver-url> announces that listener to
+// the fleet registry so cmd/omcollect scrapes it (name via -instance,
+// default omsub-<host>-<pid>).
 package main
 
 import (
@@ -21,8 +26,10 @@ import (
 	"os"
 	"strings"
 
+	"openmeta/internal/discovery"
 	"openmeta/internal/eventbus"
 	"openmeta/internal/machine"
+	"openmeta/internal/obsv"
 	"openmeta/internal/pbio"
 	"openmeta/internal/retry"
 	"openmeta/internal/trace"
@@ -46,10 +53,37 @@ func run(args []string) error {
 	count := fs.Int("n", 0, "exit after n records (0 = run until killed)")
 	reconnect := fs.Bool("reconnect", false, "redial the broker with backoff when the connection breaks, replaying subscriptions")
 	traceSample := fs.Int("trace-sample", 0, "record spans for 1 in N traced records received (1 = all, 0 = tracing off)")
+	debugAddr := fs.String("debug-addr", "", "serve /stats, /debug/trace, /debug/flight and /debug/pprof on this address")
+	register := fs.String("register", "", "metaserver base URL to self-register the debug endpoint with (fleet discovery for omcollect; needs -debug-addr)")
+	instanceName := fs.String("instance", "", "fleet instance name for -register (default omsub-<host>-<pid>)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	trace.Default().SetSampling(*traceSample)
+	if *debugAddr != "" {
+		dbg, err := obsv.ListenAndServeDebug(*debugAddr, obsv.Default(),
+			obsv.DebugEndpoint{Path: "/debug/trace", Handler: trace.Handler(trace.Default()),
+				Desc: "recent trace spans, oldest first (?since= unix-ns scrape cursor, ?format=chrome)"})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "omsub: stats and pprof at http://%s/stats\n", dbg)
+		if *register != "" {
+			name := *instanceName
+			if name == "" {
+				name = discovery.DefaultInstanceName("omsub")
+			}
+			stopAnnounce, err := discovery.AnnounceInstance(*register, discovery.Instance{
+				Name: name, Component: "omsub", DebugAddr: dbg.String(),
+			}, 0)
+			if err != nil {
+				return fmt.Errorf("self-register with %s: %w", *register, err)
+			}
+			defer stopAnnounce()
+		}
+	} else if *register != "" {
+		return errors.New("-register needs -debug-addr (nothing to scrape otherwise)")
+	}
 	ctx, err := pbio.NewContext(machine.Native)
 	if err != nil {
 		return err

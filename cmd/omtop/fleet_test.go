@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseAddrList(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want []addrTarget
+		err  bool
+	}{
+		{
+			name: "single bare host:port",
+			in:   "127.0.0.1:8781",
+			want: []addrTarget{{name: "127.0.0.1:8781", base: "http://127.0.0.1:8781"}},
+		},
+		{
+			name: "single omcollect fleet URL",
+			in:   "http://127.0.0.1:8790/fleet",
+			want: []addrTarget{{name: "127.0.0.1:8790/fleet", base: "http://127.0.0.1:8790/fleet"}},
+		},
+		{
+			name: "named list",
+			in:   "pub=127.0.0.1:8781,broker=127.0.0.1:8782",
+			want: []addrTarget{
+				{name: "pub", base: "http://127.0.0.1:8781"},
+				{name: "broker", base: "http://127.0.0.1:8782"},
+			},
+		},
+		{
+			name: "mixed named and bare with spaces",
+			in:   " pub=127.0.0.1:8781 , 127.0.0.1:8782 ",
+			want: []addrTarget{
+				{name: "pub", base: "http://127.0.0.1:8781"},
+				{name: "127.0.0.1:8782", base: "http://127.0.0.1:8782"},
+			},
+		},
+		{name: "empty", in: " , ", err: true},
+		{name: "bad named entry", in: "pub=", err: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := parseAddrList(tc.in)
+			if tc.err {
+				if err == nil {
+					t.Fatalf("parseAddrList(%q) = %v, want error", tc.in, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("parseAddrList(%q)\n got %v\nwant %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestStripInstance(t *testing.T) {
+	cases := []struct {
+		key, row, instance string
+	}{
+		{`eventbus.published{instance="pub"}`, "eventbus.published", "pub"},
+		{`pbio.encode_ns{instance="broker"}.count`, "pbio.encode_ns.count", "broker"},
+		{`eventbus.wire.records{format="F",instance="pub"}`, `eventbus.wire.records{format="F"}`, "pub"},
+		{`eventbus.wire.records{instance="pub",stream="s"}`, `eventbus.wire.records{stream="s"}`, "pub"},
+		{"plain.counter", "plain.counter", ""},
+		{`labeled{stream="s"}`, `labeled{stream="s"}`, ""},
+	}
+	for _, tc := range cases {
+		row, inst := stripInstance(tc.key)
+		if row != tc.row || inst != tc.instance {
+			t.Errorf("stripInstance(%q) = (%q, %q), want (%q, %q)", tc.key, row, inst, tc.row, tc.instance)
+		}
+	}
+}
+
+func TestRenderFleetColumns(t *testing.T) {
+	cur := map[string]int64{
+		`eventbus.published{instance="pub"}`:    120,
+		`eventbus.published{instance="broker"}`: 115,
+		`eventbus.delivered{instance="sub"}`:    110,
+		`fleet.instance.up{instance="pub"}`:     1,
+		`fleet.instance.up{instance="broker"}`:  1,
+		`fleet.instance.up{instance="sub"}`:     0,
+	}
+	for k, v := range map[string]int64{
+		".count": 120, ".sum": 1200, ".max": 901, ".p50": 1, ".p95": 2, ".p99": 900,
+	} {
+		cur[`pbio.encode_ns{instance="pub"}`+k] = v
+	}
+	prev := map[string]int64{
+		`eventbus.published{instance="pub"}`:    100,
+		`eventbus.published{instance="broker"}`: 125, // moved backwards: restart
+	}
+
+	cases := []struct {
+		name    string
+		prev    map[string]int64
+		want    []string
+		notWant []string
+	}{
+		{
+			name: "once shows absolute values per instance column",
+			prev: nil,
+			want: []string{
+				"broker", "pub", "sub", // all three instance columns
+				"eventbus.published", "eventbus.delivered",
+				"120", "115", "110",
+				"histogram (count, p99)",
+				"120, 900", // pub's histogram cell
+				"-",        // instances without the metric
+			},
+			notWant: []string{"/s"},
+		},
+		{
+			name: "rates once two snapshots exist, reset on backwards counter",
+			prev: prev,
+			want: []string{
+				"120 10.0/s", // pub: (120-100)/2s
+				"115 reset",  // broker restarted
+				"histogram (events/s, p99)",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := renderFleet("test", tc.prev, cur, nil, 2*time.Second)
+			for _, w := range tc.want {
+				if !strings.Contains(out, w) {
+					t.Errorf("output missing %q:\n%s", w, out)
+				}
+			}
+			for _, nw := range tc.notWant {
+				if strings.Contains(out, nw) {
+					t.Errorf("output unexpectedly contains %q:\n%s", nw, out)
+				}
+			}
+		})
+	}
+}
+
+func TestRenderFleetHistogramChildrenCollapsed(t *testing.T) {
+	cur := map[string]int64{}
+	for k, v := range map[string]int64{
+		".count": 5, ".sum": 50, ".max": 9, ".p50": 1, ".p95": 2, ".p99": 3,
+	} {
+		cur[`h{instance="a"}`+k] = v
+	}
+	// Partial family on a second instance must not resurrect scalar rows.
+	cur[`h{instance="b"}.count`] = 2
+	out := renderFleet("test", nil, cur, nil, 0)
+	if strings.Contains(out, "h.count") || strings.Contains(out, "h.p50") {
+		t.Errorf("histogram children leaked into scalar rows:\n%s", out)
+	}
+	if !strings.Contains(out, "5, 3") {
+		t.Errorf("collapsed histogram cell missing:\n%s", out)
+	}
+}
+
+func TestFetchFleetMergesAndFlagsDeadTargets(t *testing.T) {
+	alive := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		json.NewEncoder(w).Encode(map[string]int64{"eventbus.published": 7})
+	}))
+	defer alive.Close()
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close() // already dead
+
+	snap, err := fetchFleet([]addrTarget{
+		{name: "pub", base: alive.URL},
+		{name: "broker", base: dead.URL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap[`eventbus.published{instance="pub"}`]; got != 7 {
+		t.Errorf("merged counter = %d, want 7", got)
+	}
+	if got := snap[`fleet.instance.up{instance="pub"}`]; got != 1 {
+		t.Errorf("up{pub} = %d, want 1", got)
+	}
+	if got := snap[`fleet.instance.up{instance="broker"}`]; got != 0 {
+		t.Errorf("up{broker} = %d, want 0", got)
+	}
+
+	// Every target dead is an error — there is nothing left to render.
+	if _, err := fetchFleet([]addrTarget{{name: "broker", base: dead.URL}}); err == nil {
+		t.Error("fetchFleet with all targets dead returned no error")
+	}
+}
+
+func TestRunFleetOnceEndToEnd(t *testing.T) {
+	stats := func(m map[string]int64) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/stats" {
+				http.NotFound(w, r)
+				return
+			}
+			json.NewEncoder(w).Encode(m)
+		}))
+	}
+	pub := stats(map[string]int64{"eventbus.published": 42})
+	defer pub.Close()
+	broker := stats(map[string]int64{"eventbus.routed": 41})
+	defer broker.Close()
+
+	var out bytes.Buffer
+	err := run([]string{"-once", "-addr",
+		"pub=" + strings.TrimPrefix(pub.URL, "http://") + ",broker=" + strings.TrimPrefix(broker.URL, "http://")},
+		&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"omtop fleet", "pub", "broker", "eventbus.published", "42", "eventbus.routed", "41"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("fleet -once output missing %q:\n%s", want, out.String())
+		}
+	}
+}

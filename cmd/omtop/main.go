@@ -24,10 +24,23 @@
 // (pbio.format.* and eventbus.wire.*), with encode/decode rates, bus
 // record/byte rates, metadata bytes and the live NDR-to-XML-text expansion
 // ratio.
+//
+// omtop also watches a whole fleet. -addr accepts a comma-separated list of
+// debug addresses (optionally named, name=host:port), polled and merged
+// client-side, or a single omcollect /fleet URL, in which case the collector
+// does the merging. Either way the default view pivots to one column per
+// instance:
+//
+//	omtop -addr pub=127.0.0.1:8781,broker=127.0.0.1:8782
+//	omtop -addr http://127.0.0.1:8790/fleet
+//
+// Instances that stop answering keep their column (values freeze, the
+// fleet.instance.up row drops to 0) instead of disappearing mid-watch.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +49,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"openmeta/internal/obsv"
 )
 
 func main() {
@@ -56,19 +71,36 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	targets, err := parseAddrList(*addr)
+	if err != nil {
+		return err
+	}
+	fleet := len(targets) > 1 || strings.Contains(targets[0].base, "/fleet")
+
 	view := render
 	if *formats {
 		view = renderFormats
+	} else if fleet {
+		view = renderFleet
 	}
-	base := *addr
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+	var url, histURL string
+	fetch := fetchStats
+	switch {
+	case !fleet:
+		url = targets[0].base + "/stats"
+		histURL = targets[0].base + "/debug/history"
+	case len(targets) == 1:
+		// One omcollect URL: the collector already merged and labeled.
+		url = targets[0].base + "/stats"
+		histURL = targets[0].base + "/history"
+	default:
+		// Several daemons: poll each and merge client-side, exactly the way
+		// omcollect labels its /fleet/stats. url is only a display name.
+		url = *addr
+		fetch = func(string) (map[string]int64, error) { return fetchFleet(targets) }
 	}
-	base = strings.TrimRight(base, "/")
-	url := base + "/stats"
-	histURL := base + "/debug/history"
 
-	prev, err := fetchStats(url)
+	prev, err := fetch(url)
 	if err != nil {
 		return err
 	}
@@ -78,7 +110,7 @@ func run(args []string, out io.Writer) error {
 	}
 	for i := 0; *n == 0 || i < *n; i++ {
 		time.Sleep(*interval)
-		cur, err := fetchStats(url)
+		cur, err := fetch(url)
 		if err != nil {
 			return err
 		}
@@ -419,4 +451,234 @@ func perSecond(delta int64, elapsed time.Duration) float64 {
 		return 0
 	}
 	return float64(delta) / elapsed.Seconds()
+}
+
+// addrTarget is one entry of the -addr list: a display name and the
+// normalized http base URL of a debug listener (or omcollect /fleet root).
+type addrTarget struct {
+	name string
+	base string
+}
+
+// parseAddrList splits the -addr flag: one or more comma-separated entries,
+// each "host:port", "http://host:port[/fleet]" or "name=host:port".
+func parseAddrList(s string) ([]addrTarget, error) {
+	var out []addrTarget
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		t := addrTarget{base: part}
+		if name, addr, ok := strings.Cut(part, "="); ok && !strings.Contains(name, "/") {
+			if name == "" || addr == "" {
+				return nil, fmt.Errorf("bad -addr entry %q (want name=host:port)", part)
+			}
+			t = addrTarget{name: name, base: addr}
+		}
+		if !strings.Contains(t.base, "://") {
+			t.base = "http://" + t.base
+		}
+		t.base = strings.TrimRight(t.base, "/")
+		if t.name == "" {
+			t.name = strings.TrimPrefix(strings.TrimPrefix(t.base, "http://"), "https://")
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-addr is empty")
+	}
+	return out, nil
+}
+
+// fetchFleet polls every target's /stats and merges the snapshots under
+// instance labels, mirroring omcollect's /fleet/stats shape: the same
+// renderer handles both. A target that fails to answer contributes only
+// fleet.instance.up = 0, keeping its column alive; only all targets failing
+// is an error.
+func fetchFleet(targets []addrTarget) (map[string]int64, error) {
+	merged := make(map[string]int64)
+	healthy := 0
+	var lastErr error
+	for _, t := range targets {
+		snap, err := fetchStats(t.base + "/stats")
+		up := int64(0)
+		if err == nil {
+			obsv.MergeLabeled(merged, snap, "instance", t.name)
+			up = 1
+			healthy++
+		} else {
+			lastErr = err
+		}
+		merged[obsv.AddLabel("fleet.instance.up", "", "instance", t.name)] = up
+	}
+	if healthy == 0 {
+		return nil, fmt.Errorf("no fleet target answered: %w", lastErr)
+	}
+	return merged, nil
+}
+
+// stripInstance removes the instance label from a merged snapshot key,
+// returning the de-labeled row key and the instance value ("" when the key
+// carries no instance label). Histogram children keep their terminal suffix:
+// `h{instance="x"}.count` becomes row `h.count` of instance x.
+func stripInstance(key string) (row, instance string) {
+	i := strings.IndexByte(key, '{')
+	j := strings.IndexByte(key, '}')
+	if i < 0 || j < i {
+		return key, ""
+	}
+	var rest []string
+	for _, pair := range strings.Split(key[i+1:j], ",") {
+		if v, ok := strings.CutPrefix(pair, `instance="`); ok && strings.HasSuffix(v, `"`) {
+			instance = strings.TrimSuffix(v, `"`)
+			continue
+		}
+		rest = append(rest, pair)
+	}
+	row = key[:i]
+	if len(rest) > 0 {
+		row += "{" + strings.Join(rest, ",") + "}"
+	}
+	return row + key[j+1:], instance
+}
+
+// fleetCol is the width of one instance column in the fleet view.
+const fleetCol = 22
+
+// renderFleet formats one refresh of an instance-labeled merged snapshot
+// (omcollect's /fleet/stats, or fetchFleet's client-side merge) as one
+// column per instance. Scalar rows show the current value, plus its
+// per-second rate once two snapshots exist; histogram families collapse to
+// one row per base name showing events/s (or total count with -once) and
+// p99. Cells for metrics an instance never reported show "-". The history
+// parameter is unused — sparklines only appear in the single-daemon view.
+func renderFleet(source string, prev, cur map[string]int64, _ history, elapsed time.Duration) string {
+	type perInst map[string]map[string]int64 // instance → row → value
+	split := func(snap map[string]int64) perInst {
+		out := perInst{}
+		for k, v := range snap {
+			row, inst := stripInstance(k)
+			if out[inst] == nil {
+				out[inst] = map[string]int64{}
+			}
+			out[inst][row] = v
+		}
+		return out
+	}
+	curBy := split(cur)
+	var prevBy perInst
+	if prev != nil {
+		prevBy = split(prev)
+	}
+
+	instances := make([]string, 0, len(curBy))
+	for inst := range curBy {
+		instances = append(instances, inst)
+	}
+	sort.Strings(instances)
+
+	// Row set: union across instances, histogram families collapsed.
+	rowSet := map[string]bool{}
+	famSet := map[string]bool{}
+	for _, rows := range curBy {
+		for row := range rows {
+			if base, ok := histBase(row, rows); ok {
+				famSet[base] = true
+				continue
+			}
+			rowSet[row] = true
+		}
+	}
+	// A family complete on one instance may be partial on another; keep its
+	// children out of the scalar rows either way.
+	isChild := func(row string) bool {
+		for _, s := range histSuffixes {
+			if famSet[strings.TrimSuffix(row, s)] && strings.HasSuffix(row, s) {
+				return true
+			}
+		}
+		return false
+	}
+	scalars := make([]string, 0, len(rowSet))
+	for r := range rowSet {
+		if !isChild(r) {
+			scalars = append(scalars, r)
+		}
+	}
+	sort.Strings(scalars)
+	families := make([]string, 0, len(famSet))
+	for f := range famSet {
+		families = append(families, f)
+	}
+	sort.Strings(families)
+
+	col := func(s string) string {
+		if len(s) > fleetCol {
+			s = s[:fleetCol]
+		}
+		return fmt.Sprintf("%*s", fleetCol, s)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "omtop fleet  %s  %s\n\n", source, time.Now().Format("15:04:05"))
+	b.WriteString(fmt.Sprintf("%-40s", "metric"))
+	for _, inst := range instances {
+		name := inst
+		if name == "" {
+			name = "(unlabeled)"
+		}
+		b.WriteString(col(name))
+	}
+	b.WriteString("\n")
+	for _, row := range scalars {
+		fmt.Fprintf(&b, "%-40s", row)
+		for _, inst := range instances {
+			v, ok := curBy[inst][row]
+			if !ok {
+				b.WriteString(col("-"))
+				continue
+			}
+			cell := fmt.Sprintf("%d", v)
+			if prevBy != nil {
+				if pv, had := prevBy[inst][row]; had {
+					cell += " " + strings.TrimSpace(rateCell(v, pv, elapsed))
+				}
+			}
+			b.WriteString(col(cell))
+		}
+		b.WriteString("\n")
+	}
+	if len(families) > 0 {
+		header := "histogram (events/s, p99)"
+		if prevBy == nil {
+			header = "histogram (count, p99)" // -once shows totals, not rates
+		}
+		fmt.Fprintf(&b, "\n%-40s", header)
+		for _, inst := range instances {
+			name := inst
+			if name == "" {
+				name = "(unlabeled)"
+			}
+			b.WriteString(col(name))
+		}
+		b.WriteString("\n")
+		for _, base := range families {
+			fmt.Fprintf(&b, "%-40s", base)
+			for _, inst := range instances {
+				rows := curBy[inst]
+				if _, ok := rows[base+".count"]; !ok {
+					b.WriteString(col("-"))
+					continue
+				}
+				count := fmt.Sprintf("%d", rows[base+".count"])
+				if prevBy != nil {
+					count = strings.TrimSpace(strings.TrimSuffix(
+						rateCell(rows[base+".count"], prevBy[inst][base+".count"], elapsed), "/s"))
+				}
+				b.WriteString(col(fmt.Sprintf("%s, %d", count, rows[base+".p99"])))
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
 }

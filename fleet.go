@@ -1,0 +1,90 @@
+package openmeta
+
+import (
+	"net/http"
+	"time"
+
+	"openmeta/internal/discovery"
+	"openmeta/internal/obsv"
+	"openmeta/internal/telemetry"
+	"openmeta/internal/trace"
+)
+
+// Fleet telemetry: the observability stack scaled from one process to a
+// deployment. Daemons announce their debug endpoints to the metaserver's
+// instance registry (the same rendezvous that serves format metadata), a
+// FleetCollector scrapes every member incrementally, and the merged view —
+// instance-labeled stats, an interleaved flight stream, cross-process trace
+// assembly with clock-skew estimation — is served under /fleet/* (see
+// cmd/omcollect).
+
+// FleetCollector discovers fleet members, scrapes their /stats,
+// /debug/trace, /debug/flight and /debug/history endpoints on an interval
+// with incremental cursors, and holds the merged state behind FleetHandler.
+type FleetCollector = telemetry.Collector
+
+// FleetTarget names one static scrape endpoint (a process's -debug-addr).
+type FleetTarget = telemetry.Target
+
+// FleetMember is one scrape target with its health: stale flag, consecutive
+// failures, last error, and the observed clock offset versus the collector.
+type FleetMember = telemetry.Member
+
+// FleetOption configures NewFleetCollector.
+type FleetOption = telemetry.Option
+
+// NewFleetCollector builds a collector over static targets and/or a
+// metaserver registry. Call Start for interval scraping or ScrapeOnce to
+// drive rounds manually.
+func NewFleetCollector(opts ...FleetOption) *FleetCollector { return telemetry.New(opts...) }
+
+// WithFleetTargets adds static scrape targets.
+func WithFleetTargets(ts ...FleetTarget) FleetOption { return telemetry.WithTargets(ts...) }
+
+// WithFleetRegistry points the collector at a metaserver base URL whose
+// /instances/ listing is re-read every scrape round.
+func WithFleetRegistry(baseURL string) FleetOption { return telemetry.WithRegistry(baseURL) }
+
+// WithFleetInterval sets the scrape cadence (default 2s).
+func WithFleetInterval(d time.Duration) FleetOption { return telemetry.WithInterval(d) }
+
+// WithFleetObserver registers the collector's own telemetry.* metrics on an
+// observer registry.
+func WithFleetObserver(reg *obsv.Registry) FleetOption { return telemetry.WithObserver(reg) }
+
+// FleetHandler serves a collector's merged view — /fleet/members,
+// /fleet/stats, /fleet/flight, /fleet/history, /fleet/trace and
+// /fleet/trace/<id>. Mount it at /fleet/.
+func FleetHandler(c *FleetCollector) http.Handler { return telemetry.Handler(c) }
+
+// TaggedSpan is a completed span attributed to the fleet instance whose
+// trace ring it was scraped from.
+type TaggedSpan = trace.TaggedSpan
+
+// TraceAssembly is one TraceID's spans from every scraped process stitched
+// into parent-linked trees, with orphan promotion and per-instance
+// clock-skew estimates.
+type TraceAssembly = trace.Assembly
+
+// AssembleTrace stitches the spans of one trace (scraped from any number of
+// processes, duplicates welcome) into a TraceAssembly.
+func AssembleTrace(id TraceID, spans []TaggedSpan) *TraceAssembly {
+	return trace.Assemble(id, spans)
+}
+
+// FleetInstance is one self-registered fleet member in the metaserver's
+// instance registry.
+type FleetInstance = discovery.Instance
+
+// AnnounceFleetInstance registers inst with the metaserver at baseURL and
+// heartbeats until the returned stop function is called (which also
+// deregisters). interval <= 0 heartbeats at a third of the registry TTL.
+func AnnounceFleetInstance(baseURL string, inst FleetInstance, interval time.Duration) (stop func(), err error) {
+	return discovery.AnnounceInstance(baseURL, inst, interval)
+}
+
+// DefaultFleetInstanceName builds the conventional registration name for
+// this process: component-hostname-pid.
+func DefaultFleetInstanceName(component string) string {
+	return discovery.DefaultInstanceName(component)
+}

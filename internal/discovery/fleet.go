@@ -1,0 +1,259 @@
+package discovery
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file extends the metadata-discovery layer from schemas to *fleet
+// membership*: the paper's "publicly known intranet server" (§4.4) is already
+// the rendezvous every process knows, so daemons self-register their debug
+// endpoint under a well-known subject here and a collector (cmd/omcollect)
+// discovers what to scrape the same way clients discover formats — over HTTP
+// against the metaserver, with TTL expiry standing in for liveness.
+
+// InstancePathPrefix is the URL prefix under which fleet members register and
+// are listed on the metaserver.
+const InstancePathPrefix = "/instances/"
+
+// DefaultInstanceTTL is how long a registration stays listed without a
+// refresh. Heartbeats at a third of this keep live members listed through
+// two missed beats.
+const DefaultInstanceTTL = 30 * time.Second
+
+// Instance is one self-registered fleet member: a process serving the
+// observability surface (/stats, /debug/trace, /debug/flight, /debug/history)
+// on DebugAddr.
+type Instance struct {
+	Name      string    `json:"name"`                // unique instance name, e.g. "eventbusd-host-1234"
+	Component string    `json:"component,omitempty"` // binary: eventbusd, ompub, omsub, metaserver
+	DebugAddr string    `json:"debug_addr"`          // host:port of the -debug-addr listener
+	LastSeen  time.Time `json:"last_seen,omitempty"` // server-stamped on each (re-)registration
+}
+
+// InstanceRegistry is the server-side store of registered fleet members,
+// TTL-expired so crashed processes fall out of the list without explicit
+// deregistration. Safe for concurrent use.
+type InstanceRegistry struct {
+	mu  sync.Mutex
+	m   map[string]Instance
+	ttl time.Duration
+	now func() time.Time // test hook
+}
+
+// NewInstanceRegistry returns an empty registry expiring entries after ttl
+// (ttl <= 0 uses DefaultInstanceTTL).
+func NewInstanceRegistry(ttl time.Duration) *InstanceRegistry {
+	if ttl <= 0 {
+		ttl = DefaultInstanceTTL
+	}
+	return &InstanceRegistry{m: make(map[string]Instance), ttl: ttl, now: time.Now}
+}
+
+// Register adds or refreshes one member, stamping LastSeen.
+func (r *InstanceRegistry) Register(inst Instance) error {
+	if inst.Name == "" {
+		return fmt.Errorf("discovery: instance name required")
+	}
+	if inst.DebugAddr == "" {
+		return fmt.Errorf("discovery: instance %q: debug_addr required", inst.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	inst.LastSeen = r.now()
+	r.m[inst.Name] = inst
+	return nil
+}
+
+// Deregister removes a member by name.
+func (r *InstanceRegistry) Deregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.m, name)
+}
+
+// List returns the live (unexpired) members sorted by name, pruning expired
+// entries as a side effect.
+func (r *InstanceRegistry) List() []Instance {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cut := r.now().Add(-r.ttl)
+	out := make([]Instance, 0, len(r.m))
+	for name, inst := range r.m {
+		if inst.LastSeen.Before(cut) {
+			delete(r.m, name)
+			continue
+		}
+		out = append(out, inst)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Handler serves the registry over HTTP:
+//
+//	GET    /instances/          {"instances":[...]} live members, sorted
+//	PUT    /instances/<name>    register/refresh; body {"component","debug_addr"}
+//	DELETE /instances/<name>    deregister
+func (r *InstanceRegistry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		name := strings.TrimPrefix(req.URL.Path, InstancePathPrefix)
+		switch req.Method {
+		case http.MethodGet, http.MethodHead:
+			if name != "" {
+				http.NotFound(w, req)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(struct {
+				Instances []Instance `json:"instances"`
+			}{Instances: r.List()})
+		case http.MethodPut:
+			if name == "" {
+				http.Error(w, "instance name required", http.StatusBadRequest)
+				return
+			}
+			var inst Instance
+			if err := json.NewDecoder(req.Body).Decode(&inst); err != nil {
+				http.Error(w, "bad registration body: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			inst.Name = name
+			if err := r.Register(inst); err != nil {
+				http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		case http.MethodDelete:
+			if name == "" {
+				http.Error(w, "instance name required", http.StatusBadRequest)
+				return
+			}
+			r.Deregister(name)
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			w.Header().Set("Allow", "GET, HEAD, PUT, DELETE")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// RegisterInstance registers inst against the metaserver at baseURL
+// ("http://host:port", scheme optional) once.
+func RegisterInstance(ctx context.Context, baseURL string, inst Instance) error {
+	body, err := json.Marshal(inst)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		instanceURL(baseURL, inst.Name), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("discovery: register %q: %w", inst.Name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("discovery: register %q: %s", inst.Name, resp.Status)
+	}
+	return nil
+}
+
+// AnnounceInstance registers inst immediately and keeps re-registering every
+// interval (interval <= 0 uses a third of DefaultInstanceTTL) until the
+// returned stop function is called, which also best-effort deregisters. The
+// first registration's error is returned; later heartbeat failures are
+// retried on the next beat — the TTL covers the gap.
+func AnnounceInstance(baseURL string, inst Instance, interval time.Duration) (stop func(), err error) {
+	if interval <= 0 {
+		interval = DefaultInstanceTTL / 3
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := RegisterInstance(ctx, baseURL, inst); err != nil {
+		cancel()
+		return nil, err
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				_ = RegisterInstance(ctx, baseURL, inst)
+			}
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+		dctx, dcancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer dcancel()
+		req, err := http.NewRequestWithContext(dctx, http.MethodDelete,
+			instanceURL(baseURL, inst.Name), nil)
+		if err == nil {
+			if resp, err := http.DefaultClient.Do(req); err == nil {
+				resp.Body.Close()
+			}
+		}
+	}, nil
+}
+
+// ListInstances fetches the live fleet members from the metaserver at
+// baseURL.
+func ListInstances(ctx context.Context, baseURL string) ([]Instance, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		instanceURL(baseURL, ""), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("discovery: list instances: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("discovery: list instances: %s", resp.Status)
+	}
+	var body struct {
+		Instances []Instance `json:"instances"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("discovery: list instances: %w", err)
+	}
+	return body.Instances, nil
+}
+
+// DefaultInstanceName builds the conventional instance name daemons register
+// under when -instance is not given: component-hostname-pid, unique per
+// process and stable for its lifetime.
+func DefaultInstanceName(component string) string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "localhost"
+	}
+	return fmt.Sprintf("%s-%s-%d", component, host, os.Getpid())
+}
+
+func instanceURL(baseURL, name string) string {
+	if !strings.Contains(baseURL, "://") {
+		baseURL = "http://" + baseURL
+	}
+	return strings.TrimRight(baseURL, "/") + InstancePathPrefix + name
+}

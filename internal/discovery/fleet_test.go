@@ -1,0 +1,120 @@
+package discovery
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestInstanceRegistryTTL(t *testing.T) {
+	now := time.Unix(1000, 0)
+	reg := NewInstanceRegistry(30 * time.Second)
+	reg.now = func() time.Time { return now }
+
+	if err := reg.Register(Instance{Name: "a", DebugAddr: "127.0.0.1:1", Component: "eventbusd"}); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(20 * time.Second)
+	if err := reg.Register(Instance{Name: "b", DebugAddr: "127.0.0.1:2"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.List(); len(got) != 2 {
+		t.Fatalf("both live: got %v", got)
+	}
+	// 15s later, a (35s old) has expired, b (15s old) has not.
+	now = now.Add(15 * time.Second)
+	got := reg.List()
+	if len(got) != 1 || got[0].Name != "b" {
+		t.Fatalf("after TTL: got %v, want only b", got)
+	}
+	// a re-registering resurrects it.
+	if err := reg.Register(Instance{Name: "a", DebugAddr: "127.0.0.1:1"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.List(); len(got) != 2 {
+		t.Fatalf("after refresh: got %v", got)
+	}
+
+	if err := reg.Register(Instance{Name: "", DebugAddr: "x"}); err == nil {
+		t.Fatal("nameless registration must fail")
+	}
+	if err := reg.Register(Instance{Name: "x"}); err == nil {
+		t.Fatal("addrless registration must fail")
+	}
+}
+
+func TestInstanceRegistryHTTPRoundTrip(t *testing.T) {
+	reg := NewInstanceRegistry(0)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	ctx := context.Background()
+
+	if err := RegisterInstance(ctx, srv.URL, Instance{
+		Name: "broker-1", Component: "eventbusd", DebugAddr: "127.0.0.1:8781",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterInstance(ctx, srv.URL, Instance{
+		Name: "pub-1", Component: "ompub", DebugAddr: "127.0.0.1:8782",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ListInstances(ctx, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "broker-1" || got[1].Name != "pub-1" {
+		t.Fatalf("list = %+v", got)
+	}
+	if got[0].Component != "eventbusd" || got[0].DebugAddr != "127.0.0.1:8781" {
+		t.Fatalf("broker entry = %+v", got[0])
+	}
+	if got[0].LastSeen.IsZero() {
+		t.Fatal("LastSeen not stamped by the server")
+	}
+
+	// Bare host:port base URLs work too (daemon flag convenience).
+	if _, err := ListInstances(ctx, srv.Listener.Addr().String()); err != nil {
+		t.Fatalf("bare-host list: %v", err)
+	}
+}
+
+func TestAnnounceInstanceHeartbeatAndDeregister(t *testing.T) {
+	reg := NewInstanceRegistry(0)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	stop, err := AnnounceInstance(srv.URL, Instance{
+		Name: "sub-1", Component: "omsub", DebugAddr: "127.0.0.1:8783",
+	}, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := reg.List()
+	if len(first) != 1 {
+		t.Fatalf("not registered: %v", first)
+	}
+	// Wait for at least one heartbeat to refresh LastSeen.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		cur := reg.List()
+		if len(cur) == 1 && cur[0].LastSeen.After(first[0].LastSeen) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat never refreshed LastSeen")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop()
+	if got := reg.List(); len(got) != 0 {
+		t.Fatalf("stop must deregister: %v", got)
+	}
+}
+
+func TestAnnounceInstanceFirstRegistrationError(t *testing.T) {
+	if _, err := AnnounceInstance("127.0.0.1:1", Instance{Name: "x", DebugAddr: "y"}, time.Second); err == nil {
+		t.Fatal("unreachable metaserver must fail the initial announce")
+	}
+}

@@ -70,7 +70,7 @@ func DebugMuxFor(r *Registry, h *Health, rec *flight.Recorder, extra ...DebugEnd
 		{Path: "/stats", Desc: "instrument registry snapshot as flat JSON"},
 		{Path: "/debug/stats", Desc: "alias of /stats"},
 		{Path: "/metrics", Desc: "Prometheus text exposition of the registry"},
-		{Path: "/debug/flight", Desc: "protocol flight recorder, newest first (?conn=&stream=&kind=&n=)"},
+		{Path: "/debug/flight", Desc: "protocol flight recorder, newest first (?conn=&stream=&kind=&n=; ?since_seq= scrapes incrementally from a seq cursor)"},
 		{Path: "/healthz", Desc: "liveness: 200 while the process serves HTTP"},
 		{Path: "/readyz", Desc: "readiness: 200 once every registered probe passes"},
 		{Path: "/debug/vars", Desc: "expvar variables (includes the registry)"},

@@ -1,0 +1,70 @@
+package obsv
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAddLabel(t *testing.T) {
+	cases := []struct {
+		key, histSuffix, want string
+	}{
+		{"eventbus.published", "", `eventbus.published{instance="a"}`},
+		{`eventbus.wire.records{stream="s",format="f"}`, "", `eventbus.wire.records{stream="s",format="f",instance="a"}`},
+		{`pbio.encode_ns{format="f"}.count`, ".count", `pbio.encode_ns{format="f",instance="a"}.count`},
+		{"pbio.encode_ns.p99", ".p99", `pbio.encode_ns{instance="a"}.p99`},
+		// no hist suffix claimed: the dotted name is left whole
+		{"dcg.plan_cache.count", "", `dcg.plan_cache.count{instance="a"}`},
+	}
+	for _, c := range cases {
+		if got := AddLabel(c.key, c.histSuffix, "instance", "a"); got != c.want {
+			t.Errorf("AddLabel(%q, %q) = %q, want %q", c.key, c.histSuffix, got, c.want)
+		}
+	}
+	// label values are escaped like LabelSet.String
+	if got := AddLabel("x", "", "instance", `a"b`); got != `x{instance="a\"b"}` {
+		t.Errorf("escaping: got %q", got)
+	}
+}
+
+func TestMergeLabeledHistogramFamilies(t *testing.T) {
+	snap := map[string]int64{
+		"eventbus.published": 10,
+		// full histogram family: suffix must stay terminal after the label
+		"lat.count": 4, "lat.sum": 100, "lat.max": 50,
+		"lat.p50": 20, "lat.p95": 45, "lat.p99": 50,
+		// counter that merely ends in .count: not a family (siblings missing)
+		"conversions.count": 7,
+		// already-labeled histogram child
+		`enc{format="f"}.count`: 1, `enc{format="f"}.sum`: 2, `enc{format="f"}.max`: 3,
+		`enc{format="f"}.p50`: 1, `enc{format="f"}.p95`: 2, `enc{format="f"}.p99`: 3,
+	}
+	dst := map[string]int64{}
+	MergeLabeled(dst, snap, "instance", "broker-1")
+	want := map[string]int64{
+		`eventbus.published{instance="broker-1"}`: 10,
+		`lat{instance="broker-1"}.count`:          4,
+		`lat{instance="broker-1"}.sum`:            100,
+		`lat{instance="broker-1"}.max`:            50,
+		`lat{instance="broker-1"}.p50`:            20,
+		`lat{instance="broker-1"}.p95`:            45,
+		`lat{instance="broker-1"}.p99`:            50,
+		`conversions.count{instance="broker-1"}`:  7,
+		`enc{format="f",instance="broker-1"}.count`: 1,
+		`enc{format="f",instance="broker-1"}.sum`:   2,
+		`enc{format="f",instance="broker-1"}.max`:   3,
+		`enc{format="f",instance="broker-1"}.p50`:   1,
+		`enc{format="f",instance="broker-1"}.p95`:   2,
+		`enc{format="f",instance="broker-1"}.p99`:   3,
+	}
+	if !reflect.DeepEqual(dst, want) {
+		t.Fatalf("merged snapshot mismatch:\n got %v\nwant %v", dst, want)
+	}
+
+	// A second instance merges alongside, not over, the first.
+	MergeLabeled(dst, map[string]int64{"eventbus.published": 3}, "instance", "broker-2")
+	if dst[`eventbus.published{instance="broker-1"}`] != 10 ||
+		dst[`eventbus.published{instance="broker-2"}`] != 3 {
+		t.Fatalf("second instance clobbered the first: %v", dst)
+	}
+}

@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"openmeta/internal/trace"
+)
+
+// Handler serves the collector's merged fleet view:
+//
+//	GET /fleet                    index of endpoints (also at /fleet/)
+//	GET /fleet/members            scrape targets with health and clock hints
+//	GET /fleet/stats              every instance's /stats merged, instance-labeled
+//	GET /fleet/flight?n=N         flight events from all processes, one
+//	                              skew-adjusted time-ordered stream
+//	GET /fleet/history            instance-labeled merged metrics history
+//	GET /fleet/trace              index of assembled traces, newest first
+//	GET /fleet/trace/<id>         one cross-process trace stitched into a
+//	                              parent-linked tree: per-instance clock-skew
+//	                              estimates, orphan flags, and a per-stage
+//	                              self-time breakdown summing to 100%
+//
+// Mount it at /fleet/ (it self-routes on the suffix).
+func Handler(c *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		path := strings.TrimPrefix(req.URL.Path, "/fleet")
+		path = strings.TrimPrefix(path, "/")
+		switch {
+		case path == "":
+			serveIndex(w)
+		case path == "members":
+			writeJSON(w, struct {
+				Members []Member `json:"members"`
+			}{c.Members()})
+		case path == "stats":
+			writeJSON(w, c.FleetStats())
+		case path == "flight":
+			limit := 0
+			if v := req.URL.Query().Get("n"); v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 1 {
+					http.Error(w, "fleet: bad n", http.StatusBadRequest)
+					return
+				}
+				limit = n
+			}
+			writeJSON(w, struct {
+				Events []FleetEvent `json:"events"`
+			}{c.FleetFlight(limit)})
+		case path == "history":
+			writeJSON(w, struct {
+				Series interface{} `json:"series"`
+			}{c.FleetHistory()})
+		case path == "trace":
+			writeJSON(w, struct {
+				Traces []TraceSummary `json:"traces"`
+			}{c.Traces(100)})
+		case strings.HasPrefix(path, "trace/"):
+			id, ok := trace.ParseTraceID(strings.TrimPrefix(path, "trace/"))
+			if !ok {
+				http.Error(w, "fleet: bad trace id", http.StatusBadRequest)
+				return
+			}
+			asm := c.Assemble(id)
+			if asm.Spans == 0 {
+				http.Error(w, "fleet: unknown trace", http.StatusNotFound)
+				return
+			}
+			writeJSON(w, AssemblyView(asm))
+		default:
+			http.NotFound(w, req)
+		}
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func serveIndex(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, `fleet telemetry endpoints:
+  /fleet/members      scrape targets with health and clock hints
+  /fleet/stats        merged instance-labeled metrics snapshot
+  /fleet/flight       skew-adjusted interleaved flight events (?n=)
+  /fleet/history      merged instance-labeled metrics history
+  /fleet/trace        assembled trace index, newest first
+  /fleet/trace/<id>   one cross-process trace tree with skew and stage shares
+`)
+}
+
+// SpanView is one node of the /fleet/trace/<id> JSON tree.
+type SpanView struct {
+	Span     string     `json:"span"`
+	Parent   string     `json:"parent,omitempty"`
+	Name     string     `json:"name"`
+	Detail   string     `json:"detail,omitempty"`
+	Instance string     `json:"instance"`
+	StartNS  int64      `json:"start_unix_ns"`
+	DurNS    int64      `json:"dur_ns"`
+	Orphan   bool       `json:"orphan,omitempty"`
+	Children []SpanView `json:"children,omitempty"`
+}
+
+// SkewView is one instance's estimated clock offset in the assembly.
+type SkewView struct {
+	Instance      string `json:"instance"`
+	OffsetNS      int64  `json:"offset_ns"`
+	UncertaintyNS int64  `json:"uncertainty_ns"`
+	Edges         int    `json:"edges"`
+}
+
+// StageView is one stage of the per-trace self-time breakdown. Shares are
+// percentages of the trace's total self time and sum to 100 (±rounding).
+type StageView struct {
+	Name     string  `json:"name"`
+	SelfNS   int64   `json:"self_ns"`
+	SharePct float64 `json:"share_pct"`
+}
+
+// TraceView is the /fleet/trace/<id> response: one TraceID's spans from
+// every scraped process, stitched into parent-linked trees.
+type TraceView struct {
+	Trace     string      `json:"trace"`
+	Spans     int         `json:"spans"`
+	Orphans   int         `json:"orphans"`
+	Instances []string    `json:"instances"`
+	Reference string      `json:"reference"`
+	Skew      []SkewView  `json:"skew"`
+	Stages    []StageView `json:"stages"`
+	Roots     []SpanView  `json:"roots"`
+}
+
+// AssemblyView renders an assembly into the /fleet/trace/<id> JSON shape,
+// computing the stage self-time shares (trace.SelfTimes over the assembled
+// spans, so nested stages don't double-count and the shares sum to 100%).
+func AssemblyView(asm *trace.Assembly) TraceView {
+	tv := TraceView{
+		Trace:     asm.Trace.String(),
+		Spans:     asm.Spans,
+		Orphans:   asm.Orphans,
+		Instances: asm.Instances,
+		Reference: asm.Reference,
+		Skew:      make([]SkewView, 0, len(asm.Skew)),
+		Stages:    []StageView{},
+		Roots:     make([]SpanView, 0, len(asm.Roots)),
+	}
+	for _, sk := range asm.Skew {
+		tv.Skew = append(tv.Skew, SkewView{
+			Instance: sk.Instance, OffsetNS: sk.Offset.Nanoseconds(),
+			UncertaintyNS: sk.Uncertainty.Nanoseconds(), Edges: sk.Edges,
+		})
+	}
+
+	var flat []trace.Span
+	asm.Walk(func(n *trace.Node, _ int) { flat = append(flat, n.Span) })
+	self := trace.SelfTimes(flat)
+	var total time.Duration
+	for _, d := range self {
+		total += d
+	}
+	names := make([]string, 0, len(self))
+	for name := range self {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return self[names[i]] > self[names[j]] })
+	for _, name := range names {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(self[name]) / float64(total)
+		}
+		tv.Stages = append(tv.Stages, StageView{Name: name, SelfNS: self[name].Nanoseconds(), SharePct: share})
+	}
+
+	var render func(n *trace.Node) SpanView
+	render = func(n *trace.Node) SpanView {
+		sv := SpanView{
+			Span: n.ID.String(), Name: n.Name, Detail: n.Detail,
+			Instance: n.Instance,
+			StartNS:  n.Start.UnixNano(), DurNS: n.Dur.Nanoseconds(),
+			Orphan: n.Orphan,
+		}
+		if !n.Parent.IsZero() {
+			sv.Parent = n.Parent.String()
+		}
+		for _, c := range n.Children {
+			sv.Children = append(sv.Children, render(c))
+		}
+		return sv
+	}
+	for _, r := range asm.Roots {
+		tv.Roots = append(tv.Roots, render(r))
+	}
+	return tv
+}

@@ -1,0 +1,702 @@
+// Package telemetry is the fleet half of the observability stack: a
+// collector that discovers the processes of one deployment (publisher,
+// broker, subscriber, metaserver), scrapes each one's debug listener —
+// /stats, /debug/trace, /debug/flight, /debug/history — on an interval with
+// incremental cursors, and serves the merged result as a unified /fleet/*
+// surface (see http.go).
+//
+// The design follows the paper's metadata-discovery idiom: fleet members
+// self-register their debug endpoint with the metaserver (the "publicly
+// known intranet server" of §4.4, internal/discovery), so the collector
+// finds its scrape set the same way clients find formats. Static -targets
+// work without a metaserver.
+//
+// Scrapes are incremental: /debug/flight is cursored by sequence number
+// (?since_seq=), /debug/trace by span start time (?since=, unix ns), and
+// /debug/history by sample time (?since=, unix seconds), so steady-state
+// rounds transfer only what happened since the previous round. A target
+// that stops answering is retried (internal/retry), then flagged stale —
+// its last-known data stays served, never silently dropped — and recovers
+// in place when the process comes back. A flight total below the cursor
+// means the process restarted and its sequence counter reset; the cursor
+// rewinds to zero so the new incarnation's events are picked up.
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"openmeta/internal/discovery"
+	"openmeta/internal/flight"
+	"openmeta/internal/histdb"
+	"openmeta/internal/obsv"
+	"openmeta/internal/retry"
+	"openmeta/internal/trace"
+)
+
+// Target names one scrape endpoint: a process's -debug-addr listener.
+type Target struct {
+	Name      string // instance name; defaults to Addr
+	Component string // binary name, informational
+	Addr      string // host:port or http://host:port of the debug listener
+}
+
+// Defaults for the collector's bounded per-instance stores and cadence.
+const (
+	DefaultInterval       = 2 * time.Second
+	DefaultSpanCapacity   = 8192 // spans kept per instance (newest win)
+	DefaultFlightCapacity = 2048 // flight events kept per instance
+)
+
+// FleetEvent is one flight-recorder event attributed to the instance whose
+// ring it was scraped from, as served on /fleet/flight.
+type FleetEvent struct {
+	Instance string `json:"instance"`
+	flight.Event
+}
+
+// instance is the collector's per-target scrape state. All fields are
+// guarded by the Collector mutex.
+type instance struct {
+	Target
+	discovered bool // came from the registry, not -targets
+
+	// Health: a target that fails a whole scrape round keeps its last data
+	// and is flagged stale rather than dropped.
+	Stale    bool
+	Failures int // consecutive failed rounds
+	LastErr  string
+	LastOK   time.Time
+
+	// /stats — latest flat snapshot.
+	stats   map[string]int64
+	statsAt time.Time
+
+	// /debug/trace — bounded span store plus the incremental cursor (max
+	// start_unix_ns seen) and the server-vs-collector clock delta observed
+	// at scrape time (a coarse skew hint, refined per-trace by Assemble).
+	spans        []trace.TaggedSpan
+	spanCursorNS int64
+	clockHint    time.Duration
+	spanTotal    int64 // remote ring's lifetime recorded count
+
+	// /debug/flight — bounded event store, seq cursor, restart detection.
+	events     []flight.Event
+	flightSeq  uint64
+	flightOK   bool // endpoint present (DebugMuxFor mounts it only with a recorder)
+	restarts   int  // times the seq counter was seen to reset
+	histSeries map[string]histdb.Series
+	histOK     bool
+}
+
+// Collector discovers fleet members, scrapes them on an interval and holds
+// the merged state the /fleet handlers serve. Safe for concurrent use.
+type Collector struct {
+	mu        sync.Mutex
+	targets   map[string]*instance
+	order     []string // registration order for stable iteration
+	staticSet []Target
+	registry  string // metaserver base URL, "" = static targets only
+
+	interval time.Duration
+	client   *http.Client
+	policy   retry.Policy
+	spanCap  int
+	flightCap int
+
+	rounds    *obsv.Counter
+	scrapeErr *obsv.Counter
+	spansIn   *obsv.Counter
+	eventsIn  *obsv.Counter
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	done     chan struct{}
+}
+
+// Option configures a Collector.
+type Option func(*Collector)
+
+// WithInterval sets the scrape cadence (default DefaultInterval).
+func WithInterval(d time.Duration) Option {
+	return func(c *Collector) {
+		if d > 0 {
+			c.interval = d
+		}
+	}
+}
+
+// WithRegistry points the collector at a metaserver base URL whose
+// /instances/ listing is re-read every round, so members that -register
+// themselves are scraped without static configuration.
+func WithRegistry(baseURL string) Option {
+	return func(c *Collector) { c.registry = baseURL }
+}
+
+// WithTargets adds statically configured scrape targets; they are always
+// scraped, alongside whatever the registry lists.
+func WithTargets(ts ...Target) Option {
+	return func(c *Collector) { c.staticSet = append(c.staticSet, ts...) }
+}
+
+// WithHTTPClient overrides the scrape client (default: 5s-timeout client).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Collector) {
+		if hc != nil {
+			c.client = hc
+		}
+	}
+}
+
+// WithRetry sets the per-endpoint scrape retry policy. The default is two
+// attempts with a short backoff: transient connection errors heal inside a
+// round, a dead process fails fast into the stale path.
+func WithRetry(p retry.Policy) Option {
+	return func(c *Collector) { c.policy = p }
+}
+
+// WithObserver registers the collector's own metrics (telemetry.*) on reg.
+func WithObserver(reg *obsv.Registry) Option {
+	return func(c *Collector) {
+		c.rounds = reg.Counter("telemetry.scrape.rounds")
+		c.scrapeErr = reg.Counter("telemetry.scrape.errors")
+		c.spansIn = reg.Counter("telemetry.spans.scraped")
+		c.eventsIn = reg.Counter("telemetry.flight.scraped")
+	}
+}
+
+// WithSpanCapacity bounds the per-instance span store (default
+// DefaultSpanCapacity; newest spans win).
+func WithSpanCapacity(n int) Option {
+	return func(c *Collector) {
+		if n > 0 {
+			c.spanCap = n
+		}
+	}
+}
+
+// WithFlightCapacity bounds the per-instance flight-event store (default
+// DefaultFlightCapacity; newest events win).
+func WithFlightCapacity(n int) Option {
+	return func(c *Collector) {
+		if n > 0 {
+			c.flightCap = n
+		}
+	}
+}
+
+// New builds a collector. Call Start to begin scraping on the interval, or
+// ScrapeOnce to drive rounds manually (tests, one-shot CLI use).
+func New(opts ...Option) *Collector {
+	c := &Collector{
+		targets:   make(map[string]*instance),
+		interval:  DefaultInterval,
+		client:    &http.Client{Timeout: 5 * time.Second},
+		policy:    retry.Policy{MaxAttempts: 2, Initial: 100 * time.Millisecond, Jitter: -1},
+		spanCap:   DefaultSpanCapacity,
+		flightCap: DefaultFlightCapacity,
+		stopCh:    make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	for _, t := range c.staticSet {
+		c.addTarget(t, false)
+	}
+	return c
+}
+
+// addTarget registers a scrape target if its name is new.
+func (c *Collector) addTarget(t Target, discovered bool) {
+	if t.Addr == "" {
+		return
+	}
+	if t.Name == "" {
+		t.Name = t.Addr
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if inst, ok := c.targets[t.Name]; ok {
+		inst.Addr = t.Addr // re-registration may move the listener
+		if t.Component != "" {
+			inst.Component = t.Component
+		}
+		return
+	}
+	c.targets[t.Name] = &instance{Target: t, discovered: discovered}
+	c.order = append(c.order, t.Name)
+}
+
+// Start launches the scrape loop (first round immediately) and returns c.
+func (c *Collector) Start() *Collector {
+	go func() {
+		defer close(c.done)
+		tick := time.NewTicker(c.interval)
+		defer tick.Stop()
+		for {
+			ctx, cancel := context.WithTimeout(context.Background(), c.interval*4+time.Second)
+			c.ScrapeOnce(ctx)
+			cancel()
+			select {
+			case <-c.stopCh:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return c
+}
+
+// Stop halts the scrape loop and waits for the in-flight round to finish.
+func (c *Collector) Stop() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	<-c.done
+}
+
+// ScrapeOnce runs one full round: refresh the member list from the registry
+// (if configured), then scrape every target concurrently. It returns the
+// number of targets that answered.
+func (c *Collector) ScrapeOnce(ctx context.Context) int {
+	c.rounds.Inc()
+	if c.registry != "" {
+		if insts, err := discovery.ListInstances(ctx, c.registry); err == nil {
+			for _, in := range insts {
+				c.addTarget(Target{Name: in.Name, Component: in.Component, Addr: in.DebugAddr}, true)
+			}
+		} else {
+			c.scrapeErr.Inc()
+		}
+	}
+	c.mu.Lock()
+	names := append([]string(nil), c.order...)
+	c.mu.Unlock()
+
+	ok := 0
+	var okMu sync.Mutex
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			if c.scrapeTarget(ctx, name) {
+				okMu.Lock()
+				ok++
+				okMu.Unlock()
+			}
+		}(name)
+	}
+	wg.Wait()
+	return ok
+}
+
+// getJSON fetches one URL with the retry policy and decodes the body into
+// out. A non-2xx status is an error except 503 and 404, reported as
+// errDisabled so optional endpoints (history without -history-interval, or
+// not mounted at all) don't count as scrape failures.
+var errDisabled = fmt.Errorf("telemetry: endpoint disabled")
+
+func (c *Collector) getJSON(ctx context.Context, rawURL string, out interface{}) error {
+	return retry.Do(ctx, c.policy, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, rawURL, nil)
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		resp, err := c.client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusNotFound {
+			// 503: the endpoint exists but its feature is off (history
+			// without -history-interval). 404: the endpoint isn't mounted at
+			// all. Either way the target lacks the feature — not a failure.
+			io.Copy(io.Discard, resp.Body)
+			return retry.Permanent(errDisabled)
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			return retry.Permanent(fmt.Errorf("telemetry: GET %s: %s", rawURL, resp.Status))
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return retry.Permanent(fmt.Errorf("telemetry: GET %s: bad body: %w", rawURL, err))
+		}
+		return nil
+	})
+}
+
+// baseURL normalizes an instance addr into an http base.
+func baseURL(addr string) string {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimRight(addr, "/")
+}
+
+// traceScrape mirrors the /debug/trace JSON response.
+type traceScrape struct {
+	NowUnixNS int64 `json:"now_unix_ns"`
+	Recorded  int64 `json:"recorded"`
+	Spans     []struct {
+		Trace   string `json:"trace"`
+		Span    string `json:"span"`
+		Parent  string `json:"parent"`
+		Name    string `json:"name"`
+		Detail  string `json:"detail"`
+		StartNS int64  `json:"start_unix_ns"`
+		DurNS   int64  `json:"dur_ns"`
+	} `json:"spans"`
+}
+
+// flightScrape mirrors the /debug/flight JSON response.
+type flightScrape struct {
+	Total  uint64         `json:"total"`
+	Events []flight.Event `json:"events"`
+}
+
+// histScrape mirrors the /debug/history JSON response.
+type histScrape struct {
+	IntervalMS int64                    `json:"interval_ms"`
+	Series     map[string]histdb.Series `json:"series"`
+}
+
+// scrapeTarget runs one target's four endpoint scrapes and folds the results
+// into its state. Any hard endpoint failure marks the whole target stale —
+// partial data from a half-answering process is still recorded, but the
+// member is not reported healthy.
+func (c *Collector) scrapeTarget(ctx context.Context, name string) bool {
+	c.mu.Lock()
+	inst, ok := c.targets[name]
+	if !ok {
+		c.mu.Unlock()
+		return false
+	}
+	base := baseURL(inst.Addr)
+	spanCursor := inst.spanCursorNS
+	flightSeq := inst.flightSeq
+	var histSince int64
+	for _, s := range inst.histSeries {
+		for _, p := range s.Points {
+			if t := p.T / 1000; t > histSince {
+				histSince = t
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	var firstErr error
+	fail := func(err error) {
+		if err != nil && err != errDisabled && firstErr == nil {
+			firstErr = err
+		}
+		if err != nil && err != errDisabled {
+			c.scrapeErr.Inc()
+		}
+	}
+
+	// /stats — the whole flat snapshot every round; it is small and merging
+	// deltas would lose gauge semantics.
+	var stats map[string]int64
+	statsErr := c.getJSON(ctx, base+"/stats", &stats)
+	fail(statsErr)
+
+	// /debug/trace — incremental by span start time.
+	var tr traceScrape
+	localNow := time.Now()
+	traceURL := base + "/debug/trace"
+	if spanCursor > 0 {
+		traceURL += "?since=" + fmt.Sprint(spanCursor)
+	}
+	traceErr := c.getJSON(ctx, traceURL, &tr)
+	fail(traceErr)
+
+	// /debug/flight — incremental by sequence number; a total below the
+	// cursor means the process restarted, so rewind and take everything the
+	// new incarnation has.
+	flightURL := base + "/debug/flight?n=" + fmt.Sprint(c.flightCap)
+	if flightSeq > 0 {
+		flightURL += "&since_seq=" + fmt.Sprint(flightSeq)
+	}
+	var fl flightScrape
+	flightErr := c.getJSON(ctx, flightURL, &fl)
+	restarted := false
+	if flightErr == nil && fl.Total < flightSeq {
+		restarted = true
+		var again flightScrape
+		if err := c.getJSON(ctx, base+"/debug/flight?n="+fmt.Sprint(c.flightCap), &again); err == nil {
+			fl = again
+		}
+	}
+	fail(flightErr)
+
+	// /debug/history — incremental by sample time; 503 = disabled, fine.
+	var hs histScrape
+	histURL := base + "/debug/history"
+	if histSince > 0 {
+		histURL += "?since=" + fmt.Sprint(histSince)
+	}
+	histErr := c.getJSON(ctx, histURL, &hs)
+	fail(histErr)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if firstErr != nil {
+		inst.Stale = true
+		inst.Failures++
+		inst.LastErr = firstErr.Error()
+	} else {
+		inst.Stale = false
+		inst.Failures = 0
+		inst.LastErr = ""
+		inst.LastOK = time.Now()
+	}
+	if statsErr == nil && stats != nil {
+		inst.stats = stats
+		inst.statsAt = time.Now()
+	}
+	if traceErr == nil {
+		inst.clockHint = time.Unix(0, tr.NowUnixNS).Sub(localNow)
+		inst.spanTotal = tr.Recorded
+		added := 0
+		for _, js := range tr.Spans {
+			tid, ok1 := trace.ParseTraceID(js.Trace)
+			sid, ok2 := trace.ParseSpanID(js.Span)
+			pid, ok3 := trace.ParseSpanID(js.Parent)
+			if !ok1 || !ok2 || !ok3 {
+				continue
+			}
+			inst.spans = append(inst.spans, trace.TaggedSpan{Instance: name, Span: trace.Span{
+				Trace: tid, ID: sid, Parent: pid,
+				Name: js.Name, Detail: js.Detail,
+				Start: time.Unix(0, js.StartNS), Dur: time.Duration(js.DurNS),
+			}})
+			added++
+			if js.StartNS > inst.spanCursorNS {
+				inst.spanCursorNS = js.StartNS
+			}
+		}
+		c.spansIn.Add(int64(added))
+		if over := len(inst.spans) - c.spanCap; over > 0 {
+			inst.spans = append(inst.spans[:0], inst.spans[over:]...)
+		}
+	}
+	if flightErr == nil {
+		inst.flightOK = true
+		if restarted {
+			inst.restarts++
+			inst.flightSeq = 0
+		}
+		// Events arrive newest first; store oldest first.
+		for i := len(fl.Events) - 1; i >= 0; i-- {
+			ev := fl.Events[i]
+			if ev.Seq > inst.flightSeq {
+				inst.flightSeq = ev.Seq
+			}
+			inst.events = append(inst.events, ev)
+		}
+		c.eventsIn.Add(int64(len(fl.Events)))
+		if over := len(inst.events) - c.flightCap; over > 0 {
+			inst.events = append(inst.events[:0], inst.events[over:]...)
+		}
+	} else if flightErr == errDisabled {
+		inst.flightOK = false
+	}
+	if histErr == nil {
+		inst.histOK = true
+		if inst.histSeries == nil {
+			inst.histSeries = make(map[string]histdb.Series)
+		}
+		for key, s := range hs.Series {
+			dst := inst.histSeries[key]
+			dst.Kind = s.Kind
+			seen := make(map[int64]bool, len(dst.Points))
+			for _, p := range dst.Points {
+				seen[p.T] = true
+			}
+			for _, p := range s.Points {
+				if !seen[p.T] {
+					dst.Points = append(dst.Points, p)
+				}
+			}
+			sort.Slice(dst.Points, func(i, j int) bool { return dst.Points[i].T < dst.Points[j].T })
+			inst.histSeries[key] = dst
+		}
+	} else if histErr == errDisabled {
+		inst.histOK = false
+	}
+	return firstErr == nil
+}
+
+// Member is the /fleet/members view of one scrape target.
+type Member struct {
+	Name       string        `json:"name"`
+	Component  string        `json:"component,omitempty"`
+	Addr       string        `json:"addr"`
+	Discovered bool          `json:"discovered"` // via registry vs static -targets
+	Stale      bool          `json:"stale"`
+	Failures   int           `json:"failures,omitempty"`
+	LastErr    string        `json:"last_err,omitempty"`
+	LastOK     time.Time     `json:"last_ok,omitempty"`
+	ClockHint  time.Duration `json:"clock_hint_ns"` // remote minus collector clock at scrape
+	Spans      int           `json:"spans"`
+	Events     int           `json:"events"`
+	Restarts   int           `json:"restarts,omitempty"`
+}
+
+// Members lists every known target with its health, sorted by name.
+func (c *Collector) Members() []Member {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Member, 0, len(c.targets))
+	for _, inst := range c.targets {
+		out = append(out, Member{
+			Name: inst.Name, Component: inst.Component, Addr: inst.Addr,
+			Discovered: inst.discovered,
+			Stale:      inst.Stale, Failures: inst.Failures, LastErr: inst.LastErr,
+			LastOK: inst.LastOK, ClockHint: inst.clockHint,
+			Spans: len(inst.spans), Events: len(inst.events), Restarts: inst.restarts,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FleetStats merges every instance's last /stats snapshot into one flat map
+// with an instance label on every key (obsv.MergeLabeled), so the result
+// parses exactly like a single process's /stats. Synthetic
+// fleet.instance.up{instance=...} keys (1 healthy, 0 stale) report scrape
+// health in-band.
+func (c *Collector) FleetStats() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64)
+	for _, inst := range c.targets {
+		obsv.MergeLabeled(out, inst.stats, "instance", inst.Name)
+		up := int64(1)
+		if inst.Stale || inst.stats == nil {
+			up = 0
+		}
+		out[obsv.AddLabel("fleet.instance.up", "", "instance", inst.Name)] = up
+	}
+	return out
+}
+
+// FleetFlight interleaves every instance's flight events into one
+// time-ordered stream (oldest first), each event tagged with its instance.
+// Ordering uses each event's own wall-clock timestamp adjusted by the
+// instance's observed clock hint, so cross-process cause/effect pairs
+// (frame_send on the publisher, frame_recv on the broker) line up even with
+// skewed clocks. limit <= 0 means all.
+func (c *Collector) FleetFlight(limit int) []FleetEvent {
+	c.mu.Lock()
+	total := 0
+	for _, inst := range c.targets {
+		total += len(inst.events)
+	}
+	out := make([]FleetEvent, 0, total)
+	adj := make(map[string]time.Duration, len(c.targets))
+	for _, inst := range c.targets {
+		adj[inst.Name] = inst.clockHint
+		for _, ev := range inst.events {
+			out = append(out, FleetEvent{Instance: inst.Name, Event: ev})
+		}
+	}
+	c.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		ti := out[i].Time.Add(-adj[out[i].Instance])
+		tj := out[j].Time.Add(-adj[out[j].Instance])
+		return ti.Before(tj)
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}
+
+// TraceSummary is one trace in the /fleet/trace index.
+type TraceSummary struct {
+	Trace     string    `json:"trace"`
+	Spans     int       `json:"spans"`
+	Instances []string  `json:"instances"`
+	Root      string    `json:"root,omitempty"` // root span name, if scraped
+	Start     time.Time `json:"start"`
+	End       time.Time `json:"end"`
+}
+
+// Traces indexes every TraceID present in the merged span store, newest
+// first. limit <= 0 means all.
+func (c *Collector) Traces(limit int) []TraceSummary {
+	spans := c.allSpans()
+	byTrace := make(map[trace.TraceID]*TraceSummary)
+	instSets := make(map[trace.TraceID]map[string]bool)
+	for _, sp := range spans {
+		ts := byTrace[sp.Trace]
+		if ts == nil {
+			ts = &TraceSummary{Trace: sp.Trace.String(), Start: sp.Start, End: sp.Start.Add(sp.Dur)}
+			byTrace[sp.Trace] = ts
+			instSets[sp.Trace] = map[string]bool{}
+		}
+		ts.Spans++
+		instSets[sp.Trace][sp.Instance] = true
+		if sp.Start.Before(ts.Start) {
+			ts.Start = sp.Start
+		}
+		if end := sp.Start.Add(sp.Dur); end.After(ts.End) {
+			ts.End = end
+		}
+		if sp.Parent.IsZero() {
+			ts.Root = sp.Name
+		}
+	}
+	out := make([]TraceSummary, 0, len(byTrace))
+	for id, ts := range byTrace {
+		for inst := range instSets[id] {
+			ts.Instances = append(ts.Instances, inst)
+		}
+		sort.Strings(ts.Instances)
+		out = append(out, *ts)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.After(out[j].Start) })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// allSpans snapshots the merged, deduplicated span store across instances.
+func (c *Collector) allSpans() []trace.TaggedSpan {
+	c.mu.Lock()
+	frags := make([][]trace.TaggedSpan, 0, len(c.targets))
+	for _, inst := range c.targets {
+		frags = append(frags, append([]trace.TaggedSpan(nil), inst.spans...))
+	}
+	c.mu.Unlock()
+	return trace.MergeSpans(frags...)
+}
+
+// Assemble stitches one TraceID's spans from every instance into a
+// parent-linked tree with skew estimates (trace.Assemble).
+func (c *Collector) Assemble(id trace.TraceID) *trace.Assembly {
+	return trace.Assemble(id, c.allSpans())
+}
+
+// FleetHistory merges every instance's history series under instance-labeled
+// keys, mirroring the single-process /debug/history response shape.
+func (c *Collector) FleetHistory() map[string]histdb.Series {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]histdb.Series)
+	for _, inst := range c.targets {
+		for key, s := range inst.histSeries {
+			out[obsv.AddLabel(key, "", "instance", inst.Name)] = s
+		}
+	}
+	return out
+}

@@ -1,0 +1,411 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"openmeta/internal/flight"
+	"openmeta/internal/histdb"
+	"openmeta/internal/obsv"
+	"openmeta/internal/retry"
+	"openmeta/internal/trace"
+)
+
+// member is one fake fleet process: its own registry, tracer and flight
+// recorder served on a real HTTP listener exactly the way the daemons serve
+// -debug-addr, so the collector exercises the production handlers.
+type member struct {
+	reg *obsv.Registry
+	trc *trace.Tracer
+	rec *flight.Recorder
+	srv *httptest.Server
+}
+
+func newMember(t *testing.T, extra ...obsv.DebugEndpoint) *member {
+	t.Helper()
+	m := &member{reg: obsv.New(), trc: trace.NewTracer(0), rec: flight.New(64)}
+	m.trc.SetSampling(1)
+	extra = append(extra, obsv.DebugEndpoint{Path: "/debug/trace", Handler: trace.Handler(m.trc), Desc: "trace"})
+	m.srv = httptest.NewServer(obsv.DebugMuxFor(m.reg, obsv.NewHealth(), m.rec, extra...))
+	t.Cleanup(m.srv.Close)
+	return m
+}
+
+func (m *member) addr() string { return strings.TrimPrefix(m.srv.URL, "http://") }
+
+// fastRetry keeps failure-path tests quick: two attempts, tiny determinstic
+// backoff.
+var fastRetry = retry.Policy{MaxAttempts: 2, Initial: time.Millisecond, Jitter: -1}
+
+func TestCollectorMergesInstanceLabeledStats(t *testing.T) {
+	m1, m2 := newMember(t), newMember(t)
+	m1.reg.Counter("eventbus.published").Add(7)
+	m2.reg.Counter("eventbus.published").Add(3)
+	m2.reg.Histogram("pbio.encode_ns").Observe(100)
+
+	c := New(
+		WithTargets(Target{Name: "pub", Addr: m1.addr()}, Target{Name: "broker", Addr: m2.addr()}),
+		WithRetry(fastRetry),
+	)
+	if got := c.ScrapeOnce(context.Background()); got != 2 {
+		t.Fatalf("ScrapeOnce = %d healthy targets, want 2", got)
+	}
+
+	stats := c.FleetStats()
+	if got := stats[`eventbus.published{instance="pub"}`]; got != 7 {
+		t.Errorf("pub counter = %d, want 7", got)
+	}
+	if got := stats[`eventbus.published{instance="broker"}`]; got != 3 {
+		t.Errorf("broker counter = %d, want 3", got)
+	}
+	// Histogram families keep their suffix terminal so omtop-style six-sibling
+	// detection still works per instance.
+	if _, ok := stats[`pbio.encode_ns{instance="broker"}.count`]; !ok {
+		t.Errorf("histogram child missing; keys: %v", keysLike(stats, "pbio."))
+	}
+	for _, inst := range []string{"pub", "broker"} {
+		if got := stats[`fleet.instance.up{instance="`+inst+`"}`]; got != 1 {
+			t.Errorf("fleet.instance.up{%s} = %d, want 1", inst, got)
+		}
+	}
+}
+
+func keysLike(m map[string]int64, prefix string) []string {
+	var out []string
+	for k := range m {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func TestCollectorIncrementalCursorsNoDoubleCount(t *testing.T) {
+	m := newMember(t)
+	ctx := m.trc.Start("pub.publish")
+	ctx.Child("pbio.encode").Finish()
+	ctx.Finish()
+	m.rec.Record(flight.KindConnOpen, 1, "", 0, 0, "up")
+	m.rec.Record(flight.KindFrameSend, 1, "s", 1, 64, "")
+
+	c := New(WithTargets(Target{Name: "pub", Addr: m.addr()}), WithRetry(fastRetry))
+	c.ScrapeOnce(context.Background())
+	c.ScrapeOnce(context.Background()) // steady-state round: nothing new
+
+	c.mu.Lock()
+	inst := c.targets["pub"]
+	spans, events := len(inst.spans), len(inst.events)
+	c.mu.Unlock()
+	if spans != 2 {
+		t.Errorf("span store holds %d spans after overlapping scrapes, want 2", spans)
+	}
+	if events != 2 {
+		t.Errorf("event store holds %d events after overlapping scrapes, want 2", events)
+	}
+
+	// New activity between rounds arrives exactly once.
+	m.rec.Record(flight.KindFrameRecv, 1, "s", 1, 64, "")
+	ctx2 := m.trc.Start("pub.publish")
+	ctx2.Finish()
+	c.ScrapeOnce(context.Background())
+	c.mu.Lock()
+	spans, events = len(inst.spans), len(inst.events)
+	seq := inst.flightSeq
+	c.mu.Unlock()
+	if spans != 3 || events != 3 {
+		t.Errorf("after new activity: %d spans, %d events, want 3 and 3", spans, events)
+	}
+	if seq != 3 {
+		t.Errorf("flight cursor = %d, want 3", seq)
+	}
+}
+
+func TestCollectorDeadTargetGoesStaleKeepsData(t *testing.T) {
+	m := newMember(t)
+	m.reg.Counter("eventbus.published").Add(5)
+	c := New(WithTargets(Target{Name: "pub", Addr: m.addr()}), WithRetry(fastRetry))
+	if got := c.ScrapeOnce(context.Background()); got != 1 {
+		t.Fatalf("healthy scrape failed")
+	}
+
+	m.srv.Close() // the process dies mid-run
+	if got := c.ScrapeOnce(context.Background()); got != 0 {
+		t.Fatalf("ScrapeOnce after death = %d healthy, want 0", got)
+	}
+
+	members := c.Members()
+	if len(members) != 1 {
+		t.Fatalf("dead member dropped from Members: %v", members)
+	}
+	if !members[0].Stale || members[0].Failures == 0 || members[0].LastErr == "" {
+		t.Errorf("dead member not flagged: %+v", members[0])
+	}
+	// Last-known data is still served, with up=0 signalling staleness.
+	stats := c.FleetStats()
+	if got := stats[`eventbus.published{instance="pub"}`]; got != 5 {
+		t.Errorf("stale stats dropped: published = %d, want 5", got)
+	}
+	if got := stats[`fleet.instance.up{instance="pub"}`]; got != 0 {
+		t.Errorf("fleet.instance.up = %d for stale member, want 0", got)
+	}
+}
+
+func TestCollectorMalformedTargetFlaggedNotFatal(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("this is not json {"))
+	}))
+	defer bad.Close()
+	good := newMember(t)
+	good.reg.Counter("ok").Add(1)
+
+	c := New(WithTargets(
+		Target{Name: "bad", Addr: strings.TrimPrefix(bad.URL, "http://")},
+		Target{Name: "good", Addr: good.addr()},
+	), WithRetry(fastRetry))
+	if got := c.ScrapeOnce(context.Background()); got != 1 {
+		t.Fatalf("ScrapeOnce = %d healthy, want 1 (the good member)", got)
+	}
+	for _, mb := range c.Members() {
+		switch mb.Name {
+		case "bad":
+			if !mb.Stale || !strings.Contains(mb.LastErr, "bad body") {
+				t.Errorf("malformed member not flagged: %+v", mb)
+			}
+		case "good":
+			if mb.Stale {
+				t.Errorf("good member flagged stale: %+v", mb)
+			}
+		}
+	}
+}
+
+func TestCollectorFlightSeqResetAfterRestart(t *testing.T) {
+	// The recorder behind the server is swappable, simulating a process
+	// restart on the same address: fresh recorder, sequence counter reset.
+	var rec atomic.Pointer[flight.Recorder]
+	rec.Store(flight.New(64))
+	mux := http.NewServeMux()
+	mux.Handle("/stats", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("{}"))
+	}))
+	mux.Handle("/debug/trace", trace.Handler(trace.NewTracer(0)))
+	mux.Handle("/debug/flight", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		flight.Handler(rec.Load()).ServeHTTP(w, r)
+	}))
+	mux.Handle("/debug/history", histdb.Handler(nil))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for i := 0; i < 5; i++ {
+		rec.Load().Record(flight.KindFrameSend, 1, "s", 1, 64, "")
+	}
+	c := New(WithTargets(Target{Name: "pub", Addr: strings.TrimPrefix(srv.URL, "http://")}), WithRetry(fastRetry))
+	c.ScrapeOnce(context.Background())
+	c.mu.Lock()
+	inst := c.targets["pub"]
+	if inst.flightSeq != 5 {
+		t.Fatalf("cursor = %d before restart, want 5", inst.flightSeq)
+	}
+	before := len(inst.events)
+	c.mu.Unlock()
+
+	// Restart: new recorder, two fresh events with seqs 1 and 2 — both below
+	// the collector's cursor, only visible if the cursor rewinds.
+	rec.Store(flight.New(64))
+	rec.Load().Record(flight.KindConnOpen, 2, "", 0, 0, "back up")
+	rec.Load().Record(flight.KindFrameSend, 2, "s", 1, 64, "")
+	c.ScrapeOnce(context.Background())
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if inst.restarts != 1 {
+		t.Errorf("restarts = %d, want 1", inst.restarts)
+	}
+	if got := len(inst.events); got != before+2 {
+		t.Errorf("events after restart = %d, want %d (old retained + 2 new)", got, before+2)
+	}
+	if inst.flightSeq != 2 {
+		t.Errorf("cursor after restart = %d, want 2 (new incarnation's max seq)", inst.flightSeq)
+	}
+}
+
+func TestFleetFlightInterleavesAcrossInstances(t *testing.T) {
+	m1, m2 := newMember(t), newMember(t)
+	m1.rec.Record(flight.KindFrameSend, 1, "s", 1, 64, "first")
+	time.Sleep(2 * time.Millisecond)
+	m2.rec.Record(flight.KindFrameRecv, 9, "s", 1, 64, "second")
+	time.Sleep(2 * time.Millisecond)
+	m1.rec.Record(flight.KindFrameSend, 1, "s", 1, 64, "third")
+
+	c := New(WithTargets(Target{Name: "pub", Addr: m1.addr()}, Target{Name: "broker", Addr: m2.addr()}),
+		WithRetry(fastRetry))
+	c.ScrapeOnce(context.Background())
+
+	evs := c.FleetFlight(0)
+	if len(evs) != 3 {
+		t.Fatalf("FleetFlight returned %d events, want 3", len(evs))
+	}
+	want := []struct{ inst, detail string }{{"pub", "first"}, {"broker", "second"}, {"pub", "third"}}
+	for i, w := range want {
+		if evs[i].Instance != w.inst || evs[i].Detail != w.detail {
+			t.Errorf("event %d = %s/%s, want %s/%s", i, evs[i].Instance, evs[i].Detail, w.inst, w.detail)
+		}
+	}
+	if evs[0].Seq != 1 || evs[2].Seq != 2 {
+		t.Errorf("per-instance seqs not preserved: %d, %d", evs[0].Seq, evs[2].Seq)
+	}
+}
+
+func TestFleetHistoryMergedAndCursored(t *testing.T) {
+	m := newMember(t)
+	db := histdb.New(m.reg, histdb.WithInterval(time.Second))
+	// Remount /debug/history with a real db: easiest is a fresh member.
+	m2 := &member{reg: m.reg, trc: m.trc, rec: m.rec}
+	m2.srv = httptest.NewServer(obsv.DebugMuxFor(m.reg, obsv.NewHealth(), m.rec,
+		obsv.DebugEndpoint{Path: "/debug/trace", Handler: trace.Handler(m.trc), Desc: "trace"},
+		obsv.DebugEndpoint{Path: "/debug/history", Handler: histdb.Handler(db), Desc: "history"}))
+	defer m2.srv.Close()
+
+	m.reg.Counter("eventbus.published").Add(4)
+	db.Sample()
+	c := New(WithTargets(Target{Name: "broker", Addr: m2.addr()}), WithRetry(fastRetry))
+	c.ScrapeOnce(context.Background())
+	c.ScrapeOnce(context.Background()) // re-scrape must not duplicate points
+
+	hist := c.FleetHistory()
+	s, ok := hist[`eventbus.published{instance="broker"}`]
+	if !ok {
+		t.Fatalf("merged history missing instance-labeled series; have %v", keysOf(hist))
+	}
+	if len(s.Points) != 1 {
+		t.Errorf("series holds %d points after overlapping scrapes, want 1", len(s.Points))
+	}
+}
+
+func keysOf(m map[string]histdb.Series) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestFleetTraceAssemblyOverHTTP(t *testing.T) {
+	// Three processes, one record journey: the publisher starts the trace,
+	// the broker and subscriber Join it from wire-carried IDs — exactly the
+	// frameHello propagation path.
+	pub, broker, sub := newMember(t), newMember(t), newMember(t)
+
+	root := pub.trc.Start("pub.publish")
+	enc := root.Child("pbio.encode")
+	time.Sleep(time.Millisecond)
+	enc.Finish()
+
+	bctx := broker.trc.Join(root.Trace(), root.Span())
+	route := bctx.Child("broker.route")
+	sctx := sub.trc.Join(root.Trace(), route.Span())
+	dec := sctx.Child("pbio.decode")
+	time.Sleep(time.Millisecond)
+	dec.Finish()
+	route.Finish()
+	root.Finish()
+
+	c := New(WithTargets(
+		Target{Name: "pub", Addr: pub.addr()},
+		Target{Name: "broker", Addr: broker.addr()},
+		Target{Name: "sub", Addr: sub.addr()},
+	), WithRetry(fastRetry))
+	c.ScrapeOnce(context.Background())
+
+	// The index sees one trace spanning all three instances.
+	traces := c.Traces(0)
+	if len(traces) != 1 {
+		t.Fatalf("trace index holds %d traces, want 1", len(traces))
+	}
+	if got := traces[0].Instances; len(got) != 3 {
+		t.Fatalf("trace spans instances %v, want 3", got)
+	}
+
+	// And /fleet/trace/<id> serves the stitched tree.
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/fleet/trace/" + traces[0].Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tv TraceView
+	if err := json.NewDecoder(resp.Body).Decode(&tv); err != nil {
+		t.Fatal(err)
+	}
+	if tv.Spans != 4 || len(tv.Roots) != 1 {
+		t.Fatalf("assembled %d spans %d roots, want 4 spans 1 root", tv.Spans, len(tv.Roots))
+	}
+	if tv.Reference != "pub" {
+		t.Errorf("reference instance = %q, want pub (owns the root span)", tv.Reference)
+	}
+	// Parent links cross all three processes: pub.publish → {pbio.encode,
+	// broker.route → pbio.decode}.
+	rootView := tv.Roots[0]
+	if rootView.Name != "pub.publish" || rootView.Instance != "pub" {
+		t.Fatalf("root = %s on %s", rootView.Name, rootView.Instance)
+	}
+	byName := map[string]SpanView{}
+	var walk func(sv SpanView)
+	walk = func(sv SpanView) {
+		byName[sv.Name] = sv
+		for _, ch := range sv.Children {
+			walk(ch)
+		}
+	}
+	walk(rootView)
+	if byName["broker.route"].Instance != "broker" || byName["broker.route"].Parent != rootView.Span {
+		t.Errorf("broker.route not linked under root: %+v", byName["broker.route"])
+	}
+	if byName["pbio.decode"].Instance != "sub" || byName["pbio.decode"].Parent != byName["broker.route"].Span {
+		t.Errorf("pbio.decode not linked under broker.route: %+v", byName["pbio.decode"])
+	}
+	// Stage shares sum to 100%.
+	var sum float64
+	for _, st := range tv.Stages {
+		sum += st.SharePct
+	}
+	if sum < 99.9 || sum > 100.1 {
+		t.Errorf("stage shares sum to %.2f%%, want 100%%", sum)
+	}
+	// 404 and 400 paths.
+	if resp, _ := http.Get(srv.URL + "/fleet/trace/ffffffffffffffffffffffffffffffff"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace → %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := http.Get(srv.URL + "/fleet/trace/zzz"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad trace id → %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestCollectorStartStopLoop(t *testing.T) {
+	m := newMember(t)
+	m.reg.Counter("x").Add(1)
+	c := New(WithTargets(Target{Name: "m", Addr: m.addr()}),
+		WithRetry(fastRetry), WithInterval(5*time.Millisecond), WithObserver(obsv.New()))
+	c.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if c.rounds.Load() >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("scrape loop never ran twice")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Stop()
+	if got := c.FleetStats()[`x{instance="m"}`]; got != 1 {
+		t.Errorf("loop scrape missing stats: %d", got)
+	}
+}

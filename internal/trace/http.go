@@ -3,6 +3,8 @@ package trace
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // jsonSpan is the /debug/trace JSON shape: hex IDs, absolute nanosecond
@@ -33,8 +35,18 @@ type chromeEvent struct {
 // Handler serves the tracer's recorded spans:
 //
 //	GET /debug/trace                 {"spans":[...]} oldest first
+//	GET /debug/trace?since=NS        only spans starting after the unix-
+//	                                 nanosecond cursor NS — the incremental-
+//	                                 scrape parameter: a collector passes the
+//	                                 max start_unix_ns of its previous scrape
+//	                                 and never re-downloads the whole ring
 //	GET /debug/trace?format=chrome   Chrome trace_event JSON for
 //	                                 chrome://tracing / Perfetto
+//
+// The JSON response also carries now_unix_ns (the server clock at snapshot
+// time, a coarse cross-process skew hint) and recorded (spans recorded over
+// the tracer's lifetime, so a scraper can tell when the ring wrapped past
+// history it wanted).
 //
 // The chrome export groups spans by trace: each distinct TraceID becomes one
 // "thread" row so concurrent record journeys stack instead of interleaving.
@@ -48,9 +60,26 @@ func Handler(t *Tracer) http.Handler {
 			_ = enc.Encode(chromeTrace(spans))
 			return
 		}
+		if v := req.URL.Query().Get("since"); v != "" {
+			ns, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				http.Error(w, "trace: bad since", http.StatusBadRequest)
+				return
+			}
+			cut := time.Unix(0, ns)
+			kept := spans[:0]
+			for _, sp := range spans {
+				if sp.Start.After(cut) {
+					kept = append(kept, sp)
+				}
+			}
+			spans = kept
+		}
 		out := struct {
-			Spans []jsonSpan `json:"spans"`
-		}{Spans: make([]jsonSpan, 0, len(spans))}
+			NowUnixNS int64      `json:"now_unix_ns"`
+			Recorded  int64      `json:"recorded"`
+			Spans     []jsonSpan `json:"spans"`
+		}{NowUnixNS: time.Now().UnixNano(), Recorded: t.Recorded(), Spans: make([]jsonSpan, 0, len(spans))}
 		for _, sp := range spans {
 			js := jsonSpan{
 				Trace:   sp.Trace.String(),

@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# fleetsmoke.sh — boot a real four-process fleet (metaserver, eventbusd,
+# ompub, omsub) with -register fleet discovery plus an omcollect scraping it,
+# wait until one cross-process trace assembles, and snapshot the /fleet view
+# into $FLEET_OUT (default /tmp/fleetsmoke). CI uploads that directory as an
+# artifact, so every run leaves behind an inspectable assembled trace.
+#
+# Usage: scripts/fleetsmoke.sh
+# Env:   FLEET_OUT       output directory (default /tmp/fleetsmoke)
+#        FLEET_TIMEOUT   seconds to wait for a 3-instance trace (default 30)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${FLEET_OUT:-/tmp/fleetsmoke}"
+TIMEOUT="${FLEET_TIMEOUT:-30}"
+BIN="$(mktemp -d)"
+mkdir -p "$OUT"
+
+META=127.0.0.1:8700
+BROKER=127.0.0.1:8701
+DBG_BROKER=127.0.0.1:8781
+DBG_PUB=127.0.0.1:8782
+DBG_SUB=127.0.0.1:8783
+COLLECT=127.0.0.1:8790
+
+echo "fleetsmoke: building binaries"
+go build -o "$BIN" ./cmd/metaserver ./cmd/eventbusd ./cmd/ompub ./cmd/omsub ./cmd/omcollect
+
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+    wait 2>/dev/null || true
+    rm -rf "$BIN"
+}
+trap cleanup EXIT
+
+"$BIN/metaserver" -addr "$META" -builtin >"$OUT/metaserver.log" 2>&1 &
+PIDS+=($!)
+
+# Daemons -register at startup and exit if the registry is unreachable, so
+# wait for the metaserver to bind before starting anything that registers.
+for _ in $(seq 50); do
+    curl -sf "http://$META/instances/" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+
+"$BIN/eventbusd" -addr "$BROKER" -debug-addr "$DBG_BROKER" -trace-sample 1 \
+    -register "http://$META" -instance broker >"$OUT/eventbusd.log" 2>&1 &
+PIDS+=($!)
+
+# Wait for the broker's debug listener before pointing clients at it.
+for _ in $(seq 50); do
+    curl -sf "http://$DBG_BROKER/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+
+"$BIN/omsub" -broker "$BROKER" -stream faa.asd.departures -trace-sample 1 \
+    -debug-addr "$DBG_SUB" -register "http://$META" -instance sub \
+    >"$OUT/omsub.log" 2>&1 &
+PIDS+=($!)
+# Paced so the publisher's debug listener stays up while omcollect scrapes.
+"$BIN/ompub" -broker "$BROKER" -demo flights -n 200 -pace 100ms -trace-sample 1 \
+    -debug-addr "$DBG_PUB" -register "http://$META" -instance pub \
+    >"$OUT/ompub.log" 2>&1 &
+PIDS+=($!)
+"$BIN/omcollect" -registry "http://$META" -interval 500ms -addr "$COLLECT" \
+    >"$OUT/omcollect.log" 2>&1 &
+PIDS+=($!)
+
+echo "fleetsmoke: waiting up to ${TIMEOUT}s for a trace spanning pub, broker and sub"
+TRACE_ID=""
+for _ in $(seq $((TIMEOUT * 2))); do
+    TRACE_ID="$(curl -sf "http://$COLLECT/fleet/trace" 2>/dev/null |
+        jq -r '[.traces[]? | select((.instances | length) >= 3)][0].trace // empty')" || true
+    [ -n "$TRACE_ID" ] && break
+    sleep 0.5
+done
+if [ -z "$TRACE_ID" ]; then
+    echo "fleetsmoke: FAIL — no 3-instance trace assembled within ${TIMEOUT}s" >&2
+    curl -s "http://$COLLECT/fleet/members" >&2 || true
+    exit 1
+fi
+
+echo "fleetsmoke: assembled trace $TRACE_ID; snapshotting /fleet into $OUT"
+curl -sf "http://$COLLECT/fleet/members" >"$OUT/members.json"
+curl -sf "http://$COLLECT/fleet/stats" >"$OUT/stats.json"
+curl -sf "http://$COLLECT/fleet/flight?n=200" >"$OUT/flight.json"
+curl -sf "http://$COLLECT/fleet/trace" >"$OUT/traces.json"
+curl -sf "http://$COLLECT/fleet/trace/$TRACE_ID" >"$OUT/trace-$TRACE_ID.json"
+
+# The snapshot must actually contain the cross-process story: three
+# instances, a single root, zero orphans, shares summing to ~100.
+jq -e --arg id "$TRACE_ID" '
+    (.instances | length) >= 3 and
+    (.roots | length) == 1 and
+    .orphans == 0 and
+    ([.stages[].share_pct] | add | . > 99.9 and . < 100.1)
+' "$OUT/trace-$TRACE_ID.json" >/dev/null ||
+    {
+        echo "fleetsmoke: FAIL — assembled trace malformed:" >&2
+        cat "$OUT/trace-$TRACE_ID.json" >&2
+        exit 1
+    }
+
+echo "fleetsmoke: OK — $(jq -r '.spans' "$OUT/trace-$TRACE_ID.json") spans across $(jq -r '.instances | join(", ")' "$OUT/trace-$TRACE_ID.json")"
