@@ -79,6 +79,7 @@ func run(args []string) error {
 	writeDeadline := fs.Duration("write-deadline", 0, "per-subscriber flush deadline before a stalled peer is dropped (0 = default 2s)")
 	statsInterval := fs.Duration("stats-interval", 0, "log a one-line stats delta this often (0 = off)")
 	traceSample := fs.Int("trace-sample", 0, "record spans for 1 in N traces (1 = all, 0 = tracing off)")
+	exemplarsOn := fs.Bool("exemplars", true, "attach trace exemplars to latency histogram buckets (/stats?exemplars=1, OpenMetrics /metrics)")
 	planCacheMax := fs.Int("plan-cache-max", 0, "bound the scoped-conversion plan cache to this many entries (0 = unbounded)")
 	historyInterval := fs.Duration("history-interval", 0, "sample metrics into the /debug/history ring this often (0 = self-monitoring off)")
 	alertRules := fs.String("alert-rules", "", "alert rules: a rule file path or inline DSL (default: built-in queue-depth and plan-cache rules; needs -history-interval)")
@@ -95,6 +96,7 @@ func run(args []string) error {
 	}
 	slog.SetDefault(logger)
 	trace.Default().SetSampling(*traceSample)
+	obsv.SetExemplars(*exemplarsOn)
 	var opts []eventbus.BrokerOption
 	if *queueDepth > 0 {
 		opts = append(opts, eventbus.WithQueueDepth(*queueDepth))

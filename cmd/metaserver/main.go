@@ -64,6 +64,7 @@ func run(args []string) error {
 	alertRules := fs.String("alert-rules", "", "alert rules: a rule file path or inline DSL (needs -history-interval)")
 	profileDir := fs.String("profile-capture-dir", "", "also spill anomaly profile captures to this directory")
 	statsInterval := fs.Duration("stats-interval", 0, "log a one-line stats delta this often (0 = off)")
+	exemplarsOn := fs.Bool("exemplars", true, "attach trace exemplars to latency histogram buckets (/stats?exemplars=1, OpenMetrics /metrics)")
 	logFormat := fs.String("log-format", "text", "diagnostic log format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,6 +74,7 @@ func run(args []string) error {
 		return err
 	}
 	slog.SetDefault(logger)
+	obsv.SetExemplars(*exemplarsOn)
 
 	repo := discovery.NewRepository()
 	repo.SetWritable(*writable)

@@ -135,7 +135,7 @@ func TestRenderFleetColumns(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			out := renderFleet("test", tc.prev, cur, nil, 2*time.Second)
+			out := renderFleet("test", tc.prev, cur, nil, 2*time.Second, nil)
 			for _, w := range tc.want {
 				if !strings.Contains(out, w) {
 					t.Errorf("output missing %q:\n%s", w, out)
@@ -159,7 +159,7 @@ func TestRenderFleetHistogramChildrenCollapsed(t *testing.T) {
 	}
 	// Partial family on a second instance must not resurrect scalar rows.
 	cur[`h{instance="b"}.count`] = 2
-	out := renderFleet("test", nil, cur, nil, 0)
+	out := renderFleet("test", nil, cur, nil, 0, nil)
 	if strings.Contains(out, "h.count") || strings.Contains(out, "h.p50") {
 		t.Errorf("histogram children leaked into scalar rows:\n%s", out)
 	}

@@ -68,6 +68,7 @@ func run(args []string, out io.Writer) error {
 	once := fs.Bool("once", false, "print one snapshot and exit (no rates)")
 	clear := fs.Bool("clear", true, "clear the terminal between refreshes")
 	formats := fs.Bool("formats", false, "show the per-format wire accounting view")
+	showEx := fs.Bool("exemplars", false, "append each histogram's worst trace exemplar (short TraceID) to its row (single-daemon view)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,12 +101,19 @@ func run(args []string, out io.Writer) error {
 		fetch = func(string) (map[string]int64, error) { return fetchFleet(targets) }
 	}
 
+	// Exemplars only decorate the single-daemon view; the client-side fleet
+	// merge has no single URL to re-fetch the rich shape from.
+	getEx := func() exemplars { return nil }
+	if *showEx && !fleet {
+		getEx = func() exemplars { return fetchExemplars(url) }
+	}
+
 	prev, err := fetch(url)
 	if err != nil {
 		return err
 	}
 	if *once {
-		fmt.Fprint(out, view(url, nil, prev, fetchHistory(histURL), 0))
+		fmt.Fprint(out, view(url, nil, prev, fetchHistory(histURL), 0, getEx()))
 		return nil
 	}
 	for i := 0; *n == 0 || i < *n; i++ {
@@ -117,7 +125,7 @@ func run(args []string, out io.Writer) error {
 		if *clear {
 			fmt.Fprint(out, "\x1b[2J\x1b[H")
 		}
-		fmt.Fprint(out, view(url, prev, cur, fetchHistory(histURL), *interval))
+		fmt.Fprint(out, view(url, prev, cur, fetchHistory(histURL), *interval, getEx()))
 		prev = cur
 	}
 	return nil
@@ -173,6 +181,38 @@ func fetchHistory(url string) history {
 		h[name] = vals
 	}
 	return h
+}
+
+// exemplars maps a histogram family (or labeled child) name to its bucket
+// exemplars, lowest bucket first — the shape of /stats?exemplars=1.
+type exemplars map[string][]obsv.Exemplar
+
+// fetchExemplars pulls the daemon's trace exemplars. Best-effort like
+// fetchHistory: a daemon predating exemplar support (or one started with
+// -exemplars=false) simply yields rows without the ex column.
+func fetchExemplars(url string) exemplars {
+	resp, err := http.Get(url + "?exemplars=1")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	var body obsv.StatsWithExemplars
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil
+	}
+	return body.Exemplars
+}
+
+// shortTrace abbreviates a 32-hex TraceID to its 16-hex prefix for display;
+// the full ID is one curl of /stats?exemplars=1 away.
+func shortTrace(tid string) string {
+	if len(tid) > 16 {
+		return tid[:16]
+	}
+	return tid
 }
 
 // sparkBlocks are the eight block heights a sparkline cell can take.
@@ -232,8 +272,9 @@ var histSuffixes = []string{".count", ".sum", ".max", ".p50", ".p95", ".p99"}
 // render formats one refresh. With prev == nil (the -once path) counters
 // print as absolute values; otherwise they print as per-second rates over
 // elapsed. hist (may be nil) adds a per-row sparkline of the daemon's own
-// sampled history.
-func render(source string, prev, cur map[string]int64, hist history, elapsed time.Duration) string {
+// sampled history; ex (may be nil) adds each histogram family's worst trace
+// exemplar as a short TraceID.
+func render(source string, prev, cur map[string]int64, hist history, elapsed time.Duration, ex exemplars) string {
 	hists := map[string]bool{}
 	for k := range cur {
 		if base, ok := histBase(k, cur); ok {
@@ -282,8 +323,14 @@ func render(source string, prev, cur map[string]int64, hist history, elapsed tim
 			if s := sparkline(hist[base+".count"], sparkWidth); s != "" {
 				spark = "  " + s
 			}
-			fmt.Fprintf(&b, "%-44s %10s %10d %10d %10d %10d%s\n",
-				base, rate, cur[base+".p50"], cur[base+".p95"], cur[base+".p99"], cur[base+".max"], spark)
+			exCell := ""
+			// Bucket exemplars come lowest bucket first, so the last one is
+			// the worst traced sample the family has seen.
+			if exs := ex[base]; len(exs) > 0 {
+				exCell = "  ex=" + shortTrace(exs[len(exs)-1].TraceID)
+			}
+			fmt.Fprintf(&b, "%-44s %10s %10d %10d %10d %10d%s%s\n",
+				base, rate, cur[base+".p50"], cur[base+".p95"], cur[base+".p99"], cur[base+".max"], exCell, spark)
 		}
 	}
 	return b.String()
@@ -363,7 +410,7 @@ func formatRows(snap map[string]int64) map[string]*fmtRow {
 // when present, falling back to the broker's wire.meta.bytes; the ndr:xml
 // column is the live expansion-ratio gauge. The history parameter is
 // unused — sparklines only appear in the default view.
-func renderFormats(source string, prev, cur map[string]int64, _ history, elapsed time.Duration) string {
+func renderFormats(source string, prev, cur map[string]int64, _ history, elapsed time.Duration, _ exemplars) string {
 	rows := formatRows(cur)
 	var prevRows map[string]*fmtRow
 	if prev != nil {
@@ -553,7 +600,7 @@ const fleetCol = 22
 // one row per base name showing events/s (or total count with -once) and
 // p99. Cells for metrics an instance never reported show "-". The history
 // parameter is unused — sparklines only appear in the single-daemon view.
-func renderFleet(source string, prev, cur map[string]int64, _ history, elapsed time.Duration) string {
+func renderFleet(source string, prev, cur map[string]int64, _ history, elapsed time.Duration, _ exemplars) string {
 	type perInst map[string]map[string]int64 // instance → row → value
 	split := func(snap map[string]int64) perInst {
 		out := perInst{}

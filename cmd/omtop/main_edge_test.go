@@ -134,7 +134,7 @@ func TestRenderHistogramFamilyReset(t *testing.T) {
 			"dcg.convert_ns.p99":   300,
 		}
 	}
-	out := render("test", keys(50000), keys(12), nil, 2*time.Second)
+	out := render("test", keys(50000), keys(12), nil, 2*time.Second, nil)
 	line := ""
 	for _, l := range strings.Split(out, "\n") {
 		if strings.HasPrefix(l, "dcg.convert_ns") {
@@ -152,11 +152,11 @@ func TestRenderHistogramFamilyReset(t *testing.T) {
 // TestRenderEmptyHistory: rendering with an empty (but non-nil) history map
 // and an empty snapshot must not panic or emit sparkline glyphs.
 func TestRenderEmptyHistory(t *testing.T) {
-	out := render("test", nil, map[string]int64{"evb.published": 3}, history{}, 0)
+	out := render("test", nil, map[string]int64{"evb.published": 3}, history{}, 0, nil)
 	if strings.ContainsAny(out, "▁▂▃▄▅▆▇█") {
 		t.Fatalf("sparkline appeared with empty history:\n%s", out)
 	}
-	out = render("test", nil, map[string]int64{}, history{"orphan": {1, 2}}, 0)
+	out = render("test", nil, map[string]int64{}, history{"orphan": {1, 2}}, 0, nil)
 	if !strings.Contains(out, "omtop") {
 		t.Fatalf("header missing on empty snapshot:\n%s", out)
 	}

@@ -55,7 +55,7 @@ func TestRenderRatesAndHistograms(t *testing.T) {
 		"lat.count":     20, "lat.sum": 2000, "lat.max": 256,
 		"lat.p50": 100, "lat.p95": 200, "lat.p99": 250,
 	}
-	out := render("test", prev, cur, nil, 2*time.Second)
+	out := render("test", prev, cur, nil, 2*time.Second, nil)
 
 	if !strings.Contains(out, "evb.published") || !strings.Contains(out, "25.0/s") {
 		t.Fatalf("counter rate missing from output:\n%s", out)
@@ -83,7 +83,7 @@ func TestRenderRatesAndHistograms(t *testing.T) {
 
 func TestRenderOnceUsesAbsoluteValues(t *testing.T) {
 	cur := map[string]int64{"a": 5}
-	out := render("test", nil, cur, nil, 0)
+	out := render("test", nil, cur, nil, 0, nil)
 	if !strings.Contains(out, "5") || strings.Contains(out, "/s") {
 		t.Fatalf("once mode should print absolute values only:\n%s", out)
 	}
@@ -141,7 +141,7 @@ func TestRenderFormatsAggregatesPerFormat(t *testing.T) {
 		`pbio.format.decoded.records{format="CheckinEvent"}`:     30,
 		"plain.counter": 5,
 	}
-	out := renderFormats("test", prev, cur, nil, 2*time.Second)
+	out := renderFormats("test", prev, cur, nil, 2*time.Second, nil)
 
 	line := ""
 	for _, l := range strings.Split(out, "\n") {
@@ -172,14 +172,14 @@ func TestRenderFormatsOnceShowsTotals(t *testing.T) {
 	cur := map[string]int64{
 		`pbio.format.encoded.records{format="X"}`: 7,
 	}
-	out := renderFormats("test", nil, cur, nil, 0)
+	out := renderFormats("test", nil, cur, nil, 0, nil)
 	if !strings.Contains(out, "enc total") || !strings.Contains(out, "7.0") {
 		t.Fatalf("once mode should print absolute totals:\n%s", out)
 	}
 }
 
 func TestRenderFormatsEmpty(t *testing.T) {
-	out := renderFormats("test", nil, map[string]int64{"plain": 1}, nil, 0)
+	out := renderFormats("test", nil, map[string]int64{"plain": 1}, nil, 0, nil)
 	if !strings.Contains(out, "no labeled per-format series") {
 		t.Fatalf("empty formats view should say so:\n%s", out)
 	}
@@ -212,7 +212,7 @@ func TestRunPollsForNRefreshes(t *testing.T) {
 func TestRenderCounterReset(t *testing.T) {
 	prev := map[string]int64{"evb.published": 100000, "evb.other": 10}
 	cur := map[string]int64{"evb.published": 42, "evb.other": 30}
-	out := render("test", prev, cur, nil, 2*time.Second)
+	out := render("test", prev, cur, nil, 2*time.Second, nil)
 
 	resetLine := ""
 	for _, l := range strings.Split(out, "\n") {
@@ -230,7 +230,7 @@ func TestRenderCounterReset(t *testing.T) {
 		t.Fatalf("healthy counter's rate missing:\n%s", out)
 	}
 	// Next interval the baseline is the post-restart value again.
-	out = render("test", cur, map[string]int64{"evb.published": 62, "evb.other": 50}, nil, 2*time.Second)
+	out = render("test", cur, map[string]int64{"evb.published": 62, "evb.other": 50}, nil, 2*time.Second, nil)
 	if strings.Contains(out, "reset") {
 		t.Fatalf("reset marker persisted past the restart interval:\n%s", out)
 	}
@@ -241,7 +241,7 @@ func TestRenderCounterReset(t *testing.T) {
 func TestRenderFormatsCounterReset(t *testing.T) {
 	prev := map[string]int64{`pbio.format.encoded.records{format="X"}`: 100000}
 	cur := map[string]int64{`pbio.format.encoded.records{format="X"}`: 6}
-	out := renderFormats("test", prev, cur, nil, 2*time.Second)
+	out := renderFormats("test", prev, cur, nil, 2*time.Second, nil)
 	if regexp.MustCompile(`-\d`).MatchString(out) {
 		t.Fatalf("negative rate leaked across restart:\n%s", out)
 	}
@@ -276,12 +276,12 @@ func TestSparkline(t *testing.T) {
 func TestRenderSparklinesFromHistory(t *testing.T) {
 	cur := map[string]int64{"evb.queue_depth": 9}
 	hist := history{"evb.queue_depth": {0, 2, 4, 9}}
-	out := render("test", nil, cur, hist, 0)
+	out := render("test", nil, cur, hist, 0, nil)
 	if !strings.Contains(out, "▁") || !strings.Contains(out, "█") {
 		t.Fatalf("sparkline missing from row:\n%s", out)
 	}
 	// No history → no sparkline, and nothing breaks.
-	out = render("test", nil, cur, nil, 0)
+	out = render("test", nil, cur, nil, 0, nil)
 	if strings.ContainsAny(out, "▁▂▃▄▅▆▇█") {
 		t.Fatalf("sparkline appeared without history:\n%s", out)
 	}
@@ -309,5 +309,68 @@ func TestFetchHistory(t *testing.T) {
 	}
 	if h := fetchHistory("http://127.0.0.1:1/nope"); h != nil {
 		t.Fatalf("unreachable history must yield nil, got %v", h)
+	}
+}
+
+// TestRenderExemplarColumn covers the -exemplars decoration: histogram rows
+// gain an ex=<short TraceID> cell fed by /stats?exemplars=1, scalars never
+// do, and the worst (highest) bucket's exemplar wins.
+func TestRenderExemplarColumn(t *testing.T) {
+	histFam := map[string]int64{
+		"rt.ns.count": 10, "rt.ns.sum": 1000, "rt.ns.max": 500,
+		"rt.ns.p50": 80, "rt.ns.p95": 300, "rt.ns.p99": 450,
+		"evb.published": 7,
+	}
+	low := obsv.Exemplar{Bucket: 7, Value: 100, TraceID: strings.Repeat("aa", 16), TimeUnixNS: 1}
+	high := obsv.Exemplar{Bucket: 9, Value: 450, TraceID: strings.Repeat("bc", 16), TimeUnixNS: 2}
+	for _, tc := range []struct {
+		name string
+		ex   exemplars
+		want []string
+		not  []string
+	}{
+		{
+			name: "nil map leaves rows bare",
+			ex:   nil,
+			not:  []string{"ex="},
+		},
+		{
+			name: "worst bucket exemplar rendered short",
+			ex:   exemplars{"rt.ns": {low, high}},
+			want: []string{"ex=" + strings.Repeat("bc", 8)},
+			not:  []string{strings.Repeat("bc", 16), strings.Repeat("aa", 8)},
+		},
+		{
+			name: "exemplars for unknown families ignored",
+			ex:   exemplars{"other.ns": {high}},
+			not:  []string{"ex="},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			out := render("test", nil, histFam, nil, 0, tc.ex)
+			for _, w := range tc.want {
+				if !strings.Contains(out, w) {
+					t.Errorf("output missing %q:\n%s", w, out)
+				}
+			}
+			for _, n := range tc.not {
+				if strings.Contains(out, n) {
+					t.Errorf("output should not contain %q:\n%s", n, out)
+				}
+			}
+		})
+	}
+}
+
+// TestShortTrace pins the display abbreviation.
+func TestShortTrace(t *testing.T) {
+	for in, want := range map[string]string{
+		strings.Repeat("ab", 16): strings.Repeat("ab", 8),
+		"deadbeef":               "deadbeef",
+		"":                       "",
+	} {
+		if got := shortTrace(in); got != want {
+			t.Errorf("shortTrace(%q) = %q, want %q", in, got, want)
+		}
 	}
 }

@@ -1,0 +1,199 @@
+package openmeta
+
+// Trace-exemplar acceptance test: the headline of the exemplar work, proven
+// from HTTP alone. A traced pub→broker→sub workload runs over the real
+// backbone with per-process registries and tracers; the latency histograms it
+// leaves behind carry bucket exemplars (TraceIDs); and the collector resolves
+// one of those exemplars — via /fleet/exemplar/<metric> — into the same
+// parent-linked cross-process tree /fleet/trace/<id> serves, with stage
+// shares summing to 100%. In short: every latency number on the dashboard is
+// one GET away from the actual slow request that produced it.
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"openmeta/internal/airline"
+	"openmeta/internal/core"
+	"openmeta/internal/eventbus"
+	"openmeta/internal/machine"
+	"openmeta/internal/obsv"
+	"openmeta/internal/pbio"
+	"openmeta/internal/testutil"
+)
+
+func TestFleetExemplarEndToEnd(t *testing.T) {
+	pubProc, brkProc, subProc := newFleetProc(t), newFleetProc(t), newFleetProc(t)
+
+	broker, err := eventbus.Listen("127.0.0.1:0",
+		eventbus.WithTracer(brkProc.trc),
+		eventbus.WithObserver(brkProc.reg),
+		eventbus.WithFlightRecorder(brkProc.rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+
+	// The subscriber's pbio context reports into its process registry, so
+	// pbio.decode_ns exemplars land where the collector scrapes them.
+	subCtx, err := pbio.NewContext(machine.Native, pbio.WithObserver(subProc.reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := eventbus.DialSubscriber(broker.Addr().String(), subCtx,
+		eventbus.WithClientTracer(subProc.trc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Subscribe(airline.FlightStream); err != nil {
+		t.Fatal(err)
+	}
+
+	pub, err := eventbus.DialPublisher(broker.Addr().String(),
+		eventbus.WithClientTracer(pubProc.trc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close()
+
+	pubCtx, err := pbio.NewContext(machine.Native, pbio.WithObserver(pubProc.reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := core.RegisterDocument(pubCtx, []byte(airline.FlightSchema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	format, ok := set.Lookup("ASDOffEvent")
+	if !ok {
+		t.Fatal("flight schema missing ASDOffEvent")
+	}
+	gen := airline.NewFlightGen(1)
+	const records = 8
+	for i := 0; i < records; i++ {
+		if err := pub.PublishRecord(airline.FlightStream, format, gen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < records; i++ {
+		ev, err := sub.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ev.Decode(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	coll := NewFleetCollector(WithFleetTargets(
+		FleetTarget{Name: "pub", Component: "ompub", Addr: pubProc.addr()},
+		FleetTarget{Name: "broker", Component: "eventbusd", Addr: brkProc.addr()},
+		FleetTarget{Name: "sub", Component: "omsub", Addr: subProc.addr()},
+	))
+	fleetSrv := httptest.NewServer(FleetHandler(coll))
+	defer fleetSrv.Close()
+
+	// Scrape until the broker's routing exemplar is visible fleet-wide AND
+	// its trace has been assembled from all scraped rings (span finish and
+	// delivery race, so retry the scrape like an interval-driven collector).
+	metric := "eventbus.route_ns"
+	var rich obsv.StatsWithExemplars
+	testutil.WaitFor(t, 5*time.Second, "a fleet-visible routing exemplar", func() bool {
+		if coll.ScrapeOnce(context.Background()) != 3 {
+			return false
+		}
+		if err := getJSON(fleetSrv.URL+"/fleet/stats?exemplars=1", &rich); err != nil {
+			return false
+		}
+		return len(rich.Exemplars[metric+`{instance="broker"}`]) > 0
+	})
+
+	// The merged shape is consistent: the exemplar-bearing key also has its
+	// histogram family in the metrics map, and the TraceID is well-formed.
+	exs := rich.Exemplars[metric+`{instance="broker"}`]
+	worst := exs[len(exs)-1]
+	if len(worst.TraceID) != 32 || worst.TraceID == strings.Repeat("0", 32) {
+		t.Fatalf("exemplar TraceID = %q", worst.TraceID)
+	}
+	if rich.Metrics[metric+`{instance="broker"}.count`] < records {
+		t.Fatalf("exemplar key lacks its histogram family: count=%d",
+			rich.Metrics[metric+`{instance="broker"}.count`])
+	}
+	// The subscriber's decode histogram carries exemplars too — both ends of
+	// the journey are linked, not just the broker hop.
+	if len(rich.Exemplars[`pbio.decode_ns{instance="sub"}`]) == 0 {
+		t.Errorf("no pbio.decode_ns exemplars from the subscriber; keys: %d", len(rich.Exemplars))
+	}
+
+	// The same TraceIDs are also on the OpenMetrics wire: the broker's
+	// /metrics with content negotiation emits exemplar-suffixed bucket lines.
+	req, _ := http.NewRequest("GET", brkProc.srv.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/openmetrics-text")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	om := string(body)
+	if !strings.Contains(om, `_bucket{le=`) || !strings.Contains(om, `# {trace_id="`+worst.TraceID+`"}`) {
+		t.Fatalf("OpenMetrics exposition missing the exemplar for trace %s", worst.TraceID)
+	}
+
+	// The headline: one GET resolves the metric's worst exemplar into a
+	// parent-linked cross-process tree.
+	var ev struct {
+		Metric   string        `json:"metric"`
+		Instance string        `json:"instance"`
+		Exemplar obsv.Exemplar `json:"exemplar"`
+		Trace    struct {
+			Trace     string   `json:"trace"`
+			Spans     int      `json:"spans"`
+			Orphans   int      `json:"orphans"`
+			Instances []string `json:"instances"`
+			Stages    []struct {
+				Name     string  `json:"name"`
+				SharePct float64 `json:"share_pct"`
+			} `json:"stages"`
+			Roots []struct {
+				Name     string `json:"name"`
+				Instance string `json:"instance"`
+			} `json:"roots"`
+		} `json:"trace"`
+	}
+	if err := getJSON(fleetSrv.URL+"/fleet/exemplar/"+metric, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Metric != metric || ev.Instance != "broker" {
+		t.Fatalf("resolved %q on %q, want %q on broker", ev.Metric, ev.Instance, metric)
+	}
+	if ev.Exemplar.TraceID != ev.Trace.Trace {
+		t.Fatalf("exemplar trace %s but assembly is for %s", ev.Exemplar.TraceID, ev.Trace.Trace)
+	}
+	if len(ev.Trace.Instances) < 2 {
+		t.Fatalf("assembled exemplar trace spans instances %v, want >= 2", ev.Trace.Instances)
+	}
+	if ev.Trace.Orphans != 0 || len(ev.Trace.Roots) != 1 {
+		t.Fatalf("assembly: %d orphans, %d roots, want 0 and 1", ev.Trace.Orphans, len(ev.Trace.Roots))
+	}
+	if ev.Trace.Roots[0].Name != "pub.publish" || ev.Trace.Roots[0].Instance != "pub" {
+		t.Fatalf("root = %s on %s, want pub.publish on pub",
+			ev.Trace.Roots[0].Name, ev.Trace.Roots[0].Instance)
+	}
+	var sum float64
+	for _, st := range ev.Trace.Stages {
+		sum += st.SharePct
+	}
+	if sum < 99.9 || sum > 100.1 {
+		t.Errorf("stage shares sum to %.2f%%, want 100%%", sum)
+	}
+}

@@ -141,26 +141,37 @@ type ruleState struct {
 	firing       bool
 	firedAt      time.Time
 	lastValue    int64
+	// exemplars snapshots the breaching histogram's bucket exemplars at fire
+	// time (empty for non-histogram metrics), so the alert carries concrete
+	// TraceIDs from the incident window even after the metric recovers.
+	exemplars []obsv.Exemplar
 }
 
-// Status is one rule's current state, as served by StatusHandler.
+// Status is one rule's current state, as served by StatusHandler. Exemplars
+// carries the breaching histogram's fire-time bucket exemplars (value,
+// TraceID, timestamp) so /debug/alerts links the incident to real traces.
 type Status struct {
-	Rule      string    `json:"rule"`
-	Condition string    `json:"condition"`
-	Severity  string    `json:"severity"`
-	Firing    bool      `json:"firing"`
-	FiredAt   time.Time `json:"fired_at,omitempty"`
-	LastValue int64     `json:"last_value"`
+	Rule      string          `json:"rule"`
+	Condition string          `json:"condition"`
+	Severity  string          `json:"severity"`
+	Firing    bool            `json:"firing"`
+	FiredAt   time.Time       `json:"fired_at,omitempty"`
+	LastValue int64           `json:"last_value"`
+	Exemplars []obsv.Exemplar `json:"exemplars,omitempty"`
 }
 
 // Option configures an Engine.
 type Option func(*Engine)
 
 // WithObserver routes the engine's own metrics (alerts.active,
-// alerts.fired_total, alerts.resolved_total) into reg (default: none).
+// alerts.fired_total, alerts.resolved_total) into reg (default: none). The
+// registry is also where the engine resolves a breaching histogram metric
+// back to its live instrument at fire time, to attach its trace exemplars to
+// the alert_fired event and /debug/alerts status.
 func WithObserver(reg *obsv.Registry) Option {
 	return func(e *Engine) {
 		if reg != nil {
+			e.reg = reg
 			e.active = reg.Gauge("alerts.active")
 			e.fired = reg.Counter("alerts.fired_total")
 			e.resolved = reg.Counter("alerts.resolved_total")
@@ -202,6 +213,7 @@ type Engine struct {
 	db   *histdb.DB
 	rec  *flight.Recorder
 	capt Capturer
+	reg  *obsv.Registry // exemplar lookups for breaching histogram metrics
 
 	active   *obsv.Gauge
 	fired    *obsv.Counter
@@ -275,10 +287,22 @@ func (e *Engine) Eval() {
 		case !st.firing && st.breachStreak >= st.needTicks:
 			st.firing = true
 			st.firedAt = now
+			st.exemplars = e.exemplarsFor(st.rule.Metric)
 			e.fired.Inc()
 			e.active.Add(1)
-			e.rec.Record(flight.KindAlertFired, 0, st.rule.Name, 0, v,
-				st.rule.Severity.String()+" "+st.rule.Condition())
+			detail := st.rule.Severity.String() + " " + st.rule.Condition()
+			if n := len(st.exemplars); n > 0 {
+				// The highest populated bucket's exemplar is the worst traced
+				// request of the incident — name it in the flight event. The
+				// recorder stores details in a 64-byte inline slot, so the
+				// event carries the short ID (full IDs are in /debug/alerts).
+				tid := st.exemplars[n-1].TraceID
+				if len(tid) > 16 {
+					tid = tid[:16]
+				}
+				detail += " exemplar=" + tid
+			}
+			e.rec.Record(flight.KindAlertFired, 0, st.rule.Name, 0, v, detail)
 			if st.rule.Capture && e.capt != nil {
 				e.capt.Trigger("alert:" + st.rule.Name)
 			}
@@ -290,6 +314,25 @@ func (e *Engine) Eval() {
 				st.rule.Severity.String()+" "+st.rule.Condition())
 		}
 	}
+}
+
+// exemplarsFor resolves a rule metric back to its histogram's bucket
+// exemplars. Rule metrics name histdb series keys, so a histogram rule
+// carries a derived suffix ("pbio.encode_ns.p99") that is stripped to find
+// the instrument; non-histogram metrics (or registries without the metric)
+// yield nil.
+func (e *Engine) exemplarsFor(metric string) []obsv.Exemplar {
+	if e.reg == nil {
+		return nil
+	}
+	base := metric
+	for _, s := range obsv.HistogramSuffixes() {
+		if strings.HasSuffix(metric, s) {
+			base = strings.TrimSuffix(metric, s)
+			break
+		}
+	}
+	return e.reg.FindHistogram(base).Exemplars()
 }
 
 // FiringNames returns the names of currently firing rules, sorted — what the
@@ -322,6 +365,7 @@ func (e *Engine) Statuses() []Status {
 		}
 		if st.firing {
 			s.FiredAt = st.firedAt
+			s.Exemplars = st.exemplars
 		}
 		out = append(out, s)
 	}

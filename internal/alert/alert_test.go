@@ -315,3 +315,54 @@ func TestLoadRulesFileAndInline(t *testing.T) {
 		t.Fatalf("inline form: %v %+v", err, rules)
 	}
 }
+
+// TestFireAttachesHistogramExemplars pins the alert→trace link: a rule on a
+// histogram's derived p99 series fires and the alert carries the
+// histogram's bucket exemplars — the worst one's TraceID in the alert_fired
+// flight detail, all of them in the /debug/alerts status.
+func TestFireAttachesHistogramExemplars(t *testing.T) {
+	h := newHarness(t, Rule{
+		Name: "lat-p99", Metric: "lat.ns.p99", Op: OpGT, Threshold: 100,
+		Severity: SevWarn, // For: 0 fires on the first breaching sample
+	})
+	hist := h.reg.Histogram("lat.ns")
+	var slow, fast [16]byte
+	slow[15], fast[15] = 1, 2
+	hist.ObserveExemplar(50, fast)
+	for i := 0; i < 20; i++ {
+		hist.ObserveExemplar(5000, slow)
+	}
+	h.db.Sample()
+
+	if names := h.eng.FiringNames(); len(names) != 1 {
+		t.Fatalf("FiringNames = %v", names)
+	}
+	sts := h.eng.Statuses()
+	if len(sts) != 1 || len(sts[0].Exemplars) != 2 {
+		t.Fatalf("status exemplars = %+v", sts)
+	}
+	worst := sts[0].Exemplars[len(sts[0].Exemplars)-1]
+	if worst.Value != 5000 || worst.TraceID != "00000000000000000000000000000001" {
+		t.Fatalf("worst exemplar = %+v", worst)
+	}
+	evs := h.rec.Snapshot()
+	var fired *flight.Event
+	for i := range evs {
+		if evs[i].Kind == "alert_fired" {
+			fired = &evs[i]
+		}
+	}
+	// The flight recorder's 64-byte detail slot carries the short ID.
+	if fired == nil || !strings.Contains(fired.Detail, "exemplar="+worst.TraceID[:16]) {
+		t.Fatalf("alert_fired detail missing worst exemplar: %+v", fired)
+	}
+
+	// A non-histogram rule keeps firing without exemplars.
+	h2 := newHarness(t, depthRule)
+	h2.step(150)
+	h2.step(150)
+	h2.step(150)
+	if sts := h2.eng.Statuses(); len(sts) != 1 || sts[0].Exemplars != nil {
+		t.Fatalf("gauge rule grew exemplars: %+v", sts)
+	}
+}

@@ -55,6 +55,11 @@ func newCacheMetrics(r *obsv.Registry) cacheMetrics {
 var (
 	defaultCacheMetrics = newCacheMetrics(obsv.Default())
 	conversions         = obsv.Default().Counter("dcg.conversions")
+
+	// convertNS times traced conversions (Plan.ConvertCtx), stamping the
+	// TraceID onto the bucket as its exemplar. The untraced Convert hot path
+	// stays untimed, like the other codec microbenchmark subjects.
+	convertNS = obsv.Default().Histogram("dcg.convert_ns")
 )
 
 // CacheOption configures a Cache.

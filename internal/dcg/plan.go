@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"time"
 
 	"openmeta/internal/machine"
 	"openmeta/internal/pbio"
@@ -237,13 +238,16 @@ func (p *Plan) Convert(src []byte) ([]byte, error) {
 }
 
 // ConvertCtx is Convert with tracing: when tc is sampled the conversion is
-// recorded as a dcg.convert child span naming the format pair.
+// recorded as a dcg.convert child span naming the format pair, timed into
+// the dcg.convert_ns histogram with the TraceID as the bucket's exemplar.
 func (p *Plan) ConvertCtx(tc trace.Ctx, src []byte) ([]byte, error) {
 	if !tc.Sampled() {
 		return p.Convert(src)
 	}
 	sp := tc.Child("dcg.convert")
+	start := time.Now()
 	out, err := p.Convert(src)
+	convertNS.ObserveExemplar(time.Since(start).Nanoseconds(), tc.Trace())
 	sp.FinishDetail(p.Src.Name + "->" + p.Dst.Name)
 	return out, err
 }

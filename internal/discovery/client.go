@@ -222,7 +222,7 @@ func (c *Client) Schema(ctx context.Context, name string) (*xmlschema.Schema, er
 	sp := trace.FromContext(ctx).Child("discovery.fetch")
 	var out *xmlschema.Schema
 	err := retry.Do(ctx, c.retry, func(ctx context.Context) error {
-		s, ferr := c.fetchOnce(ctx, name, etag)
+		s, ferr := c.fetchOnce(ctx, name, etag, sp.Trace())
 		if ferr != nil {
 			return ferr
 		}
@@ -271,8 +271,10 @@ func (c *Client) serveStale(name string, fetchErr error) (*xmlschema.Schema, err
 
 // fetchOnce performs one conditional GET for name. Errors marked
 // retry.Permanent (4xx, unparseable documents) stop a retrying caller
-// immediately; everything else (transport errors, 5xx) is retryable.
-func (c *Client) fetchOnce(ctx context.Context, name, etag string) (*xmlschema.Schema, error) {
+// immediately; everything else (transport errors, 5xx) is retryable. tid is
+// the caller's TraceID (zero when unsampled), stamped onto the fetch-latency
+// histogram bucket as its exemplar.
+func (c *Client) fetchOnce(ctx context.Context, name, etag string, tid trace.TraceID) (*xmlschema.Schema, error) {
 	u := *c.base
 	u.Path = strings.TrimSuffix(u.Path, "/") + SchemaPathPrefix + url.PathEscape(name)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u.String(), nil)
@@ -285,7 +287,7 @@ func (c *Client) fetchOnce(ctx context.Context, name, etag string) (*xmlschema.S
 	c.obs.fetches.Add(1)
 	start := c.now()
 	resp, err := c.http.Do(req)
-	c.obs.fetchNS.Observe(c.now().Sub(start).Nanoseconds())
+	c.obs.fetchNS.ObserveExemplar(c.now().Sub(start).Nanoseconds(), tid)
 	if err != nil {
 		c.obs.fetchErrors.Add(1)
 		return nil, fmt.Errorf("discovery: fetch %q: %w", name, err)

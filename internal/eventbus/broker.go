@@ -62,6 +62,11 @@ type brokerMetrics struct {
 	formatsSent *obsv.Counter // format-metadata frames sent to subscribers
 	slowStalls  *obsv.Counter // must-send stalls on slow subscribers
 
+	// routeNS times publish-to-fanout routing (parse, stream bookkeeping,
+	// every subscriber delivery). Traced publishes stamp their TraceID onto
+	// the bucket as its exemplar, so a routing p99 spike names a real trace.
+	routeNS *obsv.Histogram // route_ns
+
 	// Labeled per-stream × per-format wire accounting. Children are resolved
 	// once per (stream, format) pair when the pair first appears (see
 	// stream.wireFor), so the routing hot path only touches counters.
@@ -79,6 +84,7 @@ func newBrokerMetrics(s obsv.Scope) brokerMetrics {
 		dropped:     s.Counter("dropped"),
 		formatsSent: s.Counter("formats_sent"),
 		slowStalls:  s.Counter("slow_subscriber_stalls"),
+		routeNS:     s.Histogram("route_ns"),
 		wireRecVec:  s.CounterVec("wire.records", "stream", "format"),
 		wireByteVec: s.CounterVec("wire.bytes", "stream", "format"),
 		delRecVec:   s.CounterVec("wire.delivered.records", "stream", "format"),
@@ -629,6 +635,7 @@ func (d *delivery) tracedPayload() []byte {
 }
 
 func (b *Broker) publish(bc *brokerConn, payload []byte, isTraced bool) error {
+	start := time.Now()
 	name, rest, err := getStr(payload)
 	if err != nil {
 		return err
@@ -704,6 +711,9 @@ func (b *Broker) publish(bc *brokerConn, payload []byte, isTraced bool) error {
 		}
 	}
 	d.route.FinishDetail(st.name)
+	// Traced publishes stamp their TraceID onto the routing histogram bucket;
+	// untraced ones still count (trace.TraceID zero value short-circuits).
+	b.m.routeNS.ObserveExemplar(time.Since(start).Nanoseconds(), tid)
 	return nil
 }
 

@@ -21,6 +21,32 @@ type Hist struct {
 	sum    int64
 	min    int64
 	max    int64
+	// ex holds one exemplar per octave (power of two), linking a recorded
+	// latency to the trace that produced it. Octave granularity (65 slots vs
+	// 3712 buckets) keeps the footprint small while still letting a quantile
+	// be resolved to a traced sample within 2× of its value.
+	ex [histOctaves]histExemplar
+}
+
+// histOctaves is one slot per power of two of the int64 range (bits.Len64
+// yields 0..64).
+const histOctaves = 65
+
+// histExemplar is one octave's remembered traced sample.
+type histExemplar struct {
+	value int64
+	tid   [16]byte
+	ts    int64
+	set   bool
+}
+
+// octaveIdx maps a value to its exemplar slot; negatives clamp to 0 like
+// bucketIdx.
+func octaveIdx(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	return bits.Len64(uint64(v))
 }
 
 const (
@@ -73,14 +99,60 @@ func (h *Hist) Record(v int64) {
 	h.sum += v
 }
 
+// RecordExemplar records v and, when tid is non-zero (the sample was
+// traced), remembers (v, tid, now) in v's octave slot, overwriting any
+// earlier exemplar there. Untraced samples should use Record.
+func (h *Hist) RecordExemplar(v int64, tid [16]byte, nowUnixNS int64) {
+	h.Record(v)
+	if tid == ([16]byte{}) {
+		return
+	}
+	h.ex[octaveIdx(v)] = histExemplar{value: v, tid: tid, ts: nowUnixNS, set: true}
+}
+
+// ExemplarNear resolves a quantile value to a traced sample: the exemplar
+// with the smallest value >= v, or failing that the largest recorded one.
+// ok is false when no traced sample was ever recorded.
+func (h *Hist) ExemplarNear(v int64) (value int64, tid [16]byte, tsUnixNS int64, ok bool) {
+	bestAbove, bestBelow := -1, -1
+	for i := range h.ex {
+		e := &h.ex[i]
+		if !e.set {
+			continue
+		}
+		if e.value >= v {
+			if bestAbove < 0 || e.value < h.ex[bestAbove].value {
+				bestAbove = i
+			}
+		} else if bestBelow < 0 || e.value > h.ex[bestBelow].value {
+			bestBelow = i
+		}
+	}
+	idx := bestAbove
+	if idx < 0 {
+		idx = bestBelow
+	}
+	if idx < 0 {
+		return 0, [16]byte{}, 0, false
+	}
+	e := &h.ex[idx]
+	return e.value, e.tid, e.ts, true
+}
+
 // Merge folds o's samples into h. Merging is exact: the result is identical
-// to having recorded every sample into h directly, in any order.
+// to having recorded every sample into h directly, in any order. Exemplars
+// merge worst-first: each octave keeps the larger of the two values.
 func (h *Hist) Merge(o *Hist) {
 	if o == nil || o.count == 0 {
 		return
 	}
 	for i, c := range o.counts {
 		h.counts[i] += c
+	}
+	for i := range o.ex {
+		if o.ex[i].set && (!h.ex[i].set || o.ex[i].value > h.ex[i].value) {
+			h.ex[i] = o.ex[i]
+		}
 	}
 	if h.count == 0 || o.min < h.min {
 		h.min = o.min

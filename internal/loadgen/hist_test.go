@@ -210,3 +210,53 @@ func TestBucketMappingRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestHistExemplars(t *testing.T) {
+	tidOf := func(b byte) (tid [16]byte) {
+		tid[15] = b
+		return
+	}
+	var h Hist
+	h.Record(10)
+	h.RecordExemplar(100, tidOf(1), 1000)
+	h.RecordExemplar(5000, tidOf(2), 2000)
+	h.RecordExemplar(120, tidOf(3), 3000)  // same octave as 100: overwrites
+	h.RecordExemplar(40, [16]byte{}, 4000) // untraced: counted, no exemplar
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5 (exemplar recording must still count)", h.Count())
+	}
+
+	// Nearest at-or-above wins.
+	v, tid, ts, ok := h.ExemplarNear(110)
+	if !ok || v != 120 || tid != tidOf(3) || ts != 3000 {
+		t.Fatalf("ExemplarNear(110) = %d %v %d %v", v, tid, ts, ok)
+	}
+	// Above every exemplar: fall back to the largest.
+	if v, tid, _, ok = h.ExemplarNear(1 << 40); !ok || v != 5000 || tid != tidOf(2) {
+		t.Fatalf("ExemplarNear(huge) = %d %v %v", v, tid, ok)
+	}
+	// Below every exemplar: smallest at-or-above.
+	if v, _, _, ok = h.ExemplarNear(0); !ok || v != 120 {
+		t.Fatalf("ExemplarNear(0) = %d %v", v, ok)
+	}
+
+	// No traced samples at all.
+	var empty Hist
+	empty.Record(7)
+	if _, _, _, ok := empty.ExemplarNear(7); ok {
+		t.Fatal("exemplar from untraced histogram")
+	}
+
+	// Merge keeps the worse exemplar per octave.
+	var a, b Hist
+	a.RecordExemplar(100, tidOf(1), 1)
+	b.RecordExemplar(110, tidOf(2), 2) // same octave, larger value
+	b.RecordExemplar(9000, tidOf(4), 3)
+	a.Merge(&b)
+	if v, tid, _, ok := a.ExemplarNear(100); !ok || v != 110 || tid != tidOf(2) {
+		t.Fatalf("merged octave exemplar = %d %v %v", v, tid, ok)
+	}
+	if v, tid, _, ok := a.ExemplarNear(8000); !ok || v != 9000 || tid != tidOf(4) {
+		t.Fatalf("merged high exemplar = %d %v %v", v, tid, ok)
+	}
+}

@@ -455,7 +455,9 @@ func Run(ctx context.Context, spec Spec) (*Report, error) {
 		rep.BrokerPublished = st.Published
 		rep.BrokerDelivered = st.Delivered
 	}
-	rep.Stages = stageShares(tracer.Snapshot())
+	spans := tracer.Snapshot()
+	rep.Stages = stageShares(spans)
+	rep.Autopsy = buildAutopsy(&overall, spans)
 	return rep, nil
 }
 
@@ -573,7 +575,13 @@ func (s *subscriber) loop(stream string) {
 		}
 		pubns, _ := rec["pubns"].(int64)
 		if pubns > 0 {
-			s.hist.Record(now - pubns)
+			if ev.Trace.Sampled() {
+				// A traced record: remember its latency + TraceID so the
+				// report's autopsy can link the p99 to an assembled trace.
+				s.hist.RecordExemplar(now-pubns, ev.Trace.Trace(), now)
+			} else {
+				s.hist.Record(now - pubns)
+			}
 		}
 		s.bytes += int64(len(ev.Data))
 		atomic.AddInt64(&s.recvd, 1)

@@ -84,6 +84,38 @@ func TestRunInProcessSmoke(t *testing.T) {
 		}
 	}
 
+	// Autopsy: with 1-in-4 sampling some traced record must have landed in
+	// the merged histogram, and its trace must assemble from the run's ring.
+	a := rep.Autopsy
+	if a == nil {
+		t.Fatal("no autopsy despite sampled tracing")
+	}
+	if len(a.TraceID) != 32 || a.TraceID == strings.Repeat("0", 32) {
+		t.Fatalf("autopsy trace id %q", a.TraceID)
+	}
+	if a.LatencyNS <= 0 || a.P99NS <= 0 {
+		t.Fatalf("autopsy latencies: %+v", a)
+	}
+	if a.SpanCount == 0 || len(a.Tree) != a.SpanCount {
+		t.Fatalf("autopsy tree: spans=%d tree=%d", a.SpanCount, len(a.Tree))
+	}
+	names := map[string]bool{}
+	for _, sp := range a.Tree {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"pub.publish", "broker.route"} {
+		if !names[want] {
+			t.Fatalf("autopsy tree missing %q: %+v", want, a.Tree)
+		}
+	}
+	var asum float64
+	for _, st := range a.Stages {
+		asum += st.SharePct
+	}
+	if math.Abs(asum-100) > 0.01 {
+		t.Fatalf("autopsy stage shares sum to %.3f%%, want 100%%", asum)
+	}
+
 	// JSON round-trip: the schema tag and key metrics survive.
 	data, err := rep.JSON()
 	if err != nil {
@@ -110,6 +142,13 @@ func TestRunInProcessSmoke(t *testing.T) {
 	}
 	if _, err := rep.Render("bogus"); err == nil {
 		t.Fatal("Render must reject unknown formats")
+	}
+	table, _ := rep.Render("table")
+	if !strings.Contains(table, "slowest-request autopsy") || !strings.Contains(table, a.TraceID) {
+		t.Fatalf("table render missing autopsy:\n%s", table)
+	}
+	if back.Autopsy == nil || back.Autopsy.TraceID != a.TraceID {
+		t.Fatalf("autopsy lost in JSON round-trip: %+v", back.Autopsy)
 	}
 }
 

@@ -88,6 +88,10 @@ type Report struct {
 	// breakdown from trace spans, largest share first; empty when tracing
 	// was disabled or (for remote brokers) no spans were captured.
 	Stages []StageShare `json:"stages,omitempty"`
+	// Autopsy links the run's p99 to a real traced request: the nearest
+	// traced sample's TraceID, its assembled span tree and that one
+	// request's own stage breakdown. Nil when tracing was disabled.
+	Autopsy *Autopsy `json:"autopsy,omitempty"`
 }
 
 // JSON renders the report as indented JSON.
@@ -193,6 +197,33 @@ func (r *Report) Table() string {
 		}
 		fmt.Fprintf(&b, "%-12s %9.1f%%\n", "total", sum)
 	}
+
+	if a := r.Autopsy; a != nil {
+		fmt.Fprintf(&b, "\nslowest-request autopsy (p99 exemplar)\n")
+		fmt.Fprintf(&b, "trace %s  e2e %s  (run p99 %s)  spans %d",
+			a.TraceID, fmtDur(a.LatencyNS), fmtDur(a.P99NS), a.SpanCount)
+		if a.Orphans > 0 {
+			fmt.Fprintf(&b, "  orphans %d", a.Orphans)
+		}
+		fmt.Fprintf(&b, "\n")
+		for _, sp := range a.Tree {
+			name := sp.Name
+			if sp.Detail != "" {
+				name += " (" + sp.Detail + ")"
+			}
+			fmt.Fprintf(&b, "  %s%-*s %10s\n", strings.Repeat("  ", sp.Depth),
+				28-2*sp.Depth, name, fmtDur(sp.DurNS))
+		}
+		for i, st := range a.Stages {
+			if i == 0 {
+				fmt.Fprintf(&b, "stage breakdown:")
+			}
+			fmt.Fprintf(&b, " %s %.1f%%", st.Name, st.SharePct)
+		}
+		if len(a.Stages) > 0 {
+			fmt.Fprintf(&b, "\n")
+		}
+	}
 	return b.String()
 }
 
@@ -226,6 +257,24 @@ func (r *Report) Markdown() string {
 		fmt.Fprintf(&b, "\n| stage | share | self time |\n|---|---|---|\n")
 		for _, st := range r.Stages {
 			fmt.Fprintf(&b, "| %s | %.1f%% | %s |\n", st.Name, st.SharePct, fmtDur(int64(st.Total)))
+		}
+	}
+	if a := r.Autopsy; a != nil {
+		fmt.Fprintf(&b, "\n### slowest-request autopsy\n\n")
+		fmt.Fprintf(&b, "- trace `%s`: e2e %s against a run p99 of %s (%d spans, %d orphans)\n",
+			a.TraceID, fmtDur(a.LatencyNS), fmtDur(a.P99NS), a.SpanCount, a.Orphans)
+		if len(a.Tree) > 0 {
+			fmt.Fprintf(&b, "\n| span | self+children | depth |\n|---|---|---|\n")
+			for _, sp := range a.Tree {
+				fmt.Fprintf(&b, "| %s%s | %s | %d |\n",
+					strings.Repeat("&nbsp;&nbsp;", sp.Depth), sp.Name, fmtDur(sp.DurNS), sp.Depth)
+			}
+		}
+		if len(a.Stages) > 0 {
+			fmt.Fprintf(&b, "\n| stage | share | self time |\n|---|---|---|\n")
+			for _, st := range a.Stages {
+				fmt.Fprintf(&b, "| %s | %.1f%% | %s |\n", st.Name, st.SharePct, fmtDur(int64(st.Total)))
+			}
 		}
 	}
 	return b.String()

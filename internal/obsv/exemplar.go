@@ -1,0 +1,237 @@
+// Exemplars link latency histograms to real traces: alongside its bucket
+// counts, a histogram remembers, per power-of-two bucket, the last sampled
+// observation that arrived with a TraceID — value, TraceID and wall-clock
+// timestamp. A p99 excursion in /stats is then not just a number: the bucket
+// the p99 falls in carries the ID of an actual request that landed there,
+// resolvable through /debug/trace (one process) or /fleet/trace/<id> (the
+// whole fleet) into an assembled span tree.
+//
+// The recording path shares the histogram hot-path contract: ObserveExemplar
+// performs no allocation after the slot array exists (it is created once, on
+// the first sampled observation) and takes no locks. Each bucket slot is a
+// seqlock — a writer that loses the CAS on the sequence word simply skips
+// (exemplars are best-effort samples; dropping one under contention is
+// fine), so writers never spin, and readers retry a bounded number of times.
+package obsv
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// exemplarsEnabled is the process-wide exemplar switch (daemons expose it as
+// -exemplars). Disabled, ObserveExemplar degrades to plain Observe.
+var exemplarsEnabled atomic.Bool
+
+func init() { exemplarsEnabled.Store(true) }
+
+// SetExemplars enables or disables exemplar capture process-wide. Recording
+// sites keep calling ObserveExemplar; with capture off only the histogram
+// counts are updated.
+func SetExemplars(on bool) { exemplarsEnabled.Store(on) }
+
+// ExemplarsEnabled reports whether exemplar capture is on.
+func ExemplarsEnabled() bool { return exemplarsEnabled.Load() }
+
+// exemplarSlot is one bucket's seqlocked exemplar: an odd seq means a write
+// is in flight, and seq==0 means the slot has never been written. The TraceID
+// is split across two words so the whole record stays plain atomics.
+type exemplarSlot struct {
+	seq   atomic.Uint64
+	value atomic.Int64
+	tidHi atomic.Uint64
+	tidLo atomic.Uint64
+	ts    atomic.Int64
+}
+
+// store publishes one exemplar. A concurrent writer makes the CAS fail and
+// the sample is dropped — best-effort by design, so the hot path never spins.
+func (s *exemplarSlot) store(v int64, hi, lo uint64, ts int64) {
+	seq := s.seq.Load()
+	if seq&1 != 0 || !s.seq.CompareAndSwap(seq, seq+1) {
+		return
+	}
+	s.value.Store(v)
+	s.tidHi.Store(hi)
+	s.tidLo.Store(lo)
+	s.ts.Store(ts)
+	s.seq.Store(seq + 2)
+}
+
+// load returns a consistent exemplar snapshot, or ok=false if the slot is
+// empty or a writer kept it busy across every retry.
+func (s *exemplarSlot) load() (v int64, hi, lo uint64, ts int64, ok bool) {
+	for range 4 {
+		seq := s.seq.Load()
+		if seq == 0 {
+			return
+		}
+		if seq&1 != 0 {
+			continue
+		}
+		v = s.value.Load()
+		hi = s.tidHi.Load()
+		lo = s.tidLo.Load()
+		ts = s.ts.Load()
+		if s.seq.Load() == seq {
+			ok = true
+			return
+		}
+	}
+	return 0, 0, 0, 0, false
+}
+
+// ObserveExemplar records one sample like Observe and, when tid is non-zero
+// and exemplars are enabled, stamps it as the exemplar of the bucket it lands
+// in. tid is an unnamed [16]byte so trace.TraceID values pass directly
+// without this package importing the trace package; the zero TraceID
+// (unsampled request) short-circuits to a plain observation.
+func (h *Histogram) ObserveExemplar(v int64, tid [16]byte) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if tid == ([16]byte{}) || !exemplarsEnabled.Load() {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	slots := h.ex.Load()
+	if slots == nil {
+		// One-time lazy allocation so exemplar-free histograms stay as small
+		// as before; losing the CAS means another observer installed it.
+		slots = new([histBuckets]exemplarSlot)
+		if !h.ex.CompareAndSwap(nil, slots) {
+			slots = h.ex.Load()
+		}
+	}
+	hi := binary.BigEndian.Uint64(tid[0:8])
+	lo := binary.BigEndian.Uint64(tid[8:16])
+	slots[bucketIndex(v)].store(v, hi, lo, time.Now().UnixNano())
+}
+
+// Exemplar is one bucket's exported exemplar: the bucket index (the sample
+// lies in [2^(bucket-1), 2^bucket), i.e. under the le=2^bucket-1 bound the
+// Prometheus exposition uses), the sampled value, the hex TraceID and the
+// capture time.
+type Exemplar struct {
+	Bucket     int    `json:"bucket"`
+	Value      int64  `json:"value"`
+	TraceID    string `json:"trace_id"`
+	TimeUnixNS int64  `json:"ts_unix_ns"`
+}
+
+// Exemplars returns every populated bucket exemplar, lowest bucket first.
+// Nil for a nil or exemplar-free histogram.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	slots := h.ex.Load()
+	if slots == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := range slots {
+		if ex, ok := readExemplar(&slots[i], i); ok {
+			out = append(out, ex)
+		}
+	}
+	return out
+}
+
+// exemplarFor returns the exemplar for one bucket, if populated.
+func (h *Histogram) exemplarFor(bucket int) (Exemplar, bool) {
+	if h == nil || bucket < 0 || bucket >= histBuckets {
+		return Exemplar{}, false
+	}
+	slots := h.ex.Load()
+	if slots == nil {
+		return Exemplar{}, false
+	}
+	return readExemplar(&slots[bucket], bucket)
+}
+
+func readExemplar(s *exemplarSlot, bucket int) (Exemplar, bool) {
+	v, hi, lo, ts, ok := s.load()
+	if !ok {
+		return Exemplar{}, false
+	}
+	var tid [16]byte
+	binary.BigEndian.PutUint64(tid[0:8], hi)
+	binary.BigEndian.PutUint64(tid[8:16], lo)
+	return Exemplar{Bucket: bucket, Value: v, TraceID: hex.EncodeToString(tid[:]), TimeUnixNS: ts}, true
+}
+
+// Exemplars returns every histogram's populated exemplars, keyed the same
+// way Snapshot keys histograms (name, or name{k="v",...} for labeled vector
+// children). Histograms without exemplars are omitted.
+func (r *Registry) Exemplars() map[string][]Exemplar {
+	out := map[string][]Exemplar{}
+	if r == nil {
+		return out
+	}
+	// Two phases, like Snapshot: copy the maps under the registry lock, walk
+	// vector children after releasing it.
+	r.mu.RLock()
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	histVecs := make(map[string]*HistogramVec, len(r.histVecs))
+	for n, v := range r.histVecs {
+		histVecs[n] = v
+	}
+	r.mu.RUnlock()
+	for n, h := range hists {
+		if ex := h.Exemplars(); len(ex) > 0 {
+			out[n] = ex
+		}
+	}
+	for n, v := range histVecs {
+		for _, c := range v.v.children() {
+			if ex := c.inst.Exemplars(); len(ex) > 0 {
+				out[n+c.labels.String()] = ex
+			}
+		}
+	}
+	return out
+}
+
+// FindHistogram returns the histogram registered under name without creating
+// it — nil if the name is unknown. name may be a labeled vector child in its
+// snapshot form, name{k="v",...}.
+func (r *Registry) FindHistogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	base, labels := name, ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base, labels = name[:i], name[i:]
+	}
+	r.mu.RLock()
+	h := r.hists[base]
+	v := r.histVecs[base]
+	r.mu.RUnlock()
+	if labels == "" {
+		return h
+	}
+	if v == nil {
+		return nil
+	}
+	for _, c := range v.v.children() {
+		if c.labels.String() == labels {
+			return c.inst
+		}
+	}
+	return nil
+}
+
+// bucketIndex returns the histogram bucket a (non-negative) sample lands in —
+// the same power-of-two rule Observe uses.
+func bucketIndex(v int64) int { return bits.Len64(uint64(v)) }

@@ -16,15 +16,33 @@ import (
 
 // Handler serves the registry snapshot as a sorted JSON object — the stats
 // endpoint mounted at /stats by DebugMux and exposed at the facade as
-// openmeta.StatsHandler().
+// openmeta.StatsHandler(). The default shape stays a flat map so existing
+// scrapers keep parsing it; ?exemplars=1 switches to the rich shape
+// {"metrics": <flat map>, "exemplars": {"<hist name>": [exemplar...]}}
+// carrying each histogram's per-bucket trace exemplars.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		snap := r.Snapshot()
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(snap) // maps marshal with sorted keys
+		if req.URL.Query().Get("exemplars") != "" {
+			_ = enc.Encode(StatsWithExemplars{
+				Metrics:   r.Snapshot(),
+				Exemplars: r.Exemplars(),
+			})
+			return
+		}
+		_ = enc.Encode(r.Snapshot()) // maps marshal with sorted keys
 	})
+}
+
+// StatsWithExemplars is the rich /stats?exemplars=1 response shape: the flat
+// snapshot plus every histogram's populated bucket exemplars, keyed the way
+// Snapshot keys histograms. It is also the wire shape telemetry scrapes and
+// re-serves fleet-wide from /fleet/stats?exemplars=1.
+type StatsWithExemplars struct {
+	Metrics   map[string]int64      `json:"metrics"`
+	Exemplars map[string][]Exemplar `json:"exemplars"`
 }
 
 // DebugEndpoint is an extra handler mounted onto DebugMux alongside the
@@ -67,9 +85,9 @@ func DebugMuxFor(r *Registry, h *Health, rec *flight.Recorder, extra ...DebugEnd
 	mux := http.NewServeMux()
 	index := []DebugEndpoint{
 		{Path: "/debug", Desc: "this index"},
-		{Path: "/stats", Desc: "instrument registry snapshot as flat JSON"},
+		{Path: "/stats", Desc: "instrument registry snapshot as flat JSON (?exemplars=1 adds per-bucket trace exemplars)"},
 		{Path: "/debug/stats", Desc: "alias of /stats"},
-		{Path: "/metrics", Desc: "Prometheus text exposition of the registry"},
+		{Path: "/metrics", Desc: "Prometheus text exposition of the registry (Accept: application/openmetrics-text for exemplars)"},
 		{Path: "/debug/flight", Desc: "protocol flight recorder, newest first (?conn=&stream=&kind=&n=; ?since_seq= scrapes incrementally from a seq cursor)"},
 		{Path: "/healthz", Desc: "liveness: 200 while the process serves HTTP"},
 		{Path: "/readyz", Desc: "readiness: 200 once every registered probe passes"},

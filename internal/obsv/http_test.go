@@ -202,6 +202,158 @@ func TestMetricsEndpointPrometheusFormat(t *testing.T) {
 	}
 }
 
+// TestMetricsEndpointOpenMetricsFormat mirrors the Prometheus parse test for
+// the OpenMetrics dialect negotiated via the Accept header: same series, a
+// trailing # EOF, and exemplar suffixes that appear only on histogram
+// _bucket lines — on exactly the bucket whose le bound covers the traced
+// sample, carrying the sample's hex TraceID, value and a wall-clock
+// timestamp.
+func TestMetricsEndpointOpenMetricsFormat(t *testing.T) {
+	r := New()
+	r.Counter("pbio.encode.calls").Add(5)
+	h := r.Histogram("lat.ns")
+	var tid [16]byte
+	for i := range tid {
+		tid[i] = 0xab
+	}
+	h.ObserveExemplar(100, tid) // bucket 7: le="127"
+	h.Observe(3)                // untraced sample, counts only
+	srv := httptest.NewServer(DebugMux(r))
+	defer srv.Close()
+
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text; version=1.0.0") {
+		t.Fatalf("content type %q", ct)
+	}
+
+	lines := strings.Split(strings.TrimRight(body, "\n"), "\n")
+	if last := lines[len(lines)-1]; last != "# EOF" {
+		t.Fatalf("last line %q, want # EOF", last)
+	}
+	exemplarLines := 0
+	for i, line := range lines[:len(lines)-1] {
+		if line == "" {
+			t.Fatalf("line %d: empty line in exposition", i)
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.Index(line, " # ")
+		if idx < 0 {
+			// An ordinary series line: "name value" with a single separator.
+			sp := strings.LastIndexByte(line, ' ')
+			if sp < 0 {
+				t.Fatalf("line %d: no value separator in %q", i, line)
+			}
+			if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+				t.Fatalf("line %d: bad value in %q: %v", i, line, err)
+			}
+			continue
+		}
+		exemplarLines++
+		series, ex := line[:idx], line[idx+3:]
+		name := series
+		if j := strings.IndexByte(name, '{'); j >= 0 {
+			name = name[:j]
+		}
+		if !strings.HasSuffix(name, "_bucket") {
+			t.Fatalf("line %d: exemplar on non-bucket series %q", i, series)
+		}
+		// The exemplar labelset is exactly {trace_id="<32 hex chars>"}.
+		const open = `{trace_id="`
+		if !strings.HasPrefix(ex, open) {
+			t.Fatalf("line %d: malformed exemplar %q", i, ex)
+		}
+		rest := ex[len(open):]
+		end := strings.Index(rest, `"} `)
+		if end < 0 {
+			t.Fatalf("line %d: unterminated exemplar labelset %q", i, ex)
+		}
+		gotTid := rest[:end]
+		if len(gotTid) != 32 {
+			t.Fatalf("line %d: trace_id %q is not 32 hex chars", i, gotTid)
+		}
+		for _, c := range gotTid {
+			if !((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) {
+				t.Fatalf("line %d: trace_id %q not hex-escaped", i, gotTid)
+			}
+		}
+		if gotTid != strings.Repeat("ab", 16) {
+			t.Fatalf("line %d: trace_id %q, want %s", i, gotTid, strings.Repeat("ab", 16))
+		}
+		fields := strings.Fields(rest[end+len(`"} `):])
+		if len(fields) != 2 {
+			t.Fatalf("line %d: exemplar tail %q, want value and timestamp", i, ex)
+		}
+		if v, err := strconv.ParseFloat(fields[0], 64); err != nil || v != 100 {
+			t.Fatalf("line %d: exemplar value %q, want 100 (%v)", i, fields[0], err)
+		}
+		if ts, err := strconv.ParseFloat(fields[1], 64); err != nil || ts <= 0 {
+			t.Fatalf("line %d: exemplar timestamp %q (%v)", i, fields[1], err)
+		}
+		if !strings.Contains(series, `le="127"`) {
+			t.Fatalf("line %d: exemplar on %q, want the le=\"127\" bucket", i, series)
+		}
+	}
+	if exemplarLines != 1 {
+		t.Fatalf("exemplar lines = %d, want exactly 1", exemplarLines)
+	}
+
+	// The plain Prometheus exposition is unchanged: no exemplars, no EOF.
+	_, plain := debugGet(t, srv, "/metrics")
+	if strings.Contains(plain, "trace_id") || strings.Contains(plain, "# EOF") {
+		t.Fatalf("plain /metrics leaked OpenMetrics syntax:\n%s", plain)
+	}
+}
+
+// TestStatsEndpointExemplars pins the /stats contract both ways: the default
+// response stays a flat map[string]int64 (existing scrapers), and
+// ?exemplars=1 returns the rich {metrics, exemplars} shape.
+func TestStatsEndpointExemplars(t *testing.T) {
+	r := New()
+	var tid [16]byte
+	tid[15] = 7
+	r.Histogram("lat.ns").ObserveExemplar(100, tid)
+	srv := httptest.NewServer(DebugMux(r))
+	defer srv.Close()
+
+	_, flatBody := debugGet(t, srv, "/stats")
+	var flat map[string]int64
+	if err := json.Unmarshal([]byte(flatBody), &flat); err != nil {
+		t.Fatalf("default /stats is no longer a flat map: %v", err)
+	}
+	if flat["lat.ns.count"] != 1 {
+		t.Fatalf("flat snapshot = %v", flat)
+	}
+
+	_, richBody := debugGet(t, srv, "/stats?exemplars=1")
+	var rich StatsWithExemplars
+	if err := json.Unmarshal([]byte(richBody), &rich); err != nil {
+		t.Fatalf("rich /stats: %v", err)
+	}
+	if rich.Metrics["lat.ns.count"] != 1 {
+		t.Fatalf("rich metrics = %v", rich.Metrics)
+	}
+	ex := rich.Exemplars["lat.ns"]
+	if len(ex) != 1 || ex[0].Value != 100 || ex[0].TraceID != "00000000000000000000000000000007" {
+		t.Fatalf("rich exemplars = %+v", rich.Exemplars)
+	}
+}
+
 func TestSnapshotIncludesP95(t *testing.T) {
 	r := New()
 	h := r.Histogram("lat")

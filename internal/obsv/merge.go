@@ -82,3 +82,16 @@ func MergeLabeled(dst, snap map[string]int64, labelKey, labelValue string) {
 		dst[AddLabel(k, suffix, labelKey, labelValue)] = v
 	}
 }
+
+// MergeLabeledExemplars folds one instance's exemplar map (as produced by
+// Registry.Exemplars) into dst, rewriting each histogram key with
+// labelKey="labelValue" exactly like MergeLabeled rewrites its snapshot
+// keys, so a merged exemplar stays attached to the same series name its
+// histogram family carries in the merged snapshot. Exemplar keys never carry
+// a histogram suffix (they name the histogram itself), so no suffix handling
+// is needed. Colliding keys are overwritten — the newest scrape wins.
+func MergeLabeledExemplars(dst map[string][]Exemplar, exemplars map[string][]Exemplar, labelKey, labelValue string) {
+	for k, ex := range exemplars {
+		dst[AddLabel(k, "", labelKey, labelValue)] = ex
+	}
+}

@@ -42,14 +42,14 @@ func TestMergeLabeledHistogramFamilies(t *testing.T) {
 	dst := map[string]int64{}
 	MergeLabeled(dst, snap, "instance", "broker-1")
 	want := map[string]int64{
-		`eventbus.published{instance="broker-1"}`: 10,
-		`lat{instance="broker-1"}.count`:          4,
-		`lat{instance="broker-1"}.sum`:            100,
-		`lat{instance="broker-1"}.max`:            50,
-		`lat{instance="broker-1"}.p50`:            20,
-		`lat{instance="broker-1"}.p95`:            45,
-		`lat{instance="broker-1"}.p99`:            50,
-		`conversions.count{instance="broker-1"}`:  7,
+		`eventbus.published{instance="broker-1"}`:   10,
+		`lat{instance="broker-1"}.count`:            4,
+		`lat{instance="broker-1"}.sum`:              100,
+		`lat{instance="broker-1"}.max`:              50,
+		`lat{instance="broker-1"}.p50`:              20,
+		`lat{instance="broker-1"}.p95`:              45,
+		`lat{instance="broker-1"}.p99`:              50,
+		`conversions.count{instance="broker-1"}`:    7,
 		`enc{format="f",instance="broker-1"}.count`: 1,
 		`enc{format="f",instance="broker-1"}.sum`:   2,
 		`enc{format="f",instance="broker-1"}.max`:   3,
@@ -66,5 +66,57 @@ func TestMergeLabeledHistogramFamilies(t *testing.T) {
 	if dst[`eventbus.published{instance="broker-1"}`] != 10 ||
 		dst[`eventbus.published{instance="broker-2"}`] != 3 {
 		t.Fatalf("second instance clobbered the first: %v", dst)
+	}
+}
+
+// TestMergeLabeledExemplarsRoundTrip drives a real registry's exemplars
+// through the same instance-labeling merge as MergeLabeled and checks the
+// merged exemplar keys still name histogram families present in the merged
+// snapshot — the invariant /fleet/stats?exemplars=1 relies on to resolve an
+// exemplar back to its series.
+func TestMergeLabeledExemplarsRoundTrip(t *testing.T) {
+	r := New()
+	var tid [16]byte
+	tid[0] = 0xfe
+	r.Histogram("pbio.encode_ns").ObserveExemplar(100, tid)
+	r.HistogramVec("rt.ns", "stream").With("orders").ObserveExemplar(2000, tid)
+
+	snap := r.Snapshot()
+	mergedStats := map[string]int64{}
+	mergedEx := map[string][]Exemplar{}
+	MergeLabeled(mergedStats, snap, "instance", "pub")
+	MergeLabeledExemplars(mergedEx, r.Exemplars(), "instance", "pub")
+
+	wantKeys := []string{
+		`pbio.encode_ns{instance="pub"}`,
+		`rt.ns{stream="orders",instance="pub"}`,
+	}
+	if len(mergedEx) != len(wantKeys) {
+		t.Fatalf("merged exemplar keys = %v, want %v", mergedEx, wantKeys)
+	}
+	for _, k := range wantKeys {
+		ex, ok := mergedEx[k]
+		if !ok || len(ex) != 1 {
+			t.Fatalf("missing merged exemplars under %q: %v", k, mergedEx)
+		}
+		if ex[0].TraceID != ex[0].TraceID[:32] || ex[0].TraceID[:2] != "fe" {
+			t.Fatalf("exemplar under %q lost its TraceID: %+v", k, ex[0])
+		}
+		// The merged snapshot must still carry the full histogram family
+		// under the same rewritten base name.
+		for _, s := range HistogramSuffixes() {
+			if _, ok := mergedStats[k+s]; !ok {
+				t.Fatalf("merged snapshot missing %s%s for exemplar key %q", k, s, k)
+			}
+		}
+	}
+
+	// A second instance's exemplars merge alongside, not over, the first.
+	MergeLabeledExemplars(mergedEx, map[string][]Exemplar{
+		"pbio.encode_ns": {{Bucket: 7, Value: 101, TraceID: "aa"}},
+	}, "instance", "sub")
+	if len(mergedEx[`pbio.encode_ns{instance="pub"}`]) != 1 ||
+		len(mergedEx[`pbio.encode_ns{instance="sub"}`]) != 1 {
+		t.Fatalf("second instance clobbered the first: %v", mergedEx)
 	}
 }

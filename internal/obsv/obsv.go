@@ -105,6 +105,9 @@ type histStripe struct {
 // under concurrency. A nil *Histogram is a no-op.
 type Histogram struct {
 	stripes [histStripes]histStripe
+	// ex holds the per-bucket exemplar slots (exemplar.go), allocated once
+	// on the first traced observation so untraced histograms pay nothing.
+	ex atomic.Pointer[[histBuckets]exemplarSlot]
 }
 
 // Observe records one sample. Negative samples are clamped to zero.

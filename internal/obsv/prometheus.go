@@ -15,16 +15,30 @@ import (
 // bounds (bucket i covers [2^(i-1), 2^i), so le="2^i - 1"), plus the usual
 // _sum and _count. Snapshot functions are exported as gauges. Instrument
 // names are sanitized for Prometheus ("." and "-" become "_").
+//
+// Clients that send an Accept header naming application/openmetrics-text get
+// the OpenMetrics dialect instead: the same series, a trailing # EOF marker,
+// and — only on histogram _bucket lines whose bucket holds an exemplar — the
+// OpenMetrics exemplar suffix # {trace_id="<hex>"} <value> <unix seconds>,
+// linking the bucket to a real traced request.
 func (r *Registry) MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		openMetrics := strings.Contains(req.Header.Get("Accept"), "application/openmetrics-text")
+		if openMetrics {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		} else {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		}
 		var b strings.Builder
-		r.writePrometheus(&b)
+		r.writePrometheus(&b, openMetrics)
+		if openMetrics {
+			b.WriteString("# EOF\n")
+		}
 		_, _ = w.Write([]byte(b.String()))
 	})
 }
 
-func (r *Registry) writePrometheus(b *strings.Builder) {
+func (r *Registry) writePrometheus(b *strings.Builder, openMetrics bool) {
 	if r == nil {
 		return
 	}
@@ -88,21 +102,24 @@ func (r *Registry) writePrometheus(b *strings.Builder) {
 	for _, n := range sortedKeys(hists) {
 		pn := promName(n)
 		fmt.Fprintf(b, "# TYPE %s histogram\n", pn)
-		writePromHistogram(b, pn, nil, hists[n].Value())
+		writePromHistogram(b, pn, nil, hists[n], openMetrics)
 	}
 	for _, n := range sortedKeys(histVecs) {
 		pn := promName(n)
 		fmt.Fprintf(b, "# TYPE %s histogram\n", pn)
 		for _, c := range histVecs[n].v.children() {
-			writePromHistogram(b, pn, c.labels, c.inst.Value())
+			writePromHistogram(b, pn, c.labels, c.inst, openMetrics)
 		}
 	}
 }
 
 // writePromHistogram emits one histogram series (optionally labeled) in the
 // text exposition format: cumulative _bucket lines with power-of-two le
-// bounds up to the highest populated bucket, +Inf, then _sum and _count.
-func writePromHistogram(b *strings.Builder, pn string, labels LabelSet, v HistogramValue) {
+// bounds up to the highest populated bucket, +Inf, then _sum and _count. In
+// OpenMetrics mode, a bucket line whose bucket holds an exemplar carries the
+// exemplar suffix (exemplars attach to _bucket series only).
+func writePromHistogram(b *strings.Builder, pn string, labels LabelSet, h *Histogram, openMetrics bool) {
+	v := h.Value()
 	// prefix opens the label braces for bucket lines so le can be appended;
 	// plain renders the labels alone for the _sum/_count lines.
 	prefix, plain := "{", ""
@@ -123,7 +140,15 @@ func writePromHistogram(b *strings.Builder, pn string, labels LabelSet, v Histog
 		// computed in floating point because bucket 64's bound overflows
 		// int64.
 		le := math.Ldexp(1, i) - 1
-		fmt.Fprintf(b, "%s%sle=\"%g\"} %d\n", pn+"_bucket", prefix, le, cum)
+		fmt.Fprintf(b, "%s%sle=\"%g\"} %d", pn+"_bucket", prefix, le, cum)
+		if openMetrics {
+			if ex, ok := h.exemplarFor(i); ok {
+				fmt.Fprintf(b, " # {trace_id=\"%s\"} %d %d.%09d",
+					escapeLabelValue(ex.TraceID), ex.Value,
+					ex.TimeUnixNS/1e9, ex.TimeUnixNS%1e9)
+			}
+		}
+		b.WriteByte('\n')
 	}
 	fmt.Fprintf(b, "%s%sle=\"+Inf\"} %d\n", pn+"_bucket", prefix, v.Count)
 	fmt.Fprintf(b, "%s_sum%s %d\n", pn, plain, v.Sum)

@@ -14,6 +14,13 @@ type obsMetrics struct {
 	decodeCalls *obsv.Counter
 	decodeBytes *obsv.Counter
 
+	// Codec latency histograms, observed by the EncodeCtx/DecodeCtx wrappers
+	// (the plain Encode/Decode hot paths stay untimed). A sampled request's
+	// TraceID rides along as the bucket exemplar, so a p99 excursion in
+	// pbio.encode_ns points at a resolvable trace.
+	encNS *obsv.Histogram // pbio.encode_ns
+	decNS *obsv.Histogram // pbio.decode_ns
+
 	// Labeled per-format families. Children are resolved once per format at
 	// adopt time (see formatMetrics), so the codec hot paths never touch the
 	// vector maps.
@@ -55,6 +62,8 @@ func contextMetrics(r *obsv.Registry) obsMetrics {
 		encodeBytes:  s.Counter("encode.bytes"),
 		decodeCalls:  s.Counter("decode.calls"),
 		decodeBytes:  s.Counter("decode.bytes"),
+		encNS:        s.Histogram("encode_ns"),
+		decNS:        s.Histogram("decode_ns"),
 		encRecVec:    s.CounterVec("format.encoded.records", "format"),
 		encByteVec:   s.CounterVec("format.encoded.bytes", "format"),
 		decRecVec:    s.CounterVec("format.decoded.records", "format"),

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"openmeta/internal/obsv"
 	"openmeta/internal/trace"
 )
 
@@ -17,6 +18,7 @@ import (
 //	GET /fleet                    index of endpoints (also at /fleet/)
 //	GET /fleet/members            scrape targets with health and clock hints
 //	GET /fleet/stats              every instance's /stats merged, instance-labeled
+//	                              (?exemplars=1 adds the merged bucket exemplars)
 //	GET /fleet/flight?n=N         flight events from all processes, one
 //	                              skew-adjusted time-ordered stream
 //	GET /fleet/history            instance-labeled merged metrics history
@@ -25,6 +27,10 @@ import (
 //	                              parent-linked tree: per-instance clock-skew
 //	                              estimates, orphan flags, and a per-stage
 //	                              self-time breakdown summing to 100%
+//	GET /fleet/exemplar/<metric>  the metric's worst still-assemblable bucket
+//	                              exemplar resolved into its cross-process
+//	                              trace tree (metric as the instruments name
+//	                              it: "eventbus.route_ns", "pbio.decode_ns")
 //
 // Mount it at /fleet/ (it self-routes on the suffix).
 func Handler(c *Collector) http.Handler {
@@ -39,6 +45,13 @@ func Handler(c *Collector) http.Handler {
 				Members []Member `json:"members"`
 			}{c.Members()})
 		case path == "stats":
+			if req.URL.Query().Get("exemplars") != "" {
+				writeJSON(w, obsv.StatsWithExemplars{
+					Metrics:   c.FleetStats(),
+					Exemplars: c.FleetExemplars(),
+				})
+				return
+			}
 			writeJSON(w, c.FleetStats())
 		case path == "flight":
 			limit := 0
@@ -73,6 +86,23 @@ func Handler(c *Collector) http.Handler {
 				return
 			}
 			writeJSON(w, AssemblyView(asm))
+		case strings.HasPrefix(path, "exemplar/"):
+			metric := strings.TrimPrefix(path, "exemplar/")
+			if metric == "" {
+				http.Error(w, "fleet: no metric", http.StatusBadRequest)
+				return
+			}
+			res, ok := c.ResolveExemplar(metric)
+			if !ok {
+				http.Error(w, "fleet: no assemblable exemplar for "+metric, http.StatusNotFound)
+				return
+			}
+			writeJSON(w, ExemplarView{
+				Metric:   res.Metric,
+				Instance: res.Instance,
+				Exemplar: res.Exemplar,
+				Trace:    AssemblyView(res.Assembly),
+			})
 		default:
 			http.NotFound(w, req)
 		}
@@ -89,13 +119,25 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 func serveIndex(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, `fleet telemetry endpoints:
-  /fleet/members      scrape targets with health and clock hints
-  /fleet/stats        merged instance-labeled metrics snapshot
-  /fleet/flight       skew-adjusted interleaved flight events (?n=)
-  /fleet/history      merged instance-labeled metrics history
-  /fleet/trace        assembled trace index, newest first
-  /fleet/trace/<id>   one cross-process trace tree with skew and stage shares
+  /fleet/members            scrape targets with health and clock hints
+  /fleet/stats              merged instance-labeled metrics snapshot (?exemplars=1 adds bucket exemplars)
+  /fleet/flight             skew-adjusted interleaved flight events (?n=)
+  /fleet/history            merged instance-labeled metrics history
+  /fleet/trace              assembled trace index, newest first
+  /fleet/trace/<id>         one cross-process trace tree with skew and stage shares
+  /fleet/exemplar/<metric>  the metric's worst exemplar resolved into its assembled trace
 `)
+}
+
+// ExemplarView is the /fleet/exemplar/<metric> response: the winning
+// exemplar (worst value whose trace still assembles), the instance that
+// recorded it, and the full assembled trace view — the same shape as
+// /fleet/trace/<id>, so tooling that reads one reads both.
+type ExemplarView struct {
+	Metric   string        `json:"metric"`
+	Instance string        `json:"instance"`
+	Exemplar obsv.Exemplar `json:"exemplar"`
+	Trace    TraceView     `json:"trace"`
 }
 
 // SpanView is one node of the /fleet/trace/<id> JSON tree.

@@ -75,9 +75,11 @@ type instance struct {
 	LastErr  string
 	LastOK   time.Time
 
-	// /stats — latest flat snapshot.
-	stats   map[string]int64
-	statsAt time.Time
+	// /stats — latest flat snapshot, plus the histograms' bucket exemplars
+	// from the rich ?exemplars=1 shape (empty when the target predates it).
+	stats     map[string]int64
+	exemplars map[string][]obsv.Exemplar
+	statsAt   time.Time
 
 	// /debug/trace — bounded span store plus the incremental cursor (max
 	// start_unix_ns seen) and the server-vs-collector clock delta observed
@@ -105,10 +107,10 @@ type Collector struct {
 	staticSet []Target
 	registry  string // metaserver base URL, "" = static targets only
 
-	interval time.Duration
-	client   *http.Client
-	policy   retry.Policy
-	spanCap  int
+	interval  time.Duration
+	client    *http.Client
+	policy    retry.Policy
+	spanCap   int
 	flightCap int
 
 	rounds    *obsv.Counter
@@ -402,9 +404,22 @@ func (c *Collector) scrapeTarget(ctx context.Context, name string) bool {
 	}
 
 	// /stats — the whole flat snapshot every round; it is small and merging
-	// deltas would lose gauge semantics.
+	// deltas would lose gauge semantics. Scraped with ?exemplars=1 so the
+	// response also carries histogram bucket exemplars; a target that ignores
+	// the parameter (older build) still answers with the flat map, so both
+	// shapes are accepted.
 	var stats map[string]int64
-	statsErr := c.getJSON(ctx, base+"/stats", &stats)
+	var exemplars map[string][]obsv.Exemplar
+	var rawStats json.RawMessage
+	statsErr := c.getJSON(ctx, base+"/stats?exemplars=1", &rawStats)
+	if statsErr == nil {
+		var rich obsv.StatsWithExemplars
+		if err := json.Unmarshal(rawStats, &rich); err == nil && rich.Metrics != nil {
+			stats, exemplars = rich.Metrics, rich.Exemplars
+		} else if err := json.Unmarshal(rawStats, &stats); err != nil {
+			statsErr = fmt.Errorf("telemetry: GET %s/stats: bad body: %w", base, err)
+		}
+	}
 	fail(statsErr)
 
 	// /debug/trace — incremental by span start time.
@@ -459,6 +474,7 @@ func (c *Collector) scrapeTarget(ctx context.Context, name string) bool {
 	}
 	if statsErr == nil && stats != nil {
 		inst.stats = stats
+		inst.exemplars = exemplars
 		inst.statsAt = time.Now()
 	}
 	if traceErr == nil {
@@ -586,6 +602,74 @@ func (c *Collector) FleetStats() map[string]int64 {
 		out[obsv.AddLabel("fleet.instance.up", "", "instance", inst.Name)] = up
 	}
 	return out
+}
+
+// FleetExemplars merges every instance's histogram bucket exemplars under
+// instance-labeled keys (obsv.MergeLabeledExemplars), mirroring how
+// FleetStats labels its merged snapshot — an exemplar key here names the
+// same series its histogram family carries in FleetStats.
+func (c *Collector) FleetExemplars() map[string][]obsv.Exemplar {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string][]obsv.Exemplar)
+	for _, inst := range c.targets {
+		obsv.MergeLabeledExemplars(out, inst.exemplars, "instance", inst.Name)
+	}
+	return out
+}
+
+// ResolvedExemplar is one exemplar resolved through trace assembly: the
+// instance that recorded it, the exemplar itself, and the assembled
+// cross-process trace its TraceID leads to.
+type ResolvedExemplar struct {
+	Metric   string
+	Instance string
+	Exemplar obsv.Exemplar
+	Assembly *trace.Assembly
+}
+
+// ResolveExemplar links a metric name straight through to an assembled
+// trace: it collects every instance's exemplars for metric (an unlabeled
+// histogram name like "eventbus.route_ns", or a labeled child in snapshot
+// form), orders them worst (highest value) first, and returns the first one
+// whose TraceID still assembles from the merged span store. ok is false when
+// no instance holds an exemplar for the metric or every exemplar's trace has
+// aged out of the span rings.
+func (c *Collector) ResolveExemplar(metric string) (ResolvedExemplar, bool) {
+	type candidate struct {
+		instance string
+		ex       obsv.Exemplar
+	}
+	var cands []candidate
+	c.mu.Lock()
+	for _, inst := range c.targets {
+		for key, exs := range inst.exemplars {
+			if key != metric && !strings.HasPrefix(key, metric+"{") {
+				continue
+			}
+			for _, ex := range exs {
+				cands = append(cands, candidate{instance: inst.Name, ex: ex})
+			}
+		}
+	}
+	c.mu.Unlock()
+	// Worst first: the whole point of an exemplar lookup is the tail.
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].ex.Value > cands[j].ex.Value })
+	for _, cand := range cands {
+		tid, ok := trace.ParseTraceID(cand.ex.TraceID)
+		if !ok {
+			continue
+		}
+		if asm := c.Assemble(tid); asm.Spans > 0 {
+			return ResolvedExemplar{
+				Metric:   metric,
+				Instance: cand.instance,
+				Exemplar: cand.ex,
+				Assembly: asm,
+			}, true
+		}
+	}
+	return ResolvedExemplar{}, false
 }
 
 // FleetFlight interleaves every instance's flight events into one

@@ -409,3 +409,108 @@ func TestCollectorStartStopLoop(t *testing.T) {
 		t.Errorf("loop scrape missing stats: %d", got)
 	}
 }
+
+func TestFleetExemplarResolvesOverHTTP(t *testing.T) {
+	// Same three-process journey as the assembly test, but this time the
+	// broker's routing histogram carries the TraceID as a bucket exemplar —
+	// the link under test runs metric → exemplar → assembled tree.
+	pub, broker, sub := newMember(t), newMember(t), newMember(t)
+
+	root := pub.trc.Start("pub.publish")
+	enc := root.Child("pbio.encode")
+	time.Sleep(time.Millisecond)
+	enc.Finish()
+	bctx := broker.trc.Join(root.Trace(), root.Span())
+	route := bctx.Child("broker.route")
+	sctx := sub.trc.Join(root.Trace(), route.Span())
+	dec := sctx.Child("pbio.decode")
+	time.Sleep(time.Millisecond)
+	dec.Finish()
+	route.Finish()
+	root.Finish()
+
+	broker.reg.Histogram("eventbus.route_ns").ObserveExemplar(900, root.Trace())
+	// A worse exemplar whose trace was never scraped: resolution must skip
+	// it and fall back to the assemblable one.
+	var ghost [16]byte
+	ghost[0] = 0xdd
+	broker.reg.Histogram("eventbus.route_ns").ObserveExemplar(1<<20, ghost)
+
+	c := New(WithTargets(
+		Target{Name: "pub", Addr: pub.addr()},
+		Target{Name: "broker", Addr: broker.addr()},
+		Target{Name: "sub", Addr: sub.addr()},
+	), WithRetry(fastRetry))
+	c.ScrapeOnce(context.Background())
+
+	// The merged exemplar map keys match the merged snapshot's series names.
+	fx := c.FleetExemplars()
+	if exs := fx[`eventbus.route_ns{instance="broker"}`]; len(exs) != 2 {
+		t.Fatalf("merged exemplars = %v", fx)
+	}
+
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	// /fleet/stats?exemplars=1 carries the rich shape; plain stays flat.
+	resp, err := http.Get(srv.URL + "/fleet/stats?exemplars=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rich obsv.StatsWithExemplars
+	if err := json.NewDecoder(resp.Body).Decode(&rich); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(rich.Exemplars[`eventbus.route_ns{instance="broker"}`]) != 2 {
+		t.Fatalf("rich fleet stats exemplars = %v", rich.Exemplars)
+	}
+	if rich.Metrics[`eventbus.route_ns{instance="broker"}.count`] != 2 {
+		t.Fatalf("rich fleet stats metrics missing histogram family: %v", rich.Metrics)
+	}
+	resp, err = http.Get(srv.URL + "/fleet/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flat map[string]int64
+	if err := json.NewDecoder(resp.Body).Decode(&flat); err != nil {
+		t.Fatalf("plain /fleet/stats no longer flat: %v", err)
+	}
+	resp.Body.Close()
+
+	// /fleet/exemplar/<metric>: the ghost exemplar is worse but cannot
+	// assemble, so the traced one wins and resolves into the full tree.
+	resp, err = http.Get(srv.URL + "/fleet/exemplar/eventbus.route_ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exemplar resolution → %d", resp.StatusCode)
+	}
+	var ev ExemplarView
+	if err := json.NewDecoder(resp.Body).Decode(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Instance != "broker" || ev.Exemplar.Value != 900 {
+		t.Fatalf("resolved exemplar = %+v", ev)
+	}
+	if ev.Exemplar.TraceID != root.Trace().String() || ev.Trace.Trace != root.Trace().String() {
+		t.Fatalf("resolved trace = %q / %q, want %q", ev.Exemplar.TraceID, ev.Trace.Trace, root.Trace())
+	}
+	if ev.Trace.Spans != 4 || ev.Trace.Orphans != 0 || len(ev.Trace.Instances) != 3 {
+		t.Fatalf("assembled view = %+v", ev.Trace)
+	}
+	var sum float64
+	for _, st := range ev.Trace.Stages {
+		sum += st.SharePct
+	}
+	if sum < 99.9 || sum > 100.1 {
+		t.Fatalf("stage shares sum to %.2f%%", sum)
+	}
+
+	// Unknown metric and empty metric fail loudly.
+	if resp, _ := http.Get(srv.URL + "/fleet/exemplar/no.such_ns"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown metric → %d, want 404", resp.StatusCode)
+	}
+}

@@ -85,6 +85,9 @@ if [ "$MODE" != compare-only ]; then
     echo "== self-monitoring sampler benchmark"
     go test -run xxx -bench BenchmarkSample -benchmem \
         -benchtime "$BENCH_TIME" -count "$BENCH_COUNT" ./internal/histdb/ | tee -a "$TXT"
+    echo "== exemplar hot-path benchmark"
+    go test -run xxx -bench BenchmarkObserveExemplar -benchmem \
+        -benchtime "$BENCH_TIME" -count "$BENCH_COUNT" ./internal/obsv/ | tee -a "$TXT"
 
     # Convert `go test -bench` lines into JSON. Benchmark lines look like:
     #   BenchmarkTable1Registration/native-8  1000  1234 ns/op  56 B/op  7 allocs/op
@@ -202,3 +205,26 @@ if [ "$(printf '%.0f' "$HIST_NS")" -gt "$BUDGET" ]; then
     exit 1
 fi
 echo "bench: histdb sampler at $HIST_NS ns/op (budget $BUDGET)"
+
+# Absolute gate on exemplar recording: ObserveExemplar sits on the encode /
+# decode / route hot paths, so like the sampler it gets a hard ns/op budget
+# (override with EXEMPLAR_BUDGET_NS) rather than a relative gate — the number
+# must stay in tens-of-nanoseconds territory, not merely "no worse than last
+# PR". The allocation guarantee (0 allocs/op steady state) is enforced by
+# TestExemplarHotPathAllocs; this guards the latency side.
+EX_BUDGET="${EXEMPLAR_BUDGET_NS:-2000}"
+echo "== exemplar recording budget (BenchmarkObserveExemplar <= $EX_BUDGET ns/op)"
+EX_NS="$(jq -r '[.[] | select(.name | test("^BenchmarkObserveExemplar")) | .ns_per_op] | max // empty' "$OUT")"
+if [ -z "$EX_NS" ]; then
+    if [ "$MODE" = compare-only ]; then
+        echo "bench: BenchmarkObserveExemplar not in $OUT, skipping budget check (compare-only)"
+        exit 0
+    fi
+    echo "bench: BenchmarkObserveExemplar missing from $OUT" >&2
+    exit 1
+fi
+if [ "$(printf '%.0f' "$EX_NS")" -gt "$EX_BUDGET" ]; then
+    echo "bench: obsv BenchmarkObserveExemplar at $EX_NS ns/op exceeds budget $EX_BUDGET" >&2
+    exit 1
+fi
+echo "bench: exemplar recording at $EX_NS ns/op (budget $EX_BUDGET)"

@@ -103,3 +103,34 @@ jq -e --arg id "$TRACE_ID" '
     }
 
 echo "fleetsmoke: OK — $(jq -r '.spans' "$OUT/trace-$TRACE_ID.json") spans across $(jq -r '.instances | join(", ")' "$OUT/trace-$TRACE_ID.json")"
+
+# Exemplar resolution: the broker's routing histogram must carry a trace
+# exemplar, and /fleet/exemplar/<metric> must resolve it into an assembled
+# tree — the metric→trace link, exercised over the real four-process fleet.
+echo "fleetsmoke: resolving a trace exemplar for eventbus.route_ns"
+EX_OK=""
+for _ in $(seq $((TIMEOUT * 2))); do
+    if curl -sf "http://$COLLECT/fleet/exemplar/eventbus.route_ns" >"$OUT/exemplar.json" 2>/dev/null; then
+        EX_OK=1
+        break
+    fi
+    sleep 0.5
+done
+if [ -z "$EX_OK" ]; then
+    echo "fleetsmoke: FAIL — /fleet/exemplar/eventbus.route_ns never resolved" >&2
+    curl -s "http://$COLLECT/fleet/stats?exemplars=1" >&2 || true
+    exit 1
+fi
+jq -e '
+    (.exemplar.trace_id | length) == 32 and
+    .exemplar.trace_id == .trace.trace and
+    .trace.spans > 0 and
+    (.trace.instances | length) >= 2 and
+    ([.trace.stages[].share_pct] | add | . > 99.9 and . < 100.1)
+' "$OUT/exemplar.json" >/dev/null ||
+    {
+        echo "fleetsmoke: FAIL — resolved exemplar malformed:" >&2
+        cat "$OUT/exemplar.json" >&2
+        exit 1
+    }
+echo "fleetsmoke: OK — exemplar $(jq -r '.exemplar.trace_id' "$OUT/exemplar.json") (${OUT}/exemplar.json) resolves across $(jq -r '.trace.instances | join(", ")' "$OUT/exemplar.json")"
