@@ -30,6 +30,16 @@
 //	curl http://127.0.0.1:8781/debug/flight?kind=alert
 //	curl http://127.0.0.1:8781/debug/profiles/
 //
+// Runtime & contention observability is always partially on: the Go
+// runtime's GC-pause/scheduler-latency/heap/goroutine telemetry is bridged
+// into the registry (runtime.* metrics), and the broker's routing lock plus
+// the plan-cache lock publish wait/hold histograms. /debug/contention serves
+// the tracked-lock snapshots together with runtime mutex/block profile
+// deltas; the profiles need a sampling rate:
+//
+//	eventbusd -addr :8701 -debug-addr 127.0.0.1:8781 -contention-rate 5
+//	curl http://127.0.0.1:8781/debug/contention
+//
 // With -register <metaserver-url> the broker announces its debug listener
 // to the fleet registry (/instances/ on the metaserver, heartbeat-kept), so
 // cmd/omcollect discovers and scrapes it without static configuration; the
@@ -84,6 +94,7 @@ func run(args []string) error {
 	historyInterval := fs.Duration("history-interval", 0, "sample metrics into the /debug/history ring this often (0 = self-monitoring off)")
 	alertRules := fs.String("alert-rules", "", "alert rules: a rule file path or inline DSL (default: built-in queue-depth and plan-cache rules; needs -history-interval)")
 	profileDir := fs.String("profile-capture-dir", "", "also spill anomaly profile captures to this directory (captures are in-memory otherwise)")
+	contentionRate := fs.Int("contention-rate", 0, "runtime mutex/block profiling rate feeding /debug/contention (N samples ~1-in-N contention events; 0 = profiles off, tracked locks stay on)")
 	register := fs.String("register", "", "metaserver base URL to self-register the debug endpoint with (fleet discovery for omcollect; needs -debug-addr)")
 	instanceName := fs.String("instance", "", "fleet instance name for -register (default eventbusd-<host>-<pid>)")
 	logFormat := fs.String("log-format", "text", "diagnostic log format: text or json")
@@ -97,6 +108,12 @@ func run(args []string) error {
 	slog.SetDefault(logger)
 	trace.Default().SetSampling(*traceSample)
 	obsv.SetExemplars(*exemplarsOn)
+	obsv.SetContentionProfiling(*contentionRate)
+	// Runtime telemetry (GC pauses, scheduler latency, heap, goroutines)
+	// rides the same registry as the broker's own metrics, so histdb,
+	// alerts and omcollect see it with no extra wiring.
+	stopRuntime := obsv.StartRuntimeMetrics(obsv.Default(), time.Second)
+	defer stopRuntime()
 	var opts []eventbus.BrokerOption
 	if *queueDepth > 0 {
 		opts = append(opts, eventbus.WithQueueDepth(*queueDepth))
@@ -175,7 +192,7 @@ func run(args []string) error {
 			return err
 		}
 		logger.Info("debug endpoints up", "component", "eventbusd",
-			"addr", dbg.String(), "paths", "/debug /stats /metrics /debug/flight /debug/trace /debug/history /debug/alerts /debug/profiles /healthz /readyz /debug/pprof")
+			"addr", dbg.String(), "paths", "/debug /stats /metrics /debug/flight /debug/trace /debug/history /debug/alerts /debug/profiles /debug/contention /healthz /readyz /debug/pprof")
 		// Fleet self-registration: announce the debug endpoint to the
 		// metaserver so omcollect discovers this broker without static
 		// -targets, heartbeating until shutdown.
@@ -214,7 +231,10 @@ func run(args []string) error {
 // defaultAlertRules are the rules armed when -history-interval is on and
 // -alert-rules doesn't override them: the broker's outbound backlog sitting
 // above 3/4 of its queue bound (slow subscribers about to cause drops —
-// worth a profile), and any plan-cache eviction pressure.
+// worth a profile), any plan-cache eviction pressure, GC pauses long enough
+// to blow the routing latency budget, and sustained waits on the broker's
+// routing lock (the contention signal ROADMAP's sharding work keys off).
+// The latter two capture profiles, so the excursion arrives with evidence.
 func defaultAlertRules(queueDepth int) []alert.Rule {
 	if queueDepth <= 0 {
 		queueDepth = 256 // the broker's default per-subscriber queue bound
@@ -236,6 +256,24 @@ func defaultAlertRules(queueDepth int) []alert.Rule {
 			Threshold: 0,
 			For:       60 * time.Second,
 			Severity:  alert.SevWarn,
+		},
+		{
+			Name:      "gc-pause",
+			Metric:    "runtime.gc.pause_ns.p99",
+			Op:        alert.OpGT,
+			Threshold: (50 * time.Millisecond).Nanoseconds(),
+			For:       30 * time.Second,
+			Severity:  alert.SevWarn,
+			Capture:   true,
+		},
+		{
+			Name:      "broker-lock-wait",
+			Metric:    "eventbus.broker_mu.wait_ns.p99",
+			Op:        alert.OpGT,
+			Threshold: (20 * time.Millisecond).Nanoseconds(),
+			For:       30 * time.Second,
+			Severity:  alert.SevWarn,
+			Capture:   true,
 		},
 	}
 }

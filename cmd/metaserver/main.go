@@ -65,6 +65,7 @@ func run(args []string) error {
 	profileDir := fs.String("profile-capture-dir", "", "also spill anomaly profile captures to this directory")
 	statsInterval := fs.Duration("stats-interval", 0, "log a one-line stats delta this often (0 = off)")
 	exemplarsOn := fs.Bool("exemplars", true, "attach trace exemplars to latency histogram buckets (/stats?exemplars=1, OpenMetrics /metrics)")
+	contentionRate := fs.Int("contention-rate", 0, "runtime mutex/block profiling rate feeding /debug/contention (0 = profiles off, tracked locks stay on)")
 	logFormat := fs.String("log-format", "text", "diagnostic log format: text or json")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,6 +76,9 @@ func run(args []string) error {
 	}
 	slog.SetDefault(logger)
 	obsv.SetExemplars(*exemplarsOn)
+	obsv.SetContentionProfiling(*contentionRate)
+	stopRuntime := obsv.StartRuntimeMetrics(obsv.Default(), time.Second)
+	defer stopRuntime()
 
 	repo := discovery.NewRepository()
 	repo.SetWritable(*writable)

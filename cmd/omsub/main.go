@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"openmeta/internal/discovery"
 	"openmeta/internal/eventbus"
@@ -60,6 +61,8 @@ func run(args []string) error {
 		return err
 	}
 	trace.Default().SetSampling(*traceSample)
+	stopRuntime := obsv.StartRuntimeMetrics(obsv.Default(), time.Second)
+	defer stopRuntime()
 	if *debugAddr != "" {
 		dbg, err := obsv.ListenAndServeDebug(*debugAddr, obsv.Default(),
 			obsv.DebugEndpoint{Path: "/debug/trace", Handler: trace.Handler(trace.Default()),

@@ -25,6 +25,14 @@
 // record/byte rates, metadata bytes and the live NDR-to-XML-text expansion
 // ratio.
 //
+// With -contention the display pivots to the runtime & contention view:
+// every tracked lock's acquire count and wait/hold quantiles, plus — when
+// the daemon runs with -contention-rate — the hottest mutex/block profile
+// sites with per-refresh deltas. It reads /debug/contention per daemon, or
+// /fleet/contention when -addr is an omcollect /fleet URL. Metric families
+// and endpoints omtop doesn't recognize are skipped, not fatal, so it can
+// watch daemons newer or older than itself.
+//
 // omtop also watches a whole fleet. -addr accepts a comma-separated list of
 // debug addresses (optionally named, name=host:port), polled and merged
 // client-side, or a single omcollect /fleet URL, in which case the collector
@@ -68,6 +76,7 @@ func run(args []string, out io.Writer) error {
 	once := fs.Bool("once", false, "print one snapshot and exit (no rates)")
 	clear := fs.Bool("clear", true, "clear the terminal between refreshes")
 	formats := fs.Bool("formats", false, "show the per-format wire accounting view")
+	contention := fs.Bool("contention", false, "show the tracked-lock and runtime contention view (/debug/contention, or /fleet/contention via omcollect)")
 	showEx := fs.Bool("exemplars", false, "append each histogram's worst trace exemplar (short TraceID) to its row (single-daemon view)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +86,10 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fleet := len(targets) > 1 || strings.Contains(targets[0].base, "/fleet")
+
+	if *contention {
+		return runContention(targets, fleet, *interval, *n, *once, *clear, out)
+	}
 
 	view := render
 	if *formats {

@@ -1,0 +1,250 @@
+package openmeta
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"openmeta/internal/eventbus"
+	"openmeta/internal/flight"
+	"openmeta/internal/histdb"
+	"openmeta/internal/loadgen"
+	"openmeta/internal/machine"
+	"openmeta/internal/obsv"
+	"openmeta/internal/pbio"
+	"openmeta/internal/telemetry"
+)
+
+// TestContentionEndToEnd is the acceptance scenario for the contention
+// observability stack: a subscriber stalled behind a faultnet-throttled link
+// while several publishers push bulk records. Every assertion is made over
+// HTTP, the way an operator would diagnose the incident:
+//
+//	(a) /debug/contention shows the tracked broker routing lock with real
+//	    wait/hold acquisitions and decodes with non-null profile site arrays
+//	(b) /stats shows a queue-wait excursion (frames aged in the stalled
+//	    subscriber's queue before hitting the wire)
+//	(c) /debug/history carries the queue-wait and lock-wait histogram series
+//	    so alert rules can watch their p99s
+//	(d) /fleet/contention (omcollect's aggregation) republishes the same
+//	    lock snapshot under the instance name
+//
+// Part B runs omload in-process and requires the new "queue" stage in the
+// stage-share breakdown, with shares summing to 100%.
+func TestContentionEndToEnd(t *testing.T) {
+	obsv.SetContentionProfiling(1)
+	defer obsv.SetContentionProfiling(0)
+
+	reg := obsv.New()
+	health := obsv.NewHealth()
+	rec := flight.New(256)
+	db := histdb.New(reg, histdb.WithInterval(20*time.Millisecond), histdb.WithCapacity(512))
+	db.Start()
+	defer db.Stop()
+
+	srv := httptest.NewServer(obsv.DebugMuxFor(reg, health, rec,
+		obsv.DebugEndpoint{Path: "/debug/history", Handler: histdb.Handler(db), Desc: "history"}))
+	defer srv.Close()
+
+	// The broker under observation: small queue so frames age visibly, a long
+	// write deadline so the stall persists for the measurement window.
+	broker, err := eventbus.Listen("127.0.0.1:0",
+		eventbus.WithObserver(reg),
+		eventbus.WithQueueDepth(32),
+		eventbus.WithWriteDeadline(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broker.Close()
+
+	// The slow subscriber sits behind injected faultnet latency and never
+	// drains, so its broker-side queue backs up and every dequeued frame has
+	// aged in the queue.
+	proxyAddr, closeProxy := stallingProxy(t, broker.Addr().String())
+	defer closeProxy()
+	subCtx, err := pbio.NewContext(machine.Native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := eventbus.DialSubscriber(proxyAddr, subCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if err := sub.Subscribe("bulk"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "subscriber registration", func() bool {
+		return broker.SubscriberCount("bulk") == 1
+	})
+
+	// Three concurrent publishers contend on the tracked routing lock.
+	const publishers = 3
+	stopPub := make(chan struct{})
+	var pubWG sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		pubCtx, err := pbio.NewContext(machine.Native)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bulk, err := pubCtx.RegisterSpec("Bulk", []pbio.FieldSpec{
+			{Name: "seq", Kind: pbio.Int, CType: machine.CInt},
+			{Name: "payload", Kind: pbio.Uint, CType: machine.CULong, Dynamic: true, CountField: "n"},
+			{Name: "n", Kind: pbio.Int, CType: machine.CInt},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pub, err := eventbus.DialPublisher(broker.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pubWG.Add(1)
+		go func() {
+			defer pubWG.Done()
+			defer pub.Close()
+			payload := make([]uint64, 4096)
+			for i := 0; ; i++ {
+				select {
+				case <-stopPub:
+					return
+				default:
+				}
+				if err := pub.PublishRecord("bulk", bulk, pbio.Record{"seq": i, "payload": payload}); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	// (b) frames dequeued for the stalled subscriber aged in its queue.
+	waitFor(t, 15*time.Second, "queue-wait excursion in /stats", func() bool {
+		var snap map[string]int64
+		httpJSON(t, srv.URL+"/stats", &snap)
+		return snap["eventbus.queue_wait_ns.max"] > (10 * time.Millisecond).Nanoseconds()
+	})
+
+	// (a) the contention endpoint shows the tracked routing lock working.
+	var cont obsv.ContentionSnapshot
+	waitFor(t, 15*time.Second, "broker_mu acquisitions in /debug/contention", func() bool {
+		httpJSON(t, srv.URL+"/debug/contention", &cont)
+		for _, l := range cont.Locks {
+			if l.Name == "eventbus.broker_mu" && l.Wait.Count > 0 && l.Hold.Count > 0 {
+				return true
+			}
+		}
+		return false
+	})
+	if cont.MutexProfileFraction != 1 {
+		t.Fatalf("mutex_profile_fraction = %d, want 1 (profiling was enabled)", cont.MutexProfileFraction)
+	}
+	if cont.Mutex == nil || cont.Block == nil {
+		t.Fatalf("profile site arrays must be non-null: %+v", cont)
+	}
+	for _, l := range cont.Locks {
+		if l.Wait.P50NS > l.Wait.P99NS || l.Wait.P99NS > l.Wait.MaxNS {
+			t.Fatalf("lock %s wait quantiles not monotone: %+v", l.Name, l.Wait)
+		}
+	}
+
+	// Let histdb take a few more samples with the excursion live, then end it.
+	time.Sleep(100 * time.Millisecond)
+	close(stopPub)
+	pubWG.Wait()
+	closeProxy()
+	_ = sub.Close()
+
+	// (c) the history ring carries both new histogram families: the queue-wait
+	// excursion and the tracked lock-wait series alert rules watch.
+	var hist struct {
+		Series map[string]struct {
+			Points []struct {
+				T int64 `json:"t"`
+				V int64 `json:"v"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	httpJSON(t, srv.URL+"/debug/history", &hist)
+	qw, ok := hist.Series["eventbus.queue_wait_ns.p99"]
+	if !ok {
+		t.Fatalf("history lacks eventbus.queue_wait_ns.p99; have %d series", len(hist.Series))
+	}
+	var peak int64
+	for _, p := range qw.Points {
+		if p.V > peak {
+			peak = p.V
+		}
+	}
+	if peak <= (10 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("history queue-wait p99 peak = %dns, want > 10ms", peak)
+	}
+	if _, ok := hist.Series["eventbus.broker_mu.wait_ns.p99"]; !ok {
+		t.Fatalf("history lacks eventbus.broker_mu.wait_ns.p99 (the series the default alert rule watches)")
+	}
+
+	// (d) the fleet layer: scrape the instance once, then read the same lock
+	// back through /fleet/contention.
+	col := telemetry.New(
+		telemetry.WithTargets(telemetry.Target{Name: "broker", Addr: srv.URL}),
+		telemetry.WithHTTPClient(srv.Client()))
+	if n := col.ScrapeOnce(context.Background()); n != 1 {
+		t.Fatalf("ScrapeOnce reached %d targets, want 1", n)
+	}
+	fleetSrv := httptest.NewServer(telemetry.Handler(col))
+	defer fleetSrv.Close()
+	var fleet struct {
+		Instances map[string]obsv.ContentionSnapshot `json:"instances"`
+	}
+	httpJSON(t, fleetSrv.URL+"/fleet/contention", &fleet)
+	inst, ok := fleet.Instances["broker"]
+	if !ok {
+		t.Fatalf("/fleet/contention lacks instance broker: %+v", fleet.Instances)
+	}
+	var fleetHasLock bool
+	for _, l := range inst.Locks {
+		if l.Name == "eventbus.broker_mu" && l.Wait.Count > 0 {
+			fleetHasLock = true
+		}
+	}
+	if !fleetHasLock {
+		t.Fatalf("/fleet/contention broker instance lacks eventbus.broker_mu: %+v", inst.Locks)
+	}
+
+	// Part B: an omload run's stage-share breakdown now includes the queue
+	// stage, and the shares still account for the whole traced self time.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := loadgen.Run(ctx, loadgen.Spec{
+		Publishers:  2,
+		Subscribers: 1,
+		Rate:        4000,
+		Duration:    400 * time.Millisecond,
+		SampleEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stages) == 0 {
+		t.Fatal("omload report has no stage shares (tracing on by default)")
+	}
+	var sum float64
+	var hasQueue bool
+	for _, st := range rep.Stages {
+		sum += st.SharePct
+		if st.Name == "queue" {
+			hasQueue = true
+			if st.Total <= 0 {
+				t.Fatalf("queue stage has non-positive self time: %+v", st)
+			}
+		}
+	}
+	if !hasQueue {
+		t.Fatalf("stage shares lack the queue stage: %+v", rep.Stages)
+	}
+	if math.Abs(sum-100) > 0.5 {
+		t.Fatalf("stage shares sum to %.2f%%, want 100%%: %+v", sum, rep.Stages)
+	}
+}

@@ -16,6 +16,12 @@ import (
 //	queue-depth: eventbus.queue_depth > 192 for 30s severity warn capture
 //	plan-cache-pressure: dcg.plan_cache.evictions > 0 for 60s
 //	p99-latency: rpc.latency_ns.p99 > 50ms for 1m severity critical
+//	gc-pause: runtime.gc.pause_ns.p99 > 50ms for 30s severity warn capture
+//	broker-lock-wait: eventbus.broker_mu.wait_ns.p99 > 20ms for 30s severity warn capture
+//
+// The last two watch the runtime/metrics bridge and a tracked lock — any
+// series the registry exposes works, including runtime.* and *.wait_ns
+// families (see internal/obsv runtime.go and lock.go).
 //
 // op is one of > >= < <=. threshold is an integer or a Go duration — a
 // duration converts to nanoseconds, matching the repo's *_ns histogram

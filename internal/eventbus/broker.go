@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -43,7 +44,10 @@ type Broker struct {
 	// new client falls back cleanly against an old peer.
 	legacy bool
 
-	mu      sync.Mutex
+	// mu guards conns/streams/scoped. Tracked (eventbus.broker_mu.wait_ns /
+	// .hold_ns) because it is the routing hot path's one global lock — the
+	// contention evidence ROADMAP item 1 (broker sharding) needs.
+	mu      *obsv.TrackedMutex
 	conns   map[*brokerConn]bool
 	streams map[string]*stream
 
@@ -67,6 +71,15 @@ type brokerMetrics struct {
 	// the bucket as its exemplar, so a routing p99 spike names a real trace.
 	routeNS *obsv.Histogram // route_ns
 
+	// queueWaitNS times enqueue→wire per outbound frame across all
+	// subscribers, exemplar-stamped for traced frames; queueWaitVec splits
+	// the same measurement per subscriber connection (label "conn"), so one
+	// stalled subscriber is distinguishable from fleet-wide backpressure.
+	// Connection ids churn with reconnects; the registry's label-children
+	// bound clamps runaway cardinality onto the overflow child.
+	queueWaitNS  *obsv.Histogram    // queue_wait_ns
+	queueWaitVec *obsv.HistogramVec // subscriber.queue_wait_ns{conn}
+
 	// Labeled per-stream × per-format wire accounting. Children are resolved
 	// once per (stream, format) pair when the pair first appears (see
 	// stream.wireFor), so the routing hot path only touches counters.
@@ -85,6 +98,8 @@ func newBrokerMetrics(s obsv.Scope) brokerMetrics {
 		formatsSent: s.Counter("formats_sent"),
 		slowStalls:  s.Counter("slow_subscriber_stalls"),
 		routeNS:     s.Histogram("route_ns"),
+		queueWaitNS: s.Histogram("queue_wait_ns"),
+		queueWaitVec: s.HistogramVec("subscriber.queue_wait_ns", "conn"),
 		wireRecVec:  s.CounterVec("wire.records", "stream", "format"),
 		wireByteVec: s.CounterVec("wire.bytes", "stream", "format"),
 		delRecVec:   s.CounterVec("wire.delivered.records", "stream", "format"),
@@ -208,12 +223,25 @@ type brokerConn struct {
 	// scopes maps stream name to the field slice this subscriber may see
 	// (nil = the full format).
 	scopes map[string][]string
+
+	// queueWait is this connection's child of the broker's
+	// subscriber.queue_wait_ns vec, resolved once at accept so the writer
+	// loop's dequeue path never touches the label map.
+	queueWait *obsv.Histogram
 }
 
 // outFrame is one queued outbound frame. The payload is owned by the queue.
 type outFrame struct {
 	typ     byte
 	payload []byte
+	// enq stamps when the frame entered the queue; the writer loop turns it
+	// into the enqueue→wire queue-wait observation at dequeue.
+	enq time.Time
+	// tid/parent/stream carry a traced event's context so the dequeue can
+	// record a retroactive broker.queue span (zero tid = untraced frame).
+	tid    trace.TraceID
+	parent trace.SpanID
+	stream string
 }
 
 // outQueueDepth is the default per-subscriber backlog bound (override with
@@ -340,6 +368,9 @@ func NewBroker(ln net.Listener, opts ...BrokerOption) *Broker {
 		opt(b)
 	}
 	b.log = b.log.With("component", "eventbus.broker")
+	// The tracked lock is built after options so WithObserver's registry
+	// owns the wait/hold histograms and lists the lock in /debug/contention.
+	b.mu = obsv.NewTrackedMutex("broker_mu", b.obs)
 	// Queue depth is observable at snapshot time; with a shared registry the
 	// most recent broker wins the name, which is the common one-broker case.
 	b.obs.Func("queue_depth", b.queuedFrames)
@@ -428,9 +459,11 @@ func (b *Broker) acceptLoop() {
 			b.log.Error("accept failed", "err", err)
 			return
 		}
+		id := flight.NextConnID()
 		bc := &brokerConn{
 			conn:         conn,
-			id:           flight.NextConnID(),
+			id:           id,
+			queueWait:    b.m.queueWaitVec.With(strconv.FormatUint(id, 10)),
 			out:          make(chan outFrame, b.queueDepth),
 			outClose:     make(chan struct{}),
 			writerDone:   make(chan struct{}),
@@ -658,7 +691,9 @@ func (b *Broker) publish(bc *brokerConn, payload []byte, isTraced bool) error {
 		return fmt.Errorf("eventbus: publish on %q references unannounced format %s", name, id)
 	}
 
-	b.mu.Lock()
+	// Exemplar-capable acquisition: a traced publish that suffers a long
+	// wait stamps its TraceID onto the wait histogram's bucket.
+	b.mu.LockExemplar(tid)
 	st := b.ensureStream(name)
 	if !st.hasFormat(id) {
 		st.formats = append(st.formats, formatMeta{id: id, meta: meta})
@@ -761,7 +796,11 @@ func (b *Broker) deliver(sub *brokerConn, d *delivery) error {
 // sendEvent enqueues one event frame, counting delivery or the per-stream
 // drop, in both the aggregate and the labeled (stream, format) families.
 func (b *Broker) sendEvent(sub *brokerConn, d *delivery, typ byte, payload []byte) error {
-	queued, err := sub.trySend(typ, payload)
+	f := outFrame{typ: typ, payload: append([]byte(nil), payload...), enq: time.Now()}
+	if d.isTraced {
+		f.tid, f.parent, f.stream = d.tid, d.parent, d.st.name
+	}
+	queued, err := sub.trySendFrame(f)
 	if err != nil {
 		return err
 	}
@@ -874,6 +913,7 @@ func (b *Broker) writeLoop(bc *brokerConn) {
 	for {
 		select {
 		case f := <-bc.out:
+			b.observeQueueWait(bc, &f)
 			if err := writeFrame(bc.conn, f.typ, f.payload); err != nil {
 				// Socket is dead: unregister and let the reader notice.
 				b.unregister(bc)
@@ -885,6 +925,7 @@ func (b *Broker) writeLoop(bc *brokerConn) {
 			for {
 				select {
 				case f := <-bc.out:
+					b.observeQueueWait(bc, &f)
 					if err := writeFrame(bc.conn, f.typ, f.payload); err != nil {
 						return
 					}
@@ -894,6 +935,23 @@ func (b *Broker) writeLoop(bc *brokerConn) {
 			}
 		}
 	}
+}
+
+// observeQueueWait turns a dequeued frame's enqueue timestamp into the
+// queue-wait observations: the broker-wide histogram (exemplar-stamped when
+// the frame is traced), the per-subscriber labeled child, and — for traced
+// event frames — a retroactive broker.queue span starting at the enqueue, so
+// omload's trace-derived stage shares gain an explicit queue stage. Measured
+// at dequeue, before the socket write, so a stalled-but-draining subscriber
+// still records its waits.
+func (b *Broker) observeQueueWait(bc *brokerConn, f *outFrame) {
+	if f.enq.IsZero() {
+		return
+	}
+	wait := time.Since(f.enq)
+	b.m.queueWaitNS.ObserveExemplar(wait.Nanoseconds(), f.tid)
+	bc.queueWait.Observe(wait.Nanoseconds())
+	b.tracer.RecordSpan(f.tid, f.parent, "broker.queue", f.stream, f.enq, wait)
 }
 
 // send enqueues a droppable frame (events, stream listings, errors). When
@@ -907,7 +965,12 @@ func (bc *brokerConn) send(typ byte, payload []byte) error {
 // trySend enqueues a droppable frame, reporting whether it was queued
 // (false: discarded on a full queue, counted in the broker's drop counter).
 func (bc *brokerConn) trySend(typ byte, payload []byte) (bool, error) {
-	f := outFrame{typ: typ, payload: append([]byte(nil), payload...)}
+	return bc.trySendFrame(outFrame{typ: typ, payload: append([]byte(nil), payload...), enq: time.Now()})
+}
+
+// trySendFrame is trySend for a caller-built frame (sendEvent builds frames
+// carrying trace context for the dequeue-side broker.queue span).
+func (bc *brokerConn) trySendFrame(f outFrame) (bool, error) {
 	select {
 	case bc.out <- f:
 		return true, nil
@@ -922,7 +985,7 @@ func (bc *brokerConn) trySend(typ byte, payload []byte) (bool, error) {
 // sendMust enqueues a frame that may not be dropped (format metadata),
 // waiting for queue space up to a drop deadline.
 func (bc *brokerConn) sendMust(typ byte, payload []byte) error {
-	f := outFrame{typ: typ, payload: append([]byte(nil), payload...)}
+	f := outFrame{typ: typ, payload: append([]byte(nil), payload...), enq: time.Now()}
 	t := time.NewTimer(5 * time.Second)
 	defer t.Stop()
 	select {

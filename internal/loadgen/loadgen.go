@@ -634,6 +634,7 @@ var stageNames = []struct {
 	{"encode", []string{"pbio.encode"}},
 	{"publish", []string{"pub.publish"}},
 	{"route", []string{"broker.route"}},
+	{"queue", []string{"broker.queue"}},
 	{"convert", []string{"dcg.convert", "dcg.compile"}},
 	{"deliver", []string{"pbio.decode"}},
 }

@@ -1,0 +1,179 @@
+package obsv
+
+import (
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// /debug/contention: where cycles are lost rather than where time is spent.
+// The endpoint combines two sources into one JSON document: the registry's
+// tracked-lock snapshots (lock.go — always on, allocation-free) and the Go
+// runtime's mutex/block profiles (sampled, enabled by SetContentionProfiling
+// via the daemons' -contention-rate flag). Profile counters are cumulative
+// for the life of the process, so the handler also reports per-site deltas
+// since the previous GET — a scraper polling the endpoint sees "contention
+// this interval" without keeping state of its own.
+
+// blockProfileRate mirrors the rate passed to runtime.SetBlockProfileRate,
+// which has no runtime getter (unlike SetMutexProfileFraction(-1)).
+var blockProfileRate atomic.Int64
+
+// SetContentionProfiling sets the Go runtime's mutex and block profiling
+// rates that feed /debug/contention: rate <= 0 disables both; rate N samples
+// an average of 1-in-N mutex contention events and every blocking event
+// lasting >= N nanoseconds. Modest rates (5–100) are cheap enough for
+// production; the tracked-lock snapshots are unaffected by the rate.
+func SetContentionProfiling(rate int) {
+	if rate < 0 {
+		rate = 0
+	}
+	runtime.SetMutexProfileFraction(rate)
+	runtime.SetBlockProfileRate(rate)
+	blockProfileRate.Store(int64(rate))
+}
+
+// ContentionSite is one aggregated stack site from a runtime profile.
+// Cycles are raw CPU ticks (the runtime does not export its tick-to-ns
+// factor); they rank sites and form meaningful deltas, not wall time.
+type ContentionSite struct {
+	Site        string `json:"site"` // deepest non-runtime/sync frame: func (file:line)
+	Count       int64  `json:"count"`
+	Cycles      int64  `json:"cycles"`
+	CountDelta  int64  `json:"count_delta"`
+	CyclesDelta int64  `json:"cycles_delta"`
+}
+
+// ContentionSnapshot is the /debug/contention response body.
+type ContentionSnapshot struct {
+	NowUnixNS            int64            `json:"now_unix_ns"`
+	MutexProfileFraction int              `json:"mutex_profile_fraction"`
+	BlockProfileRateNS   int64            `json:"block_profile_rate_ns"`
+	Locks                []LockSnapshot   `json:"locks"`
+	Mutex                []ContentionSite `json:"mutex"`
+	Block                []ContentionSite `json:"block"`
+}
+
+// contentionTopSites caps each profile listing to the hottest sites by
+// cumulative cycles, keeping the JSON scrape-sized under heavy contention.
+const contentionTopSites = 32
+
+type contentionState struct {
+	mu        sync.Mutex
+	prevMutex map[string][2]int64 // site → {count, cycles} at last GET
+	prevBlock map[string][2]int64
+}
+
+// ContentionHandler serves the combined contention snapshot for r. Each
+// handler keeps its own delta baseline, so mount one handler per mux rather
+// than constructing one per request.
+func ContentionHandler(r *Registry) http.Handler {
+	st := &contentionState{
+		prevMutex: make(map[string][2]int64),
+		prevBlock: make(map[string][2]int64),
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := st.snapshot(r)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap)
+	})
+}
+
+func (st *contentionState) snapshot(r *Registry) ContentionSnapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	snap := ContentionSnapshot{
+		NowUnixNS:            time.Now().UnixNano(),
+		MutexProfileFraction: runtime.SetMutexProfileFraction(-1),
+		BlockProfileRateNS:   blockProfileRate.Load(),
+		Locks:                r.LockSnapshots(),
+		Mutex:                profileSites(runtime.MutexProfile, st.prevMutex),
+		Block:                profileSites(runtime.BlockProfile, st.prevBlock),
+	}
+	if snap.Locks == nil {
+		snap.Locks = []LockSnapshot{}
+	}
+	return snap
+}
+
+// profileSites collects one runtime profile, aggregates records by
+// symbolized site, computes deltas against prev (updating it in place), and
+// returns the top sites by cumulative cycles.
+func profileSites(profile func([]runtime.BlockProfileRecord) (int, bool), prev map[string][2]int64) []ContentionSite {
+	n, _ := profile(nil)
+	var recs []runtime.BlockProfileRecord
+	if n > 0 {
+		recs = make([]runtime.BlockProfileRecord, n+n/2+8)
+		for {
+			m, ok := profile(recs)
+			if ok {
+				recs = recs[:m]
+				break
+			}
+			recs = make([]runtime.BlockProfileRecord, len(recs)*2)
+		}
+	}
+	agg := make(map[string][2]int64, len(recs))
+	for i := range recs {
+		site := siteOf(recs[i].Stack())
+		cur := agg[site]
+		agg[site] = [2]int64{cur[0] + recs[i].Count, cur[1] + recs[i].Cycles}
+	}
+	out := make([]ContentionSite, 0, len(agg))
+	for site, cur := range agg {
+		p := prev[site]
+		prev[site] = cur
+		out = append(out, ContentionSite{
+			Site:        site,
+			Count:       cur[0],
+			Cycles:      cur[1],
+			CountDelta:  cur[0] - p[0],
+			CyclesDelta: cur[1] - p[1],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cycles > out[j].Cycles })
+	if len(out) > contentionTopSites {
+		out = out[:contentionTopSites]
+	}
+	if out == nil {
+		out = []ContentionSite{}
+	}
+	return out
+}
+
+// siteOf symbolizes a profile stack into its deepest frame outside the
+// runtime and sync packages — the application line that contended.
+func siteOf(stk []uintptr) string {
+	if len(stk) == 0 {
+		return "unknown"
+	}
+	frames := runtime.CallersFrames(stk)
+	fallback := ""
+	for {
+		f, more := frames.Next()
+		if f.Function != "" {
+			if fallback == "" {
+				fallback = f.Function
+			}
+			if !strings.HasPrefix(f.Function, "runtime.") && !strings.HasPrefix(f.Function, "sync.") {
+				return f.Function + " (" + filepath.Base(f.File) + ":" + strconv.Itoa(f.Line) + ")"
+			}
+		}
+		if !more {
+			break
+		}
+	}
+	if fallback == "" {
+		return "unknown"
+	}
+	return fallback
+}

@@ -1,0 +1,185 @@
+package obsv
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTrackedMutexConcurrent hammers one tracked mutex from many goroutines
+// (meaningful under -race) and checks the books: every acquisition shows up
+// in both histograms, the protected counter is exact, and the wait quantiles
+// are monotone (p50 ≤ p95 ≤ p99 ≤ max).
+func TestTrackedMutexConcurrent(t *testing.T) {
+	r := New()
+	m := NewTrackedMutex("test_mu", r.Scope("locks"))
+	const goroutines, perG = 8, 200
+	var shared int
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				m.Lock()
+				shared++
+				m.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if shared != goroutines*perG {
+		t.Fatalf("shared = %d, want %d (critical section raced)", shared, goroutines*perG)
+	}
+	wait := r.Histogram("locks.test_mu.wait_ns").Value()
+	hold := r.Histogram("locks.test_mu.hold_ns").Value()
+	if wait.Count != goroutines*perG {
+		t.Fatalf("wait count = %d, want %d", wait.Count, goroutines*perG)
+	}
+	if hold.Count != goroutines*perG {
+		t.Fatalf("hold count = %d, want %d", hold.Count, goroutines*perG)
+	}
+	p50, p95, p99 := wait.Quantile(0.50), wait.Quantile(0.95), wait.Quantile(0.99)
+	if p50 > p95 || p95 > p99 || p99 > wait.Max {
+		t.Fatalf("wait quantiles not monotone: p50=%d p95=%d p99=%d max=%d", p50, p95, p99, wait.Max)
+	}
+}
+
+func TestTrackedRWMutexConcurrent(t *testing.T) {
+	r := New()
+	m := NewTrackedRWMutex("test_rwmu", r.Scope("locks"))
+	const readers, writers, perG = 6, 2, 100
+	var shared int
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				m.Lock()
+				shared++
+				m.Unlock()
+			}
+		}()
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				m.RLock()
+				_ = shared
+				m.RUnlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if shared != writers*perG {
+		t.Fatalf("shared = %d, want %d", shared, writers*perG)
+	}
+	if got := r.Histogram("locks.test_rwmu.wait_ns").Value().Count; got != writers*perG {
+		t.Fatalf("writer wait count = %d, want %d", got, writers*perG)
+	}
+	if got := r.Histogram("locks.test_rwmu.rwait_ns").Value().Count; got != readers*perG {
+		t.Fatalf("reader wait count = %d, want %d", got, readers*perG)
+	}
+}
+
+// TestTrackedMutexAllocs pins the fast path at zero allocations — the
+// property that lets the tracked lock live on the broker's routing hot path
+// permanently instead of only during debugging.
+func TestTrackedMutexAllocs(t *testing.T) {
+	r := New()
+	m := NewTrackedMutex("alloc_mu", r.Scope("locks"))
+	if n := testing.AllocsPerRun(1000, func() {
+		m.Lock()
+		m.Unlock()
+	}); n != 0 {
+		t.Fatalf("TrackedMutex Lock/Unlock allocates %.1f per op, want 0", n)
+	}
+	rw := NewTrackedRWMutex("alloc_rwmu", r.Scope("locks"))
+	if n := testing.AllocsPerRun(1000, func() {
+		rw.RLock()
+		rw.RUnlock()
+		rw.Lock()
+		rw.Unlock()
+	}); n != 0 {
+		t.Fatalf("TrackedRWMutex lock cycle allocates %.1f per op, want 0", n)
+	}
+}
+
+// TestTrackedMutexZeroValue: the zero value must behave like a plain
+// sync.Mutex (no histograms, no panic) so embedding stays safe.
+func TestTrackedMutexZeroValue(t *testing.T) {
+	var m TrackedMutex
+	m.Lock()
+	m.Unlock() //nolint:staticcheck // exercising the empty critical section
+	m.LockExemplar([16]byte{1})
+	m.Unlock()
+	var rw TrackedRWMutex
+	rw.Lock()
+	rw.Unlock() //nolint:staticcheck
+	rw.RLock()
+	rw.RUnlock()
+}
+
+func TestLockSnapshots(t *testing.T) {
+	r := New()
+	m := NewTrackedMutex("broker_mu", r.Scope("eventbus"))
+	rw := NewTrackedRWMutex("plan_cache_mu", r.Scope("dcg"))
+	m.LockExemplar([16]byte{42})
+	time.Sleep(time.Millisecond)
+	m.Unlock()
+	rw.RLock()
+	rw.RUnlock()
+	rw.Lock()
+	rw.Unlock()
+
+	snaps := r.LockSnapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("LockSnapshots returned %d locks, want 2: %+v", len(snaps), snaps)
+	}
+	// Sorted by name: dcg.plan_cache_mu before eventbus.broker_mu.
+	if snaps[0].Name != "dcg.plan_cache_mu" || snaps[1].Name != "eventbus.broker_mu" {
+		t.Fatalf("lock names = %q, %q", snaps[0].Name, snaps[1].Name)
+	}
+	if snaps[0].RWait == nil || snaps[0].RWait.Count != 1 {
+		t.Fatalf("rw lock rwait = %+v, want count 1", snaps[0].RWait)
+	}
+	if snaps[1].RWait != nil {
+		t.Fatalf("plain mutex reports rwait %+v", *snaps[1].RWait)
+	}
+	if snaps[1].Wait.Count != 1 || snaps[1].Hold.Count != 1 {
+		t.Fatalf("broker_mu wait/hold counts = %d/%d, want 1/1", snaps[1].Wait.Count, snaps[1].Hold.Count)
+	}
+	if snaps[1].Hold.MaxNS < time.Millisecond.Nanoseconds() {
+		t.Fatalf("broker_mu hold max = %dns, want >= 1ms (the slept critical section)", snaps[1].Hold.MaxNS)
+	}
+
+	// The exemplar-capable acquisition stamped its trace id.
+	exs := r.Exemplars()["eventbus.broker_mu.wait_ns"]
+	if len(exs) == 0 {
+		t.Fatal("no exemplar recorded for eventbus.broker_mu.wait_ns")
+	}
+
+	// A second lock registered under the same name shares the histograms
+	// but not the lock table entry (no duplicate snapshot rows).
+	_ = NewTrackedMutex("broker_mu", r.Scope("eventbus"))
+	if got := len(r.LockSnapshots()); got != 2 {
+		t.Fatalf("re-registering a lock name grew the table to %d entries", got)
+	}
+}
+
+// BenchmarkTrackedMutex is the uncontended fast-path cost of one tracked
+// Lock/Unlock pair — gated absolutely in scripts/bench.sh under
+// TRACKEDMUTEX_BUDGET_NS and required to report 0 allocs.
+func BenchmarkTrackedMutex(b *testing.B) {
+	r := New()
+	m := NewTrackedMutex("bench_mu", r.Scope("locks"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Lock()
+		m.Unlock() //nolint:staticcheck // empty critical section is the subject
+	}
+}

@@ -130,6 +130,29 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// AddSamples records n samples of value v in one stripe update — the bulk
+// path the runtime/metrics bridge uses to replay bucket-count deltas from the
+// Go runtime's cumulative histograms without looping Observe per sample.
+// Negative v clamps to zero; n <= 0 is a no-op.
+func (h *Histogram) AddSamples(v, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	s := &h.stripes[rand.Uint64()&(histStripes-1)]
+	s.count.Add(n)
+	s.sum.Add(v * n)
+	s.buckets[bits.Len64(uint64(v))].Add(n)
+	for {
+		old := s.max.Load()
+		if v <= old || s.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+}
+
 // HistogramValue is the merged view of a histogram at snapshot time.
 type HistogramValue struct {
 	Count, Sum, Max int64
@@ -197,8 +220,9 @@ type Registry struct {
 	counterVecs map[string]*CounterVec
 	gaugeVecs   map[string]*GaugeVec
 	histVecs    map[string]*HistogramVec
-	gen         atomic.Uint64 // bumped on every instrument / labeled-child creation
-	maxVec      atomic.Int64  // max children per labeled vector (0 = unlimited)
+	locks       map[string]*lockFamily // tracked locks by full name (lock.go)
+	gen         atomic.Uint64          // bumped on every instrument / labeled-child creation
+	maxVec      atomic.Int64           // max children per labeled vector (0 = unlimited)
 }
 
 // DefaultMaxVecChildren bounds each labeled vector to this many children

@@ -1,0 +1,90 @@
+package obsv
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestRuntimeBridgeSample proves the bridge populates the registry from the
+// live runtime: forced GC cycles must surface as pause samples and a cycle
+// count, and the gauges must read as a real process (goroutines > 0, heap
+// > 0).
+func TestRuntimeBridgeSample(t *testing.T) {
+	r := New()
+	b := NewRuntimeBridge(r)
+	runtime.GC()
+	runtime.GC()
+	b.Sample()
+	snap := r.Snapshot()
+
+	if snap["runtime.goroutines"] < 1 {
+		t.Fatalf("runtime.goroutines = %d, want >= 1", snap["runtime.goroutines"])
+	}
+	if snap["runtime.heap.alloc_bytes"] <= 0 {
+		t.Fatalf("runtime.heap.alloc_bytes = %d, want > 0", snap["runtime.heap.alloc_bytes"])
+	}
+	if snap["runtime.mem.total_bytes"] <= 0 {
+		t.Fatalf("runtime.mem.total_bytes = %d, want > 0", snap["runtime.mem.total_bytes"])
+	}
+	if snap["runtime.gc.cycles"] < 2 {
+		t.Fatalf("runtime.gc.cycles = %d, want >= 2 after two forced GCs", snap["runtime.gc.cycles"])
+	}
+	if snap["runtime.gc.pause_ns.count"] < 2 {
+		t.Fatalf("runtime.gc.pause_ns.count = %d, want >= 2 after two forced GCs", snap["runtime.gc.pause_ns.count"])
+	}
+	// Histograms expand with the standard six siblings, so histdb samples
+	// them and alert rules can watch runtime.gc.pause_ns.p99.
+	for _, k := range []string{".count", ".sum", ".max", ".p50", ".p95", ".p99"} {
+		if _, ok := snap["runtime.gc.pause_ns"+k]; !ok {
+			t.Fatalf("snapshot lacks runtime.gc.pause_ns%s", k)
+		}
+	}
+
+	// A second sample replays only deltas: cumulative counts never regress.
+	before := snap["runtime.gc.pause_ns.count"]
+	runtime.GC()
+	b.Sample()
+	after := r.Snapshot()["runtime.gc.pause_ns.count"]
+	if after < before+1 {
+		t.Fatalf("pause count went %d -> %d, want at least one new sample", before, after)
+	}
+}
+
+// TestMergeLabeledRuntimeKeys covers the fleet path: an instance's snapshot
+// containing runtime-bridge gauges and histograms must merge under instance
+// labels with the histogram suffix kept terminal — the shape omcollect's
+// /fleet/stats serves and omtop's fleet view parses back.
+func TestMergeLabeledRuntimeKeys(t *testing.T) {
+	r := New()
+	b := NewRuntimeBridge(r)
+	runtime.GC()
+	b.Sample()
+
+	dst := make(map[string]int64)
+	MergeLabeled(dst, r.Snapshot(), "instance", "broker")
+
+	if _, ok := dst[`runtime.goroutines{instance="broker"}`]; !ok {
+		t.Fatalf("merged snapshot lacks labeled goroutine gauge; keys: %v", keysLike(dst, "runtime."))
+	}
+	// Histogram family: suffix stays terminal after the label block.
+	for _, k := range []string{".count", ".p50", ".p99", ".max"} {
+		want := `runtime.gc.pause_ns{instance="broker"}` + k
+		if _, ok := dst[want]; !ok {
+			t.Fatalf("merged snapshot lacks %s; keys: %v", want, keysLike(dst, "runtime.gc"))
+		}
+	}
+	if _, ok := dst[`runtime.sched.latency_ns{instance="broker"}.count`]; !ok {
+		t.Fatalf("merged snapshot lacks labeled sched-latency family; keys: %v", keysLike(dst, "runtime.sched"))
+	}
+}
+
+func keysLike(m map[string]int64, prefix string) []string {
+	var out []string
+	for k := range m {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	return out
+}

@@ -22,6 +22,8 @@ import (
 //	GET /fleet/flight?n=N         flight events from all processes, one
 //	                              skew-adjusted time-ordered stream
 //	GET /fleet/history            instance-labeled merged metrics history
+//	GET /fleet/contention         per-instance /debug/contention snapshots
+//	                              (tracked locks + mutex/block profile deltas)
 //	GET /fleet/trace              index of assembled traces, newest first
 //	GET /fleet/trace/<id>         one cross-process trace stitched into a
 //	                              parent-linked tree: per-instance clock-skew
@@ -70,6 +72,10 @@ func Handler(c *Collector) http.Handler {
 			writeJSON(w, struct {
 				Series interface{} `json:"series"`
 			}{c.FleetHistory()})
+		case path == "contention":
+			writeJSON(w, struct {
+				Instances map[string]json.RawMessage `json:"instances"`
+			}{c.FleetContention()})
 		case path == "trace":
 			writeJSON(w, struct {
 				Traces []TraceSummary `json:"traces"`
@@ -123,6 +129,7 @@ func serveIndex(w http.ResponseWriter) {
   /fleet/stats              merged instance-labeled metrics snapshot (?exemplars=1 adds bucket exemplars)
   /fleet/flight             skew-adjusted interleaved flight events (?n=)
   /fleet/history            merged instance-labeled metrics history
+  /fleet/contention         per-instance tracked-lock and profile-delta snapshots
   /fleet/trace              assembled trace index, newest first
   /fleet/trace/<id>         one cross-process trace tree with skew and stage shares
   /fleet/exemplar/<metric>  the metric's worst exemplar resolved into its assembled trace

@@ -96,6 +96,12 @@ type instance struct {
 	restarts   int  // times the seq counter was seen to reset
 	histSeries map[string]histdb.Series
 	histOK     bool
+
+	// /debug/contention — latest raw snapshot, re-served verbatim under
+	// /fleet/contention. Raw because the shape (lock snapshots + profile
+	// site deltas) is consumed whole by omtop -contention, not merged.
+	contention   json.RawMessage
+	contentionOK bool
 }
 
 // Collector discovers fleet members, scrapes them on an interval and holds
@@ -460,6 +466,13 @@ func (c *Collector) scrapeTarget(ctx context.Context, name string) bool {
 	histErr := c.getJSON(ctx, histURL, &hs)
 	fail(histErr)
 
+	// /debug/contention — the whole snapshot every round (it is small, and
+	// the endpoint computes profile deltas per GET); 404 from a build that
+	// predates it is "disabled", not a failure.
+	var cont json.RawMessage
+	contErr := c.getJSON(ctx, base+"/debug/contention", &cont)
+	fail(contErr)
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if firstErr != nil {
@@ -546,6 +559,12 @@ func (c *Collector) scrapeTarget(ctx context.Context, name string) bool {
 		}
 	} else if histErr == errDisabled {
 		inst.histOK = false
+	}
+	if contErr == nil && len(cont) > 0 {
+		inst.contention = cont
+		inst.contentionOK = true
+	} else if contErr == errDisabled {
+		inst.contentionOK = false
 	}
 	return firstErr == nil
 }
@@ -780,6 +799,22 @@ func (c *Collector) FleetHistory() map[string]histdb.Series {
 	for _, inst := range c.targets {
 		for key, s := range inst.histSeries {
 			out[obsv.AddLabel(key, "", "instance", inst.Name)] = s
+		}
+	}
+	return out
+}
+
+// FleetContention returns every instance's latest /debug/contention snapshot
+// keyed by instance name, each verbatim as the instance served it. Instances
+// whose build lacks the endpoint (or that have not been scraped yet) are
+// omitted.
+func (c *Collector) FleetContention() map[string]json.RawMessage {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]json.RawMessage)
+	for _, inst := range c.targets {
+		if len(inst.contention) > 0 {
+			out[inst.Name] = inst.contention
 		}
 	}
 	return out

@@ -180,6 +180,27 @@ func (t *Tracer) record(sp *Span) {
 	t.ring[idx%uint64(len(t.ring))].Store(sp)
 }
 
+// RecordSpan records a retroactive span under an already-sampled trace: the
+// caller supplies the start and duration it measured itself, for stages whose
+// timing is only known after the fact (the broker's queue wait is measured at
+// dequeue, long after the enqueue that started it). No-op when the tracer is
+// disabled or id is zero — an unsampled publish carries a zero TraceID, so
+// call sites need no sampling check of their own.
+func (t *Tracer) RecordSpan(id TraceID, parent SpanID, name, detail string, start time.Time, dur time.Duration) {
+	if t == nil || t.every.Load() <= 0 || id.IsZero() {
+		return
+	}
+	t.record(&Span{
+		Trace:  id,
+		ID:     randSpanID(),
+		Parent: parent,
+		Name:   name,
+		Detail: detail,
+		Start:  start,
+		Dur:    dur,
+	})
+}
+
 // Recorded reports how many spans have been recorded over the tracer's
 // lifetime (recorded minus capacity spans have been overwritten).
 func (t *Tracer) Recorded() int64 {

@@ -88,6 +88,9 @@ if [ "$MODE" != compare-only ]; then
     echo "== exemplar hot-path benchmark"
     go test -run xxx -bench BenchmarkObserveExemplar -benchmem \
         -benchtime "$BENCH_TIME" -count "$BENCH_COUNT" ./internal/obsv/ | tee -a "$TXT"
+    echo "== tracked-mutex fast-path benchmark"
+    go test -run xxx -bench BenchmarkTrackedMutex -benchmem \
+        -benchtime "$BENCH_TIME" -count "$BENCH_COUNT" ./internal/obsv/ | tee -a "$TXT"
 
     # Convert `go test -bench` lines into JSON. Benchmark lines look like:
     #   BenchmarkTable1Registration/native-8  1000  1234 ns/op  56 B/op  7 allocs/op
@@ -228,3 +231,25 @@ if [ "$(printf '%.0f' "$EX_NS")" -gt "$EX_BUDGET" ]; then
     exit 1
 fi
 echo "bench: exemplar recording at $EX_NS ns/op (budget $EX_BUDGET)"
+
+# Absolute gate on the tracked lock: TrackedMutex wraps the broker's routing
+# mutex permanently, so its uncontended Lock/Unlock pair (two timestamps, two
+# histogram observations) gets a hard ns/op budget like the other always-on
+# hot paths (override with TRACKEDMUTEX_BUDGET_NS). The zero-allocation
+# guarantee is enforced separately by TestTrackedMutexAllocs.
+TM_BUDGET="${TRACKEDMUTEX_BUDGET_NS:-2000}"
+echo "== tracked-mutex budget (BenchmarkTrackedMutex <= $TM_BUDGET ns/op)"
+TM_NS="$(jq -r '[.[] | select(.name | test("^BenchmarkTrackedMutex")) | .ns_per_op] | max // empty' "$OUT")"
+if [ -z "$TM_NS" ]; then
+    if [ "$MODE" = compare-only ]; then
+        echo "bench: BenchmarkTrackedMutex not in $OUT, skipping budget check (compare-only)"
+        exit 0
+    fi
+    echo "bench: BenchmarkTrackedMutex missing from $OUT" >&2
+    exit 1
+fi
+if [ "$(printf '%.0f' "$TM_NS")" -gt "$TM_BUDGET" ]; then
+    echo "bench: obsv BenchmarkTrackedMutex at $TM_NS ns/op exceeds budget $TM_BUDGET" >&2
+    exit 1
+fi
+echo "bench: tracked mutex at $TM_NS ns/op (budget $TM_BUDGET)"

@@ -45,6 +45,7 @@ for _ in $(seq 50); do
 done
 
 "$BIN/eventbusd" -addr "$BROKER" -debug-addr "$DBG_BROKER" -trace-sample 1 \
+    -contention-rate 5 \
     -register "http://$META" -instance broker >"$OUT/eventbusd.log" 2>&1 &
 PIDS+=($!)
 
@@ -134,3 +135,36 @@ jq -e '
         exit 1
     }
 echo "fleetsmoke: OK — exemplar $(jq -r '.exemplar.trace_id' "$OUT/exemplar.json") (${OUT}/exemplar.json) resolves across $(jq -r '.trace.instances | join(", ")' "$OUT/exemplar.json")"
+
+# Runtime bridge: every daemon samples runtime/metrics into its registry, so
+# the fleet stats must carry instance-labeled runtime gauges and the GC-pause
+# histogram family the default alert rules watch.
+echo "fleetsmoke: checking instance-labeled runtime metrics in /fleet/stats"
+jq -e '
+    (.["runtime.goroutines{instance=\"broker\"}"] // 0) > 0 and
+    has("runtime.gc.pause_ns{instance=\"broker\"}.count") and
+    (.["runtime.heap.alloc_bytes{instance=\"pub\"}"] // 0) > 0
+' "$OUT/stats.json" >/dev/null ||
+    {
+        echo "fleetsmoke: FAIL — /fleet/stats lacks runtime-bridge metrics:" >&2
+        jq 'with_entries(select(.key | startswith("runtime.")))' "$OUT/stats.json" >&2 || true
+        exit 1
+    }
+echo "fleetsmoke: OK — runtime bridge visible fleet-wide"
+
+# Contention layer: the broker runs with -contention-rate 5 and a tracked
+# routing lock, so /fleet/contention must republish its lock snapshot with
+# real acquisitions and the enabled profile rates.
+echo "fleetsmoke: checking /fleet/contention for the broker's tracked lock"
+curl -sf "http://$COLLECT/fleet/contention" >"$OUT/contention.json"
+jq -e '
+    .instances.broker.mutex_profile_fraction == 5 and
+    ([.instances.broker.locks[] | select(.name == "eventbus.broker_mu")] | length) == 1 and
+    ([.instances.broker.locks[] | select(.name == "eventbus.broker_mu")][0].wait.count) > 0
+' "$OUT/contention.json" >/dev/null ||
+    {
+        echo "fleetsmoke: FAIL — /fleet/contention missing broker lock snapshot:" >&2
+        cat "$OUT/contention.json" >&2
+        exit 1
+    }
+echo "fleetsmoke: OK — broker_mu contention visible at $(jq -r '[.instances.broker.locks[] | select(.name == "eventbus.broker_mu")][0].wait.count' "$OUT/contention.json") acquisitions"
